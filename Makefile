@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test test-race bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/stqbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/celltower
+	$(GO) run ./examples/trafficflow
+	$(GO) run ./examples/placement
+	$(GO) run ./examples/privatecounts
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

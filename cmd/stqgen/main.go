@@ -1,0 +1,81 @@
+// Command stqgen generates a synthetic city and moving-object workload
+// and writes them to a JSON bundle consumable by stqquery.
+//
+// Usage:
+//
+//	stqgen -out world.json                       # default grid city
+//	stqgen -city radial -rings 8 -spokes 24 -out w.json
+//	stqgen -city random -n 400 -out w.json
+//	stqgen -objects 2000 -horizon 604800 -out w.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/mobility"
+	"repro/internal/roadnet"
+	"repro/internal/worldio"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "world.json", "output file")
+		city    = flag.String("city", "grid", "city kind: grid | radial | random")
+		seed    = flag.Int64("seed", 1, "random seed")
+		nx      = flag.Int("nx", 24, "grid: junctions per row")
+		ny      = flag.Int("ny", 24, "grid: junctions per column")
+		rings   = flag.Int("rings", 8, "radial: number of rings")
+		spokes  = flag.Int("spokes", 24, "radial: number of spokes")
+		n       = flag.Int("n", 400, "random: number of junctions")
+		objects = flag.Int("objects", 600, "number of moving objects")
+		horizon = flag.Float64("horizon", 7*24*3600, "workload horizon in seconds")
+	)
+	flag.Parse()
+	if err := run(*out, *city, *seed, *nx, *ny, *rings, *spokes, *n, *objects, *horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "stqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, city string, seed int64, nx, ny, rings, spokes, n, objects int, horizon float64) error {
+	spec := worldio.CitySpec{Kind: city, Seed: seed}
+	switch city {
+	case "grid":
+		g := roadnet.DefaultGridOpts()
+		g.NX, g.NY = nx, ny
+		spec.Grid = &g
+	case "radial":
+		spec.Radial = &roadnet.RadialOpts{Rings: rings, Spokes: spokes, RingGap: 100, SkipFrac: 0.15}
+	case "random":
+		spec.Random = &roadnet.RandomOpts{N: n, Size: 2000, RemoveFrac: 0.25}
+	default:
+		return fmt.Errorf("unknown city kind %q", city)
+	}
+	world, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	mob := mobility.DefaultOpts()
+	mob.Objects = objects
+	mob.Horizon = horizon
+	wl, err := mobility.Generate(world, mob, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := worldio.Save(f, spec, wl); err != nil {
+		return err
+	}
+	st := wl.Stats()
+	fmt.Printf("wrote %s: %d junctions, %d roads, %d sensors, %d objects, %d events\n",
+		out, world.NumJunctions(), world.NumRoads(), world.NumSensors(),
+		wl.Objects, st.Events)
+	return f.Sync()
+}

@@ -1,0 +1,67 @@
+package stq_test
+
+import (
+	"fmt"
+
+	stq "repro"
+)
+
+// Example shows the end-to-end flow: build a world, ingest movement,
+// place sensors, query.
+func Example() {
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 12, NY: 12, Spacing: 100, Jitter: 0.2, RemoveFrac: 0.1,
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: 200, Horizon: 6 * 3600, TripsPerObject: 4,
+		MeanSpeed: 12, MeanPause: 300, LeaveProb: 0.5,
+	}, 2)
+	if err != nil {
+		panic(err)
+	}
+	if err := sys.Ingest(wl); err != nil {
+		panic(err)
+	}
+	b := sys.Bounds()
+	resp, err := sys.Query(stq.Query{
+		Rect: stq.Rect{Min: b.Min, Max: b.Center()},
+		T1:   3 * 3600,
+		Kind: stq.Snapshot,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(resp.Count > 0, resp.Missed)
+	// Output: true false
+}
+
+// ExampleSystem_PlaceSensors shows sampled querying with lower and upper
+// bounds bracketing the exact count.
+func ExampleSystem_PlaceSensors() {
+	sys, _ := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 12, NY: 12, Spacing: 100, Jitter: 0.2, RemoveFrac: 0.1,
+	}, 1)
+	wl, _ := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: 200, Horizon: 6 * 3600, TripsPerObject: 4,
+		MeanSpeed: 12, MeanPause: 300, LeaveProb: 0.5,
+	}, 2)
+	if err := sys.Ingest(wl); err != nil {
+		panic(err)
+	}
+	b := sys.Bounds()
+	q := stq.Query{Rect: stq.Rect{Min: b.Min, Max: b.Center()}, T1: 3 * 3600, Kind: stq.Snapshot}
+	exact, _ := sys.Query(q)
+
+	if err := sys.PlaceSensors(stq.PlacementQuadTree, 30, 3); err != nil {
+		panic(err)
+	}
+	q.Bound = stq.Lower
+	lo, _ := sys.Query(q)
+	q.Bound = stq.Upper
+	hi, _ := sys.Query(q)
+	fmt.Println(lo.Count <= exact.Count, exact.Count <= hi.Count)
+	// Output: true true
+}

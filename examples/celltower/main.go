@@ -1,0 +1,117 @@
+// Cell-tower load balancing (the paper's Figure-1 scenario): an operator
+// monitors how many users each tower's sector holds at different times of
+// day, using per-sector snapshot counts. No user identifiers or
+// trajectories ever leave the sectors — counts are aggregated on sector
+// perimeters only.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stq "repro"
+)
+
+// sector is one tower's coverage area.
+type sector struct {
+	name string
+	area stq.Rect
+}
+
+func main() {
+	sys, err := stq.NewRadialCitySystem(stq.RadialOpts{
+		Rings: 8, Spokes: 20, RingGap: 120, SkipFrac: 0.15,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A busy day: 800 users moving around the radial city.
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: 800, Horizon: 24 * 3600, TripsPerObject: 6,
+		MeanSpeed: 15, MeanPause: 1200, LeaveProb: 0.4, HotspotBias: 0.7,
+	}, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Ingest(wl); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four quadrant towers plus a denser downtown tower.
+	b := sys.Bounds()
+	c := b.Center()
+	mkRect := func(x1, y1, x2, y2 float64) stq.Rect {
+		return stq.Rect{Min: stq.Point{X: x1, Y: y1}, Max: stq.Point{X: x2, Y: y2}}
+	}
+	sectors := []sector{
+		{"north-west", mkRect(b.Min.X, c.Y, c.X, b.Max.Y)},
+		{"north-east", mkRect(c.X, c.Y, b.Max.X, b.Max.Y)},
+		{"south-west", mkRect(b.Min.X, b.Min.Y, c.X, c.Y)},
+		{"south-east", mkRect(c.X, b.Min.Y, b.Max.X, c.Y)},
+		{"downtown", mkRect(c.X-200, c.Y-200, c.X+200, c.Y+200)},
+	}
+
+	// The operator knows its sectors in advance: use the query-adaptive
+	// submodular placement so exactly the sector boundaries are
+	// monitored.
+	rects := make([]stq.Rect, len(sectors))
+	for i, s := range sectors {
+		rects[i] = s.area
+	}
+	if err := sys.PlaceSensorsForQueries(rects, 160); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monitoring %d sectors with %d communication sensors\n\n",
+		len(sectors), sys.NumCommunicationSensors())
+
+	// Hourly sector loads for the morning; a tower needing rebalancing
+	// is one whose load exceeds its share.
+	fmt.Printf("%-12s", "hour")
+	for _, s := range sectors {
+		fmt.Printf("%12s", s.name)
+	}
+	fmt.Println()
+	for hour := 6; hour <= 12; hour++ {
+		fmt.Printf("%02d:00       ", hour)
+		for _, s := range sectors {
+			resp, err := sys.Query(stq.Query{
+				Rect: s.area, T1: float64(hour) * 3600, Kind: stq.Snapshot,
+				Bound: stq.Lower,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.Missed {
+				fmt.Printf("%12s", "miss")
+				continue
+			}
+			fmt.Printf("%12.0f", resp.Count)
+		}
+		fmt.Println()
+	}
+
+	// Peak-hour imbalance report.
+	fmt.Println("\npeak-hour (09:00) load shares:")
+	var total float64
+	loads := make([]float64, len(sectors))
+	for i, s := range sectors[:4] { // quadrants partition the city
+		resp, err := sys.Query(stq.Query{Rect: s.area, T1: 9 * 3600, Kind: stq.Snapshot, Bound: stq.Lower})
+		if err != nil {
+			log.Fatal(err)
+		}
+		loads[i] = resp.Count
+		total += resp.Count
+	}
+	for i, s := range sectors[:4] {
+		share := 0.0
+		if total > 0 {
+			share = loads[i] / total * 100
+		}
+		flag := ""
+		if share > 35 {
+			flag = "  <- rebalance"
+		}
+		fmt.Printf("  %-12s %5.1f%%%s\n", s.name, share, flag)
+	}
+}

@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// TestStoreConcurrentReadersOneWriter exercises the documented
+// concurrency contract: one ingesting goroutine, many querying
+// goroutines, under the race detector (go test -race).
+func TestStoreConcurrentReadersOneWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 8, NY: 8, Spacing: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewStore(w)
+	gw := w.Gateways[0]
+	region, err := core.NewRegion(w, w.JunctionsIn(w.Bounds()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const events = 3000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: hammer counts while ingestion runs.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts := rr.Float64() * float64(events)
+				if got := core.SnapshotCount(st, region, ts); got < 0 {
+					t.Errorf("negative world occupancy %v", got)
+					return
+				}
+				_ = core.TransientCount(st, region, ts/2, ts)
+			}
+		}(int64(r))
+	}
+	// Writer: one object random-walking, time strictly increasing.
+	if err := st.RecordEnter(gw, 0); err != nil {
+		t.Fatal(err)
+	}
+	cur := gw
+	for i := 1; i <= events; i++ {
+		inc := w.Star.Incident(cur)
+		e := inc[rng.Intn(len(inc))]
+		if err := st.RecordMove(e, cur, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		cur = w.Star.Edge(e).Other(cur)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Occupancy of the whole world must be exactly 1 at the end.
+	if got := core.SnapshotCount(st, region, float64(events)+1); got != 1 {
+		t.Errorf("final occupancy = %v, want 1", got)
+	}
+	if st.NumEvents() != events+1 {
+		t.Errorf("events = %d", st.NumEvents())
+	}
+}
+
+// TestStoreRejectsOutOfOrderAcrossKinds verifies global time ordering
+// across event kinds, not just per edge.
+func TestStoreRejectsOutOfOrderAcrossKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 4, NY: 4, Spacing: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewStore(w)
+	gw := w.Gateways[0]
+	if err := st.RecordEnter(gw, 100); err != nil {
+		t.Fatal(err)
+	}
+	var road planar.EdgeID
+	for _, e := range w.Star.Incident(gw) {
+		road = e
+		break
+	}
+	if err := st.RecordMove(road, gw, 99); err == nil {
+		t.Error("move before the store clock accepted")
+	}
+	if err := st.RecordLeave(gw, 50); err == nil {
+		t.Error("leave before the store clock accepted")
+	}
+}

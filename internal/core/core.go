@@ -1,0 +1,244 @@
+// Package core implements the paper's primary contribution: privacy-aware
+// spatiotemporal range counting with discrete differential 1-forms on the
+// planar sensing graph.
+//
+// Movements of objects are never stored as trajectories. Instead, every
+// road (mobility-graph edge ★e) carries a tracking form on its dual
+// sensing edge e: two monotone sequences of crossing timestamps, one per
+// direction (the paper's γ⁺/γ⁻ pair, Eq. 8). Region counts are obtained by
+// integrating `in − out` along the region perimeter (Theorems 4.1–4.3),
+// which cancels objects that leave and re-enter — the identifier-free
+// solution to the double counting problem.
+//
+// Objects enter and leave the world through gateway junctions; those
+// virtual "world edges" realize the paper's ★v_ext infinity node and make
+// perimeter integration exact on the unsampled graph (see the property
+// tests in theorems_test.go).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// Region is a query region expressed as a union of sensing-graph faces,
+// i.e. a set of junctions of the mobility graph (vertex–face duality).
+type Region struct {
+	w         *roadnet.World
+	inside    []bool
+	junctions []planar.NodeID
+	// cutCache, when non-nil, is the precomputed perimeter (set by
+	// sampled-graph region approximation, which derives it from the
+	// monitored edge set in O(|E(G̃)|) instead of scanning the region).
+	cutCache []CutRoad
+}
+
+// NewRegion builds a Region from a set of junctions of w's mobility
+// graph. Duplicate IDs are tolerated; out-of-range IDs are an error.
+func NewRegion(w *roadnet.World, junctions []planar.NodeID) (*Region, error) {
+	r := &Region{w: w, inside: make([]bool, w.Star.NumNodes())}
+	for _, j := range junctions {
+		if j < 0 || int(j) >= len(r.inside) {
+			return nil, fmt.Errorf("core: junction %d out of range [0,%d)", j, len(r.inside))
+		}
+		if !r.inside[j] {
+			r.inside[j] = true
+			r.junctions = append(r.junctions, j)
+		}
+	}
+	return r, nil
+}
+
+// World returns the world the region is defined on.
+func (r *Region) World() *roadnet.World { return r.w }
+
+// Contains reports whether junction j lies in the region.
+func (r *Region) Contains(j planar.NodeID) bool {
+	return j >= 0 && int(j) < len(r.inside) && r.inside[j]
+}
+
+// Junctions returns the junctions of the region. Callers must not modify
+// the returned slice.
+func (r *Region) Junctions() []planar.NodeID { return r.junctions }
+
+// Size returns the number of faces (junctions) in the region — the
+// paper's ω(σ) cell weight.
+func (r *Region) Size() int { return len(r.junctions) }
+
+// Empty reports whether the region contains no faces.
+func (r *Region) Empty() bool { return len(r.junctions) == 0 }
+
+// CutRoad is a perimeter element of a Region: a road with exactly one
+// endpoint inside. Crossings toward Inside are inflow (γ⁺), away are
+// outflow (γ⁻) when integrating the boundary.
+type CutRoad struct {
+	Road   planar.EdgeID
+	Inside planar.NodeID
+}
+
+// SetCutRoads installs a precomputed perimeter. The caller asserts that
+// cuts is exactly the set CutRoads would compute; the sampled package
+// uses this to answer queries by touching only monitored sensing edges,
+// which is what an in-network deployment does.
+func (r *Region) SetCutRoads(cuts []CutRoad) { r.cutCache = cuts }
+
+// CutRoads returns the perimeter of the region: every road with exactly
+// one endpoint inside, each reported once. This is the 1-chain ∂Q_R the
+// differential forms are integrated along.
+func (r *Region) CutRoads() []CutRoad {
+	if r.cutCache != nil {
+		return r.cutCache
+	}
+	var out []CutRoad
+	for _, j := range r.junctions {
+		for _, e := range r.w.Star.Incident(j) {
+			if !r.Contains(r.w.Star.Edge(e).Other(j)) {
+				out = append(out, CutRoad{Road: e, Inside: j})
+			}
+		}
+	}
+	return out
+}
+
+// worldJunctionsInside filters a counter's world-edge junctions to those
+// contained in the region; their world edges (to ★v_ext) are part of the
+// perimeter.
+func (r *Region) worldJunctionsInside(c Counter) []planar.NodeID {
+	var out []planar.NodeID
+	for _, g := range c.WorldJunctions() {
+		if r.Contains(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// PerimeterSensors returns the distinct sensing-graph nodes flanking the
+// region's cut roads — the sensors a perimeter-routed query must access.
+func (r *Region) PerimeterSensors() []planar.NodeID {
+	seen := make(map[planar.NodeID]bool)
+	var out []planar.NodeID
+	for _, cr := range r.CutRoads() {
+		de := r.w.Dual.EdgeOf[cr.Road]
+		if de == planar.NoEdge {
+			continue // bridge road: no dual sensor pair
+		}
+		e := r.w.Dual.G.Edge(de)
+		for _, n := range []planar.NodeID{e.U, e.V} {
+			if n != r.w.Dual.OuterNode && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Counter provides the count functions C(γ±, t) over tracking forms. The
+// exact Store implements it by binary search on the stored timestamps;
+// the learned store (internal/learned) implements it by model inference.
+type Counter interface {
+	// RoadCrossings returns the number of crossing events on road with
+	// destination endpoint toward, up to and including time t.
+	RoadCrossings(road planar.EdgeID, toward planar.NodeID, t float64) float64
+	// WorldCrossings returns the number of world-entry (entering=true) or
+	// world-exit events at the gateway junction up to and including t.
+	WorldCrossings(gateway planar.NodeID, entering bool, t float64) float64
+	// WorldJunctions returns the junctions that carry world edges (any
+	// entry or exit events). For generated workloads these are gateways;
+	// map-matched real traces may appear and vanish anywhere.
+	WorldJunctions() []planar.NodeID
+}
+
+// EventLister enumerates raw perimeter events; only identifier-free
+// timestamps are exposed. The exact Store implements it; learned stores
+// do not (their whole point is to discard the raw sequence).
+type EventLister interface {
+	// RoadEventsIn appends the signed perimeter events of road in (t1,t2]
+	// to dst: +1 for crossings toward `toward`, −1 away.
+	RoadEventsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent
+	// WorldEventsIn appends gateway world events in (t1,t2]: +1 enter,
+	// −1 leave.
+	WorldEventsIn(gateway planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent
+}
+
+// SignedEvent is a perimeter crossing with its occupancy delta.
+type SignedEvent struct {
+	T     float64
+	Delta int
+}
+
+// SnapshotCount evaluates Theorem 4.1/4.2: the number of objects inside
+// the region at time t, as the boundary integral of in − out counts.
+func SnapshotCount(c Counter, r *Region, t float64) float64 {
+	var total float64
+	for _, cr := range r.CutRoads() {
+		e := r.w.Star.Edge(cr.Road)
+		total += c.RoadCrossings(cr.Road, cr.Inside, t)
+		total -= c.RoadCrossings(cr.Road, e.Other(cr.Inside), t)
+	}
+	for _, g := range r.worldJunctionsInside(c) {
+		total += c.WorldCrossings(g, true, t)
+		total -= c.WorldCrossings(g, false, t)
+	}
+	return total
+}
+
+// TransientCount evaluates Theorem 4.3: the net number of objects that
+// entered minus left the region during (t1, t2]. Negative values mean net
+// outflow, as in the paper.
+func TransientCount(c Counter, r *Region, t1, t2 float64) float64 {
+	return SnapshotCount(c, r, t2) - SnapshotCount(c, r, t1)
+}
+
+// StaticCount returns the number of objects present in the region for the
+// whole interval [t1, t2], computed without identifiers as
+// min over t∈[t1,t2] of SnapshotCount(t): the tightest value derivable
+// from boundary counts alone. It is exact unless an enter/leave pair of
+// two different objects compensates inside the window; see DESIGN.md §6.
+func StaticCount(c Counter, el EventLister, r *Region, t1, t2 float64) float64 {
+	inside := SnapshotCount(c, r, t1)
+	minInside := inside
+	for _, ev := range perimeterEvents(c, el, r, t1, t2) {
+		inside += float64(ev.Delta)
+		if inside < minInside {
+			minInside = inside
+		}
+	}
+	return minInside
+}
+
+// StaticCountSampled approximates StaticCount when only a Counter is
+// available (learned stores): it takes the minimum of SnapshotCount over
+// `samples` evenly spaced probe times in [t1, t2]. samples < 2 is raised
+// to 2 (the interval endpoints).
+func StaticCountSampled(c Counter, r *Region, t1, t2 float64, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	step := (t2 - t1) / float64(samples-1)
+	min := SnapshotCount(c, r, t1)
+	for i := 1; i < samples; i++ {
+		if v := SnapshotCount(c, r, t1+step*float64(i)); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// perimeterEvents gathers the signed boundary events of r in (t1,t2],
+// sorted by time.
+func perimeterEvents(c Counter, el EventLister, r *Region, t1, t2 float64) []SignedEvent {
+	var events []SignedEvent
+	for _, cr := range r.CutRoads() {
+		events = el.RoadEventsIn(cr.Road, cr.Inside, t1, t2, events)
+	}
+	for _, g := range r.worldJunctionsInside(c) {
+		events = el.WorldEventsIn(g, t1, t2, events)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}

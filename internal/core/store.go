@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// Tracker is the pair of tracking forms (γ⁺, γ⁻) of one sensing edge:
+// crossing timestamps per direction over the dual road, kept in
+// non-decreasing order. The zero value is an empty tracker ready to use.
+type Tracker struct {
+	// fwd holds crossings in the road's U→V direction, rev in V→U.
+	fwd, rev []float64
+}
+
+// Record appends a crossing at time t in the given direction. Timestamps
+// must be appended in non-decreasing order per direction; Store enforces
+// global ordering for all trackers.
+func (tr *Tracker) Record(forward bool, t float64) {
+	if forward {
+		tr.fwd = append(tr.fwd, t)
+	} else {
+		tr.rev = append(tr.rev, t)
+	}
+}
+
+// Count returns the number of crossings in the given direction up to and
+// including t — the paper's C(γ, t).
+func (tr *Tracker) Count(forward bool, t float64) int {
+	if forward {
+		return countLE(tr.fwd, t)
+	}
+	return countLE(tr.rev, t)
+}
+
+// Events returns the raw timestamp sequence for one direction. Callers
+// must not modify it.
+func (tr *Tracker) Events(forward bool) []float64 {
+	if forward {
+		return tr.fwd
+	}
+	return tr.rev
+}
+
+// Len returns the total number of stored crossings.
+func (tr *Tracker) Len() int { return len(tr.fwd) + len(tr.rev) }
+
+// countLE returns the number of elements of sorted ts that are ≤ t.
+func countLE(ts []float64, t float64) int {
+	return sort.Search(len(ts), func(i int) bool { return ts[i] > t })
+}
+
+// countIn returns the number of elements of sorted ts in (t1, t2].
+func countIn(ts []float64, t1, t2 float64) int {
+	return countLE(ts, t2) - countLE(ts, t1)
+}
+
+// Store is the exact (non-learned) tracking-form store of a world: one
+// Tracker per road plus world-edge event lists per gateway. It is the
+// reference Counter and EventLister implementation.
+//
+// Store is safe for concurrent use: ingestion takes the write lock,
+// queries the read lock.
+type Store struct {
+	mu    sync.RWMutex
+	w     *roadnet.World
+	roads []Tracker
+	// worldIn/worldOut[g] hold entry/exit timestamps at gateway g.
+	worldIn, worldOut map[planar.NodeID][]float64
+	clock             float64
+	events            int
+}
+
+// NewStore returns an empty store over w.
+func NewStore(w *roadnet.World) *Store {
+	return &Store{
+		w:        w,
+		roads:    make([]Tracker, w.Star.NumEdges()),
+		worldIn:  make(map[planar.NodeID][]float64),
+		worldOut: make(map[planar.NodeID][]float64),
+	}
+}
+
+// World returns the world the store tracks.
+func (s *Store) World() *roadnet.World { return s.w }
+
+// NumEvents returns the total number of ingested crossing events.
+func (s *Store) NumEvents() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.events
+}
+
+// Clock returns the timestamp of the most recent event.
+func (s *Store) Clock() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock
+}
+
+func (s *Store) advance(t float64) error {
+	if t < s.clock {
+		return fmt.Errorf("core: event at %v precedes store clock %v (events must be time ordered)", t, s.clock)
+	}
+	s.clock = t
+	s.events++
+	return nil
+}
+
+// RecordMove ingests a crossing of road from endpoint `from` toward the
+// other endpoint at time t.
+func (s *Store) RecordMove(road planar.EdgeID, from planar.NodeID, t float64) error {
+	if road < 0 || int(road) >= len(s.roads) {
+		return fmt.Errorf("core: road %d out of range", road)
+	}
+	e := s.w.Star.Edge(road)
+	if from != e.U && from != e.V {
+		return fmt.Errorf("core: node %d is not an endpoint of road %d", from, road)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advance(t); err != nil {
+		return err
+	}
+	s.roads[road].Record(from == e.U, t)
+	return nil
+}
+
+// RecordEnter ingests a world-entry at gateway g at time t (an object
+// appearing from ★v_ext).
+func (s *Store) RecordEnter(g planar.NodeID, t float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advance(t); err != nil {
+		return err
+	}
+	s.worldIn[g] = append(s.worldIn[g], t)
+	return nil
+}
+
+// RecordLeave ingests a world-exit at gateway g at time t.
+func (s *Store) RecordLeave(g planar.NodeID, t float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.advance(t); err != nil {
+		return err
+	}
+	s.worldOut[g] = append(s.worldOut[g], t)
+	return nil
+}
+
+// RoadCrossings implements Counter.
+func (s *Store) RoadCrossings(road planar.EdgeID, toward planar.NodeID, t float64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := s.w.Star.Edge(road)
+	return float64(s.roads[road].Count(toward == e.V, t))
+}
+
+// WorldCrossings implements Counter.
+func (s *Store) WorldCrossings(g planar.NodeID, entering bool, t float64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if entering {
+		return float64(countLE(s.worldIn[g], t))
+	}
+	return float64(countLE(s.worldOut[g], t))
+}
+
+// WorldJunctions implements Counter: the junctions with any world-edge
+// events, in ascending order for determinism.
+func (s *Store) WorldJunctions() []planar.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[planar.NodeID]bool, len(s.worldIn)+len(s.worldOut))
+	var out []planar.NodeID
+	for g := range s.worldIn {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	for g := range s.worldOut {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RoadEventsIn implements EventLister.
+func (s *Store) RoadEventsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := s.w.Star.Edge(road)
+	in := s.roads[road].Events(toward == e.V)
+	out := s.roads[road].Events(toward != e.V)
+	dst = appendSigned(dst, in, +1, t1, t2)
+	dst = appendSigned(dst, out, -1, t1, t2)
+	return dst
+}
+
+// WorldEventsIn implements EventLister.
+func (s *Store) WorldEventsIn(g planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dst = appendSigned(dst, s.worldIn[g], +1, t1, t2)
+	dst = appendSigned(dst, s.worldOut[g], -1, t1, t2)
+	return dst
+}
+
+func appendSigned(dst []SignedEvent, ts []float64, delta int, t1, t2 float64) []SignedEvent {
+	lo := countLE(ts, t1)
+	hi := countLE(ts, t2)
+	for _, t := range ts[lo:hi] {
+		dst = append(dst, SignedEvent{T: t, Delta: delta})
+	}
+	return dst
+}
+
+// RoadTracker exposes the tracker of one road for storage accounting and
+// for training learned models. Callers must not mutate it.
+func (s *Store) RoadTracker(road planar.EdgeID) *Tracker {
+	return &s.roads[road]
+}
+
+// WorldEvents returns the gateway entry/exit timestamp sequences. Callers
+// must not mutate them.
+func (s *Store) WorldEvents(g planar.NodeID) (in, out []float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.worldIn[g], s.worldOut[g]
+}
+
+// StorageStats summarizes per-edge storage of the exact store.
+type StorageStats struct {
+	// TimestampsPerRoad[i] is the number of stored timestamps of road i.
+	TimestampsPerRoad []int
+	// TotalTimestamps counts all stored road timestamps.
+	TotalTimestamps int
+	// Bytes is the exact-store footprint assuming 8-byte timestamps.
+	Bytes int
+}
+
+// Storage reports the storage footprint of the exact store (road
+// trackers only; world edges are identical across all compared systems
+// and excluded, matching the paper's per-edge CDF in Fig. 11e).
+func (s *Store) Storage() StorageStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := StorageStats{TimestampsPerRoad: make([]int, len(s.roads))}
+	for i := range s.roads {
+		n := s.roads[i].Len()
+		st.TimestampsPerRoad[i] = n
+		st.TotalTimestamps += n
+	}
+	st.Bytes = st.TotalTimestamps * 8
+	return st
+}

@@ -1,0 +1,190 @@
+// Package delaunay implements 2-D Delaunay triangulation with the
+// Bowyer–Watson incremental algorithm. It is used to connect sampled
+// sensor nodes (paper §4.5, triangulation-based edge generation) and to
+// synthesize random planar road networks.
+package delaunay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Triangle indexes three input points in counter-clockwise order.
+type Triangle struct {
+	A, B, C int
+}
+
+// Edge is an undirected pair of point indices with U < V.
+type Edge struct {
+	U, V int
+}
+
+func mkEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// circumcircle returns the circumcenter and squared circumradius of the
+// triangle (a, b, c). Degenerate (collinear) triangles return ok=false.
+func circumcircle(a, b, c geom.Point) (center geom.Point, r2 float64, ok bool) {
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if math.Abs(d) < 1e-12 {
+		return geom.Point{}, 0, false
+	}
+	a2 := a.X*a.X + a.Y*a.Y
+	b2 := b.X*b.X + b.Y*b.Y
+	c2 := c.X*c.X + c.Y*c.Y
+	ux := (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+	uy := (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+	center = geom.Pt(ux, uy)
+	return center, center.Dist2(a), true
+}
+
+type tri struct {
+	t      Triangle
+	center geom.Point
+	r2     float64
+	bad    bool
+}
+
+// Triangulate returns the Delaunay triangulation of pts. Points must be
+// distinct; fewer than three points return no triangles. Collinear input
+// returns an error since no triangulation exists.
+func Triangulate(pts []geom.Point) ([]Triangle, error) {
+	n := len(pts)
+	if n < 3 {
+		return nil, nil
+	}
+	// Super-triangle enclosing all points by a wide margin.
+	b := geom.BoundingRect(pts)
+	cx, cy := b.Center().X, b.Center().Y
+	d := math.Max(b.Width(), b.Height())
+	if d == 0 {
+		return nil, fmt.Errorf("delaunay: all points coincide")
+	}
+	d *= 64
+	s0 := geom.Pt(cx-2*d, cy-d)
+	s1 := geom.Pt(cx+2*d, cy-d)
+	s2 := geom.Pt(cx, cy+2*d)
+	all := make([]geom.Point, 0, n+3)
+	all = append(all, pts...)
+	all = append(all, s0, s1, s2)
+
+	mk := func(a, bb, c int) (tri, bool) {
+		// Ensure CCW orientation.
+		if geom.Orient(all[a], all[bb], all[c]) == geom.Clockwise {
+			bb, c = c, bb
+		}
+		ctr, r2, ok := circumcircle(all[a], all[bb], all[c])
+		if !ok {
+			return tri{}, false
+		}
+		return tri{t: Triangle{a, bb, c}, center: ctr, r2: r2}, true
+	}
+
+	first, ok := mk(n, n+1, n+2)
+	if !ok {
+		return nil, fmt.Errorf("delaunay: degenerate super triangle")
+	}
+	tris := []tri{first}
+
+	// Insert points in a shuffled-ish deterministic order (sorted by a
+	// space-filling-ish key) for reasonable performance; plain order is
+	// fine at our sizes.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		pi, pj := pts[order[i]], pts[order[j]]
+		if pi.X != pj.X {
+			return pi.X < pj.X
+		}
+		return pi.Y < pj.Y
+	})
+
+	for _, pi := range order {
+		p := all[pi]
+		// Find all triangles whose circumcircle contains p.
+		polyCount := map[Edge]int{}
+		for i := range tris {
+			if tris[i].bad {
+				continue
+			}
+			if tris[i].center.Dist2(p) <= tris[i].r2+1e-9 {
+				tris[i].bad = true
+				t := tris[i].t
+				polyCount[mkEdge(t.A, t.B)]++
+				polyCount[mkEdge(t.B, t.C)]++
+				polyCount[mkEdge(t.C, t.A)]++
+			}
+		}
+		// Boundary edges of the cavity appear exactly once.
+		for e, c := range polyCount {
+			if c != 1 {
+				continue
+			}
+			nt, ok := mk(e.U, e.V, pi)
+			if !ok {
+				continue // collinear sliver; skip
+			}
+			tris = append(tris, nt)
+		}
+		// Periodically compact to keep the scan linear-ish.
+		if len(tris) > 4*n+16 {
+			tris = compact(tris)
+		}
+	}
+
+	var out []Triangle
+	for _, t := range tris {
+		if t.bad {
+			continue
+		}
+		if t.t.A >= n || t.t.B >= n || t.t.C >= n {
+			continue // touches the super triangle
+		}
+		out = append(out, t.t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("delaunay: collinear input, no triangulation")
+	}
+	return out, nil
+}
+
+func compact(ts []tri) []tri {
+	out := ts[:0]
+	for _, t := range ts {
+		if !t.bad {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Edges returns the undirected edge set of a triangulation, deduplicated
+// and sorted for determinism.
+func Edges(tris []Triangle) []Edge {
+	set := make(map[Edge]bool, len(tris)*3)
+	for _, t := range tris {
+		set[mkEdge(t.A, t.B)] = true
+		set[mkEdge(t.B, t.C)] = true
+		set[mkEdge(t.C, t.A)] = true
+	}
+	out := make([]Edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}

@@ -1,0 +1,131 @@
+package delaunay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestTriangulateSquare(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1),
+	}
+	tris, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("triangles = %d, want 2", len(tris))
+	}
+	es := Edges(tris)
+	// 4 boundary + 1 diagonal.
+	if len(es) != 5 {
+		t.Errorf("edges = %d, want 5", len(es))
+	}
+}
+
+func TestTriangulateSmall(t *testing.T) {
+	if tris, err := Triangulate([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}); err != nil || tris != nil {
+		t.Errorf("2 points: %v, %v", tris, err)
+	}
+	if _, err := Triangulate([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}); err == nil {
+		t.Error("collinear input accepted")
+	}
+}
+
+func TestTriangulateDelaunayProperty(t *testing.T) {
+	// No input point may lie strictly inside any triangle's circumcircle.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(60)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		tris, err := Triangulate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range tris {
+			c, r2, ok := circumcircle(pts[tr.A], pts[tr.B], pts[tr.C])
+			if !ok {
+				t.Fatal("degenerate output triangle")
+			}
+			for i, p := range pts {
+				if i == tr.A || i == tr.B || i == tr.C {
+					continue
+				}
+				if c.Dist2(p) < r2-1e-6 {
+					t.Fatalf("point %d inside circumcircle of %v", i, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestTriangulateEulerCount(t *testing.T) {
+	// Euler invariant of any triangulation covering the point set:
+	// E = T + N − 1, with T bounded by the general-position extremes.
+	// (The exact hull-based formulas T = 2n−h−2 are epsilon-sensitive for
+	// nearly collinear hull chains, so the robust invariant is checked.)
+	rng := rand.New(rand.NewSource(9))
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(50)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+		}
+		tris, err := Triangulate(pts)
+		if err != nil {
+			return false
+		}
+		e := len(Edges(tris))
+		if e != len(tris)+n-1 {
+			return false
+		}
+		return len(tris) >= n-2-1 && len(tris) <= 2*n
+	}, &quick.Config{MaxCount: 30, Rand: rng})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesNoCrossings(t *testing.T) {
+	// Delaunay edges must not cross (planarity).
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	tris, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := Edges(tris)
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			a, b := es[i], es[j]
+			if a.U == b.U || a.U == b.V || a.V == b.U || a.V == b.V {
+				continue // shared endpoint
+			}
+			s1 := geom.Seg(pts[a.U], pts[a.V])
+			s2 := geom.Seg(pts[b.U], pts[b.V])
+			if p, ok := s1.Intersection(s2); ok {
+				// Interior crossing only.
+				if !p.Eq(s1.A) && !p.Eq(s1.B) && !p.Eq(s2.A) && !p.Eq(s2.B) {
+					t.Fatalf("edges %v and %v cross at %v", a, b, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMkEdgeCanonical(t *testing.T) {
+	if mkEdge(5, 2) != (Edge{U: 2, V: 5}) {
+		t.Error("mkEdge not canonical")
+	}
+}

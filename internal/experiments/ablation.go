@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/learned"
+	"repro/internal/planar"
+	"repro/internal/query"
+	"repro/internal/submodular"
+)
+
+// AblationGreedy compares the lazy (CELF) and naive greedy submodular
+// solvers on the query-adaptive selection problem: achieved utility must
+// match while the lazy solver runs faster. The x axis is the number of
+// historical queries.
+func (e *Env) AblationGreedy() (Figure, error) {
+	fig := Figure{
+		ID: "ablation-greedy", Title: "Lazy vs naive greedy selection time",
+		XLabel: "historical queries", YLabel: "selection time (ms)",
+	}
+	lazySeries := Series{Name: "lazy-celf"}
+	naiveSeries := Series{Name: "naive"}
+	for _, nq := range []int{10, 25, 50, 100} {
+		rng := e.repRNG(901, int64(nq))
+		var hist []*core.Region
+		for i := 0; i < nq; i++ {
+			rect, _, _ := e.RandomQuery(FixedQueryPct*2, rng)
+			r, err := e.RegionOf(rect)
+			if err != nil {
+				return fig, err
+			}
+			if !r.Empty() {
+				hist = append(hist, r)
+			}
+		}
+		atoms := submodular.Partition(e.W, hist)
+		elems := make([]submodular.Element, len(atoms))
+		for i, a := range atoms {
+			cost := float64(len(a.BoundaryRoads))
+			if cost == 0 {
+				cost = 1
+			}
+			elems[i] = submodular.Element{ID: a.ID, Cost: cost}
+		}
+		budget := float64(e.SensorBudget(25.6))
+
+		var lazyTimes, naiveTimes []float64
+		for rep := 0; rep < e.Cfg.Reps; rep++ {
+			start := time.Now()
+			if _, err := submodular.LazyGreedy(elems, budget, newCoverObj(atoms, hist)); err != nil {
+				return fig, err
+			}
+			lazyTimes = append(lazyTimes, float64(time.Since(start).Microseconds())/1000)
+			start = time.Now()
+			if _, err := submodular.NaiveGreedy(elems, budget, newCoverObj(atoms, hist)); err != nil {
+				return fig, err
+			}
+			naiveTimes = append(naiveTimes, float64(time.Since(start).Microseconds())/1000)
+		}
+		lazySeries.Points = append(lazySeries.Points, Point{X: float64(nq), Stat: NewStat(lazyTimes)})
+		naiveSeries.Points = append(naiveSeries.Points, Point{X: float64(nq), Stat: NewStat(naiveTimes)})
+	}
+	fig.Series = []Series{lazySeries, naiveSeries}
+	return fig, nil
+}
+
+// coverObj is the atom-utility objective rebuilt for each solver run
+// (greedy mutates objective state).
+type coverObj struct {
+	atoms    []submodular.Atom
+	qWeight  []float64
+	selected map[int]bool
+}
+
+func newCoverObj(atoms []submodular.Atom, queries []*core.Region) *coverObj {
+	o := &coverObj{atoms: atoms, qWeight: make([]float64, len(queries)), selected: map[int]bool{}}
+	for qi, q := range queries {
+		o.qWeight[qi] = float64(q.Size())
+	}
+	return o
+}
+
+func (o *coverObj) Gain(e submodular.Element) float64 {
+	if o.selected[e.ID] {
+		return 0
+	}
+	a := o.atoms[e.ID]
+	g := 0.0
+	for _, qi := range a.Queries {
+		if o.qWeight[qi] > 0 {
+			g += float64(len(a.Junctions)) / o.qWeight[qi]
+		}
+	}
+	return g
+}
+
+func (o *coverObj) Select(e submodular.Element) { o.selected[e.ID] = true }
+
+// AblationBaselineScaling compares the scaled (Horvitz–Thompson) and
+// unscaled Euler-baseline estimators across graph sizes.
+func (e *Env) AblationBaselineScaling() (Figure, error) {
+	fig := Figure{
+		ID: "ablation-baseline", Title: "Baseline estimator scaling",
+		XLabel: "sampled faces (% of faces)", YLabel: "relative error",
+	}
+	for _, scaled := range []bool{true, false} {
+		name := "unscaled"
+		if scaled {
+			name = "scaled-HT"
+		}
+		s := Series{Name: name}
+		for xi, pct := range GraphSizes {
+			faces := int(float64(e.W.Star.NumNodes()) * pct / 100)
+			if faces < 1 {
+				faces = 1
+			}
+			var errs []float64
+			for rep := 0; rep < e.Cfg.Reps; rep++ {
+				rng := e.repRNG(902, int64(xi), int64(rep), boolSalt(scaled))
+				pool := e.NewQueryPool(e.Cfg.HistoricalQueries, FixedQueryPct*4,
+					e.repRNG(903, int64(xi), int64(rep)))
+				cell := e.baselineCell(faces, scaled, query.Snapshot, pool, rng)
+				errs = append(errs, cell.err)
+			}
+			s.Points = append(s.Points, Point{X: pct, Stat: NewStat(errs)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func boolSalt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 2
+}
+
+// AblationRollingBuffer sweeps the rolling-buffer capacity of the live
+// learned store: recent-window count error vs buffer size, plus storage.
+func (e *Env) AblationRollingBuffer() (Figure, error) {
+	fig := Figure{
+		ID: "ablation-buffer", Title: "Rolling buffer capacity",
+		XLabel: "buffer capacity (events)", YLabel: "mean |count error| in window",
+	}
+	// Use the busiest road's event sequence as the stress input.
+	var busiest []float64
+	for eid := 0; eid < e.W.Star.NumEdges(); eid++ {
+		trk := e.Store.RoadTracker(planar.EdgeID(eid))
+		if ts := trk.Events(true); len(ts) > len(busiest) {
+			busiest = ts
+		}
+		if ts := trk.Events(false); len(ts) > len(busiest) {
+			busiest = ts
+		}
+	}
+	if len(busiest) < 16 {
+		fig.Series = []Series{{Name: "pwl4"}}
+		return fig, nil
+	}
+	s := Series{Name: "pwl4-err-frac"}
+	stor := Series{Name: "peak-bytes/1000"}
+	for _, capacity := range []int{16, 32, 64, 128, 256} {
+		r, err := learned.NewRolling(learned.PiecewiseTrainer{Segments: 4}, capacity)
+		if err != nil {
+			return fig, err
+		}
+		peak := 0
+		for _, t := range busiest {
+			if err := r.Append(t); err != nil {
+				return fig, err
+			}
+			if sz := r.SizeBytes(); sz > peak {
+				peak = sz
+			}
+		}
+		// Probe the resolvable window; normalize the error by the window
+		// event count so capacities are comparable.
+		win := r.WindowSize()
+		if win > len(busiest) {
+			win = len(busiest)
+		}
+		if win < 2 {
+			continue
+		}
+		start := busiest[len(busiest)-win]
+		end := busiest[len(busiest)-1]
+		var sumErr, n float64
+		for q := start; q <= end; q += (end - start) / 32 {
+			got := r.CountAt(q)
+			want := float64(countLE(busiest, q))
+			d := got - want
+			if d < 0 {
+				d = -d
+			}
+			sumErr += d
+			n++
+			if end == start {
+				break
+			}
+		}
+		s.Points = append(s.Points, Point{X: float64(capacity),
+			Stat: NewStat([]float64{sumErr / n / float64(win)})})
+		stor.Points = append(stor.Points, Point{X: float64(capacity),
+			Stat: NewStat([]float64{float64(peak) / 1000})})
+	}
+	fig.Series = []Series{s, stor}
+	return fig, nil
+}
+
+func countLE(ts []float64, t float64) int {
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ts[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

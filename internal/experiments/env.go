@@ -1,0 +1,328 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic substrate: workload construction,
+// parameter sweeps, repetition with median/IQR aggregation, and plain-
+// text series rendering. Each Fig* function corresponds to one figure of
+// the paper; EXPERIMENTS.md records the measured outcomes next to the
+// published ones.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/euler"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+	"repro/internal/sampled"
+	"repro/internal/sampling"
+	"repro/internal/submodular"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives every random choice; runs are reproducible.
+	Seed int64
+	// City configures the synthetic mobility graph.
+	City roadnet.GridOpts
+	// Mobility configures the moving-object workload.
+	Mobility mobility.Opts
+	// Reps is the number of repetitions per configuration (paper: 50).
+	Reps int
+	// QueriesPerRep is the number of random queries evaluated per rep.
+	QueriesPerRep int
+	// HistoricalQueries is the submodular method's training set size
+	// (paper: 100).
+	HistoricalQueries int
+	// EulerBucket is the baseline's histogram bucket width in seconds.
+	EulerBucket float64
+}
+
+// DefaultConfig returns the configuration used by cmd/stqbench: the
+// paper's shape at a laptop-friendly scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		City:              roadnet.DefaultGridOpts(),
+		Mobility:          mobility.DefaultOpts(),
+		Reps:              7,
+		QueriesPerRep:     12,
+		HistoricalQueries: 100,
+		EulerBucket:       1800,
+	}
+}
+
+// QuickConfig returns a small configuration for smoke tests.
+func QuickConfig() Config {
+	return Config{
+		Seed: 1,
+		City: roadnet.GridOpts{NX: 12, NY: 12, Spacing: 100, Jitter: 0.25,
+			RemoveFrac: 0.2, CurveFrac: 0.1},
+		Mobility: mobility.Opts{Objects: 150, Horizon: 2 * 24 * 3600,
+			TripsPerObject: 4, MeanSpeed: 12, MeanPause: 900,
+			LeaveProb: 0.5, HotspotBias: 0.4},
+		Reps:              3,
+		QueriesPerRep:     6,
+		HistoricalQueries: 40,
+		EulerBucket:       1800,
+	}
+}
+
+// GraphSizes is the sampled-graph size sweep of Figs. 11a/12a/13 in
+// percent of the candidate sensor count.
+var GraphSizes = []float64{0.8, 1.6, 3.2, 6.4, 12.8, 25.6, 51.2}
+
+// QuerySizes is the query-area sweep of Figs. 11b/12b/11c in percent of
+// the total sensing area (1.08% is the paper's fixed size).
+var QuerySizes = []float64{0.27, 0.54, 1.08, 2.16, 4.32, 8.64, 17.28}
+
+// FixedQueryPct is the fixed query size of the graph-size sweeps.
+const FixedQueryPct = 1.08
+
+// FixedGraphPct is the fixed sampled-graph size of the query-size sweeps
+// (the paper's "median graph size of 6%").
+const FixedGraphPct = 6.4
+
+// Env is the shared evaluation environment: one world, one workload, one
+// fed exact store, ground truth, and the baseline histogram.
+type Env struct {
+	Cfg    Config
+	W      *roadnet.World
+	WL     *mobility.Workload
+	Store  *core.Store
+	Oracle *mobility.Oracle
+	Hist   *euler.Histogram
+	// Candidates is the sensor candidate pool (interior dual nodes).
+	Candidates []sampling.Candidate
+}
+
+// NewEnv builds the environment for a config.
+func NewEnv(cfg Config) (*Env, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w, err := roadnet.GridCity(cfg.City, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building city: %w", err)
+	}
+	wl, err := mobility.Generate(w, cfg.Mobility, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating workload: %w", err)
+	}
+	st := core.NewStore(w)
+	if err := wl.Feed(st); err != nil {
+		return nil, fmt.Errorf("experiments: feeding store: %w", err)
+	}
+	hist, err := euler.BuildHistogram(wl, cfg.EulerBucket)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building baseline histogram: %w", err)
+	}
+	return &Env{
+		Cfg:        cfg,
+		W:          w,
+		WL:         wl,
+		Store:      st,
+		Oracle:     mobility.NewOracle(wl),
+		Hist:       hist,
+		Candidates: sampling.CandidatesFromDual(w.Dual.InteriorNodes(), w.Dual.G.Point),
+	}, nil
+}
+
+// SensorBudget converts a graph-size percentage to a sensor count.
+func (e *Env) SensorBudget(pct float64) int {
+	m := int(math.Round(float64(len(e.Candidates)) * pct / 100))
+	if m < 3 {
+		m = 3
+	}
+	if m > len(e.Candidates) {
+		m = len(e.Candidates)
+	}
+	return m
+}
+
+// RandomQuery draws a random rectangular query of the given area
+// percentage with a random 10–30% temporal window.
+func (e *Env) RandomQuery(areaPct float64, rng *rand.Rand) (geom.Rect, float64, float64) {
+	b := e.W.Bounds()
+	area := b.Area() * areaPct / 100
+	aspect := 0.5 + rng.Float64()*1.5
+	qw := math.Sqrt(area * aspect)
+	qh := area / qw
+	if qw > b.Width() {
+		qw = b.Width()
+		qh = area / qw
+	}
+	if qh > b.Height() {
+		qh = b.Height()
+	}
+	x := b.Min.X + rng.Float64()*math.Max(0, b.Width()-qw)
+	y := b.Min.Y + rng.Float64()*math.Max(0, b.Height()-qh)
+	span := e.WL.Horizon * (0.1 + rng.Float64()*0.2)
+	t1 := 0.05*e.WL.Horizon + rng.Float64()*(0.9*e.WL.Horizon-span)
+	return geom.RectWH(x, y, qw, qh), t1, t1 + span
+}
+
+// RegionOf converts a rect to the exact query region.
+func (e *Env) RegionOf(rect geom.Rect) (*core.Region, error) {
+	return core.NewRegion(e.W, e.W.JunctionsIn(rect))
+}
+
+// QueryPool is the evaluation-time query workload of one sweep cell: a
+// set of spatial regions drawn from the (known) query distribution. The
+// paper's query-adaptive method trains on historical queries from the
+// same distribution the evaluation draws from (§5.1.5), so the pool is
+// shared: submodular selection sees the pool's regions, and every method
+// is evaluated on queries sampled from the pool (with fresh temporal
+// windows).
+type QueryPool struct {
+	Rects []geom.Rect
+}
+
+// NewQueryPool draws n query rectangles of the given area percentage.
+func (e *Env) NewQueryPool(n int, areaPct float64, rng *rand.Rand) *QueryPool {
+	p := &QueryPool{Rects: make([]geom.Rect, n)}
+	for i := range p.Rects {
+		rect, _, _ := e.RandomQuery(areaPct, rng)
+		p.Rects[i] = rect
+	}
+	return p
+}
+
+// Draw picks a pool rectangle and a fresh temporal window.
+func (e *Env) Draw(p *QueryPool, rng *rand.Rand) (geom.Rect, float64, float64) {
+	rect := p.Rects[rng.Intn(len(p.Rects))]
+	span := e.WL.Horizon * (0.1 + rng.Float64()*0.2)
+	t1 := 0.05*e.WL.Horizon + rng.Float64()*(0.9*e.WL.Horizon-span)
+	return rect, t1, t1 + span
+}
+
+// Method identifies a sensor-selection strategy in the sweep figures.
+type Method struct {
+	// Name as shown in figure legends.
+	Name string
+	// Build constructs the sampled graph for a sensor budget. Query-
+	// adaptive methods may inspect the query pool; oblivious ones ignore
+	// it.
+	Build func(e *Env, m int, pool *QueryPool, rng *rand.Rand) (*sampled.Graph, error)
+}
+
+// SamplerMethod wraps a query-oblivious sampler with triangulation
+// connectivity.
+func SamplerMethod(s sampling.Sampler) Method {
+	return Method{
+		Name: s.Name(),
+		Build: func(e *Env, m int, _ *QueryPool, rng *rand.Rand) (*sampled.Graph, error) {
+			sel, err := s.Sample(e.Candidates, m, rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampled.Build(e.W, sel, sampled.Options{Connect: sampled.Triangulation})
+		},
+	}
+}
+
+// SubmodularMethod is the query-adaptive selection trained on the
+// historical query pool.
+func SubmodularMethod() Method {
+	return Method{
+		Name: "submodular",
+		Build: func(e *Env, m int, pool *QueryPool, rng *rand.Rand) (*sampled.Graph, error) {
+			var hist []*core.Region
+			for _, rect := range pool.Rects {
+				r, err := e.RegionOf(rect)
+				if err != nil {
+					return nil, err
+				}
+				if !r.Empty() {
+					hist = append(hist, r)
+				}
+			}
+			res, err := submodular.SelectForQueries(e.W, hist, m)
+			if err != nil {
+				return nil, err
+			}
+			return sampled.BuildFromDualEdges(e.W, res.DualEdges)
+		},
+	}
+}
+
+// Methods returns the full method roster of the sweep figures.
+func Methods() []Method {
+	out := make([]Method, 0, 6)
+	for _, s := range sampling.All() {
+		out = append(out, SamplerMethod(s))
+	}
+	out = append(out, SubmodularMethod())
+	return out
+}
+
+// RelativeError is the paper's error measure |η − η̂| / η against the
+// unsampled-graph count η, guarded for the near-zero denominators that
+// transient (net-flow) counts produce.
+func RelativeError(exact, approx float64) float64 {
+	den := math.Abs(exact)
+	if den < 1 {
+		den = 1
+	}
+	return math.Abs(exact-approx) / den
+}
+
+// quantiles returns the q-quantile of a copy of xs by linear
+// interpolation.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	if lo >= len(cp)-1 {
+		return cp[len(cp)-1]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// Stat summarizes repeated measurements the way the paper plots them:
+// median with 25th/75th percentiles.
+type Stat struct {
+	Median, P25, P75 float64
+	N                int
+}
+
+// NewStat computes the summary of xs.
+func NewStat(xs []float64) Stat {
+	return Stat{
+		Median: quantile(xs, 0.5),
+		P25:    quantile(xs, 0.25),
+		P75:    quantile(xs, 0.75),
+		N:      len(xs),
+	}
+}
+
+// Point is one x position of a series with its aggregated statistic.
+type Point struct {
+	X float64
+	Stat
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced figure: several series over a shared x axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// junctionSetOf converts a region to the baseline's junction slice.
+func junctionSetOf(r *core.Region) []planar.NodeID { return r.Junctions() }

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Render writes a figure as an aligned text table: one row per x value,
+// one column per series (median with the IQR in brackets).
+func Render(w io.Writer, f Figure) error {
+	if _, err := fmt.Fprintf(w, "\n== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "x = %s, y = %s (median [p25,p75])\n", f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no series)")
+		return err
+	}
+	// Collect the x grid from the longest series.
+	var xs []float64
+	for _, s := range f.Series {
+		if len(s.Points) > len(xs) {
+			xs = xs[:0]
+			for _, p := range s.Points {
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, "x")
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmtStat(p.Stat)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+func fmtStat(s Stat) string {
+	if math.IsNaN(s.Median) {
+		return "-"
+	}
+	if s.P25 == s.P75 || math.IsNaN(s.P25) {
+		return trimFloat(s.Median)
+	}
+	return fmt.Sprintf("%s [%s,%s]", trimFloat(s.Median), trimFloat(s.P25), trimFloat(s.P75))
+}
+
+func trimFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		b.Reset()
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	fig := Figure{
+		ID: "t1", Title: "Test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "alpha", Points: []Point{
+				{X: 1, Stat: Stat{Median: 0.5, P25: 0.4, P75: 0.6, N: 3}},
+				{X: 2, Stat: Stat{Median: 0.25, P25: 0.25, P75: 0.25, N: 3}},
+			}},
+			{Name: "beta", Points: []Point{
+				{X: 1, Stat: Stat{Median: 123.456, P25: 100, P75: 150, N: 3}},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t1", "alpha", "beta", "0.500 [0.400,0.600]", "123.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Degenerate IQR collapses to the bare median.
+	if !strings.Contains(out, "0.250\n") && !strings.Contains(out, "0.250 ") {
+		t.Errorf("collapsed stat missing:\n%s", out)
+	}
+	// Missing x in a series renders a dash.
+	if !strings.Contains(out, "-") {
+		t.Error("missing-cell dash absent")
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Figure{ID: "e", Title: "Empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no series") {
+		t.Error("empty figure marker missing")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		0.0314:  "0.031",
+		-2.5:    "-2.50",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtStatNaN(t *testing.T) {
+	if got := fmtStat(Stat{Median: math.NaN()}); got != "-" {
+		t.Errorf("NaN stat = %q", got)
+	}
+}

@@ -1,0 +1,155 @@
+package learned
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Incremental is the §4.8 "learn the regressors incrementally" extension:
+// unlike Rolling (which forgets events older than its 2n window), it
+// keeps a constant-size model of the FULL event history by distillation —
+// at every buffer flush, the new model is trained on a fixed number of
+// probe points sampled from the previous model's CDF plus the buffered
+// events.
+//
+// The approximation degrades gracefully with history length (each
+// distillation introduces one model-fitting error), while storage stays
+// at buffer + model + probe scratch regardless of event count.
+type Incremental struct {
+	trainer Trainer
+	cap     int
+	probes  int
+	model   Model
+	// modelCount is the number of events summarized by model.
+	modelCount int
+	buffer     []float64
+	// span tracks the time range covered by the model for probing.
+	first, last float64
+}
+
+// NewIncremental returns an incremental store with the given buffer
+// capacity, distilling through `probes` CDF samples at each flush
+// (minimum 8; more probes = slower flushes, better fidelity).
+func NewIncremental(tr Trainer, capacity, probes int) (*Incremental, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("learned: incremental capacity must be positive, got %d", capacity)
+	}
+	if _, isExact := tr.(ExactTrainer); isExact {
+		return nil, fmt.Errorf("learned: incremental over the exact trainer defeats its purpose")
+	}
+	if probes < 8 {
+		probes = 8
+	}
+	return &Incremental{trainer: tr, cap: capacity, probes: probes}, nil
+}
+
+// Append ingests one event time (non-decreasing).
+func (in *Incremental) Append(t float64) error {
+	if n := len(in.buffer); n > 0 && t < in.buffer[n-1] {
+		return fmt.Errorf("learned: incremental event at %v precedes buffer tail %v", t, in.buffer[n-1])
+	}
+	if in.modelCount == 0 && len(in.buffer) == 0 {
+		in.first = t
+	}
+	in.last = t
+	in.buffer = append(in.buffer, t)
+	if len(in.buffer) >= in.cap {
+		in.flush()
+	}
+	return nil
+}
+
+// flush distills model+buffer into a fresh model over the whole history.
+// Cost is O(probes · log) regardless of history length: the combined CDF
+// is sampled at `probes` equal-count quantiles, a model is fitted to the
+// quantile sequence, and its counts are rescaled to the true total.
+func (in *Incremental) flush() {
+	total := in.modelCount + len(in.buffer)
+	if in.modelCount == 0 {
+		in.model = in.trainer.Train(in.buffer)
+		in.modelCount = total
+		in.buffer = in.buffer[:0]
+		return
+	}
+	synth := make([]float64, 0, in.probes)
+	for j := 1; j <= in.probes; j++ {
+		// Invert the combined CDF at count j·total/probes by bisection.
+		target := float64(j) * float64(total) / float64(in.probes)
+		lo, hi := in.first, in.last
+		for iter := 0; iter < 40; iter++ {
+			mid := (lo + hi) / 2
+			if in.combinedCountAt(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		synth = append(synth, hi)
+	}
+	sort.Float64s(synth)
+	in.model = &scaledModel{
+		inner: in.trainer.Train(synth),
+		scale: float64(total) / float64(in.probes),
+		total: total,
+	}
+	in.modelCount = total
+	in.buffer = in.buffer[:0]
+}
+
+// scaledModel rescales a model fitted on quantile probes back to the
+// full event count.
+type scaledModel struct {
+	inner Model
+	scale float64
+	total int
+}
+
+func (m *scaledModel) Name() string { return m.inner.Name() + "-distilled" }
+
+func (m *scaledModel) CountAt(t float64) float64 {
+	v := m.inner.CountAt(t) * m.scale
+	if v > float64(m.total) {
+		return float64(m.total)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (m *scaledModel) SizeBytes() int { return m.inner.SizeBytes() + 16 }
+
+// combinedCountAt evaluates the pre-flush combined CDF.
+func (in *Incremental) combinedCountAt(t float64) float64 {
+	c := 0.0
+	if in.model != nil {
+		c += in.model.CountAt(t)
+	}
+	c += float64(sort.SearchFloat64s(in.buffer, nextAfter(t)))
+	return c
+}
+
+func nextAfter(t float64) float64 { return t + 1e-12 }
+
+// CountAt returns the approximate number of events ≤ t over the FULL
+// history.
+func (in *Incremental) CountAt(t float64) float64 {
+	c := 0.0
+	if in.model != nil {
+		c += in.model.CountAt(t)
+	}
+	c += float64(sort.SearchFloat64s(in.buffer, nextAfter(t)))
+	return c
+}
+
+// Len returns the total number of ingested events.
+func (in *Incremental) Len() int { return in.modelCount + len(in.buffer) }
+
+// SizeBytes is the current storage footprint.
+func (in *Incremental) SizeBytes() int {
+	s := len(in.buffer)*8 + 16 // buffer + span
+	if in.model != nil {
+		s += in.model.SizeBytes()
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package learned
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, err := NewIncremental(LinearTrainer{}, 0, 16); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewIncremental(ExactTrainer{}, 10, 16); err == nil {
+		t.Error("exact trainer accepted")
+	}
+	in, err := NewIncremental(PiecewiseTrainer{Segments: 8}, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Append(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Append(3); err == nil {
+		t.Error("time regression accepted")
+	}
+}
+
+func TestIncrementalFullHistoryAccuracy(t *testing.T) {
+	// Unlike Rolling, Incremental answers over the FULL history. With
+	// piecewise distillation the error should stay within a few percent
+	// of the total count even after many flushes.
+	in, err := NewIncremental(PiecewiseTrainer{Segments: 16}, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var all []float64
+	tm := 0.0
+	for i := 0; i < 5000; i++ {
+		tm += rng.ExpFloat64() * 3
+		all = append(all, tm)
+		if err := in.Append(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.Len() != 5000 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	var maxErr float64
+	for q := 0.0; q <= tm; q += tm / 200 {
+		want := float64(sort.SearchFloat64s(all, q+1e-12))
+		got := in.CountAt(q)
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	// Allow a few percent of total after ~39 distillations.
+	if maxErr > 0.06*5000 {
+		t.Errorf("max full-history error %v exceeds 6%% of total", maxErr)
+	}
+	// Final count exact.
+	if got := in.CountAt(tm + 1); got != 5000 {
+		t.Errorf("final count = %v, want 5000", got)
+	}
+}
+
+func TestIncrementalConstantStorage(t *testing.T) {
+	in, err := NewIncremental(PiecewiseTrainer{Segments: 8}, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	tm := 0.0
+	var sizeAfter1k, sizeAfter10k int
+	for i := 0; i < 10000; i++ {
+		tm += rng.Float64()
+		if err := in.Append(tm); err != nil {
+			t.Fatal(err)
+		}
+		if i == 999 {
+			sizeAfter1k = in.SizeBytes()
+		}
+	}
+	sizeAfter10k = in.SizeBytes()
+	// Storage bounded: buffer(64×8) + model + constants.
+	if sizeAfter10k > 64*8+40*16+64 {
+		t.Errorf("storage %d not constant-bounded", sizeAfter10k)
+	}
+	diff := sizeAfter10k - sizeAfter1k
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 600 {
+		t.Errorf("storage drifted by %d bytes between 1k and 10k events", diff)
+	}
+}
+
+func TestIncrementalVsRollingWindow(t *testing.T) {
+	// Rolling forgets old history (returns only the base count before its
+	// window); Incremental keeps resolving it.
+	tr := PiecewiseTrainer{Segments: 8}
+	roll, err := NewRolling(tr, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(tr, 50, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for i := 0; i < 1000; i++ {
+		tm := float64(i)
+		all = append(all, tm)
+		if err := roll.Append(tm); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Append(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Probe deep history (t = 200, true count 201).
+	q := 200.0
+	want := 201.0
+	rollErr := math.Abs(roll.CountAt(q) - want)
+	incErr := math.Abs(inc.CountAt(q) - want)
+	if incErr >= rollErr {
+		t.Errorf("incremental deep-history error %v not better than rolling %v", incErr, rollErr)
+	}
+	if incErr > 50 {
+		t.Errorf("incremental deep-history error %v too large", incErr)
+	}
+}

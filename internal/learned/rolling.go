@@ -1,0 +1,88 @@
+package learned
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rolling is the paper's live-update scheme (§4.8): a bounded ingest
+// buffer of capacity n plus a frozen model over the n events before it.
+// When the buffer fills, a new model is trained over its contents and the
+// buffer is flushed, so the structure answers count queries over a
+// rolling window of at most 2n past events with constant storage.
+//
+// Events older than the model window contribute a fixed base count
+// (their exact timestamps are forgotten — that is the privacy/storage
+// trade the paper makes).
+type Rolling struct {
+	trainer Trainer
+	cap     int
+	// base counts events older than the model window.
+	base int
+	// model covers the events flushed most recently (may be nil).
+	model      Model
+	modelCount int
+	buffer     []float64
+}
+
+// NewRolling returns a rolling store with buffer capacity cap using the
+// given regressor family for flushed windows.
+func NewRolling(tr Trainer, cap int) (*Rolling, error) {
+	if cap <= 0 {
+		return nil, fmt.Errorf("learned: rolling buffer capacity must be positive, got %d", cap)
+	}
+	if _, isExact := tr.(ExactTrainer); isExact {
+		return nil, fmt.Errorf("learned: rolling over the exact trainer defeats its purpose")
+	}
+	return &Rolling{trainer: tr, cap: cap}, nil
+}
+
+// Append ingests one event time (non-decreasing).
+func (r *Rolling) Append(t float64) error {
+	if n := len(r.buffer); n > 0 && t < r.buffer[n-1] {
+		return fmt.Errorf("learned: rolling event at %v precedes buffer tail %v", t, r.buffer[n-1])
+	}
+	r.buffer = append(r.buffer, t)
+	if len(r.buffer) >= r.cap {
+		r.flush()
+	}
+	return nil
+}
+
+func (r *Rolling) flush() {
+	r.base += r.modelCount
+	r.model = r.trainer.Train(r.buffer)
+	r.modelCount = len(r.buffer)
+	r.buffer = r.buffer[:0]
+}
+
+// CountAt returns the approximate number of events ≤ t. Times before the
+// model window return the base count (older history is summarized by a
+// single integer).
+func (r *Rolling) CountAt(t float64) float64 {
+	c := float64(r.base)
+	if r.model != nil {
+		c += r.model.CountAt(t)
+	}
+	c += float64(sort.Search(len(r.buffer), func(i int) bool { return r.buffer[i] > t }))
+	return c
+}
+
+// Len returns the total number of ingested events.
+func (r *Rolling) Len() int { return r.base + r.modelCount + len(r.buffer) }
+
+// SizeBytes is the current storage footprint: buffer slots plus model
+// parameters plus the base counter. It is bounded by
+// cap·8 + max model size + 8 regardless of how many events were ingested.
+func (r *Rolling) SizeBytes() int {
+	s := len(r.buffer)*8 + 8
+	if r.model != nil {
+		s += r.model.SizeBytes()
+	}
+	return s
+}
+
+// WindowSize returns the number of trailing events whose timestamps are
+// still individually resolvable (model window + buffer) — the paper's
+// "at most 2n events in the past".
+func (r *Rolling) WindowSize() int { return r.modelCount + len(r.buffer) }

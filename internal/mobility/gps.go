@@ -1,0 +1,164 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// GPSFix is one noisy position sample of one object.
+type GPSFix struct {
+	Obj int
+	T   float64
+	P   geom.Point
+}
+
+// Trace is a time-ordered GPS trace of one object.
+type Trace struct {
+	Obj   int
+	Fixes []GPSFix
+}
+
+// SynthesizeGPS converts a workload into per-object GPS traces sampled
+// every `interval` seconds with Gaussian position noise of the given
+// standard deviation — the raw-data shape of the paper's T-Drive/GeoLife
+// inputs. Only the in-world portion of each object's life is sampled.
+func SynthesizeGPS(wl *Workload, interval, noise float64, rng *rand.Rand) []Trace {
+	if interval <= 0 {
+		interval = 60
+	}
+	o := NewOracle(wl)
+	// Per-object life span.
+	type span struct{ start, end float64 }
+	spans := make([]span, wl.Objects)
+	for i := range spans {
+		spans[i] = span{start: -1, end: wl.Horizon}
+	}
+	for _, ev := range wl.Events {
+		s := &spans[ev.Obj]
+		if s.start < 0 {
+			s.start = ev.T
+		}
+		if ev.Kind == Leave {
+			s.end = ev.T
+		}
+	}
+	var traces []Trace
+	for obj := 0; obj < wl.Objects; obj++ {
+		s := spans[obj]
+		if s.start < 0 {
+			continue
+		}
+		tr := Trace{Obj: obj}
+		for t := s.start; t <= s.end; t += interval {
+			at := o.PositionAt(obj, t)
+			if at == Outside {
+				continue
+			}
+			p := wl.W.Star.Point(at)
+			tr.Fixes = append(tr.Fixes, GPSFix{
+				Obj: obj,
+				T:   t,
+				P:   geom.Pt(p.X+rng.NormFloat64()*noise, p.Y+rng.NormFloat64()*noise),
+			})
+		}
+		if len(tr.Fixes) > 0 {
+			traces = append(traces, tr)
+		}
+	}
+	return traces
+}
+
+// MapMatcher snaps GPS fixes to the nearest junction and reconnects
+// successive snapped junctions via shortest paths in the mobility graph —
+// the paper's pre-processing pipeline (§5.1.3).
+type MapMatcher struct {
+	w  *roadnet.World
+	kd *index.KDTree
+}
+
+// NewMapMatcher builds a matcher over the world's junctions.
+func NewMapMatcher(w *roadnet.World) *MapMatcher {
+	items := make([]index.Item, w.Star.NumNodes())
+	for i := range items {
+		items[i] = index.Item{ID: i, P: w.Star.Point(planar.NodeID(i))}
+	}
+	return &MapMatcher{w: w, kd: index.BuildKDTree(items)}
+}
+
+// Snap returns the junction nearest to p.
+func (m *MapMatcher) Snap(p geom.Point) planar.NodeID {
+	it, ok := m.kd.Nearest(p)
+	if !ok {
+		return Outside
+	}
+	return planar.NodeID(it.ID)
+}
+
+// MatchTrace converts one GPS trace into a crossing-event sequence:
+// an Enter at the first snapped junction (attributed to the nearest
+// gateway when the trace begins at the world boundary, else to the
+// snapped junction itself), Move events along shortest paths between
+// successive distinct snapped junctions with interpolated times, and a
+// Leave at the end.
+func (m *MapMatcher) MatchTrace(tr Trace) ([]Event, error) {
+	if len(tr.Fixes) == 0 {
+		return nil, fmt.Errorf("mobility: empty trace for object %d", tr.Obj)
+	}
+	var events []Event
+	cur := m.Snap(tr.Fixes[0].P)
+	events = append(events, Event{Obj: tr.Obj, T: tr.Fixes[0].T, Kind: Enter, At: cur})
+	lastT := tr.Fixes[0].T
+	for _, fx := range tr.Fixes[1:] {
+		next := m.Snap(fx.P)
+		if next == cur {
+			lastT = fx.T
+			continue
+		}
+		nodes, edges, ok := planar.DijkstraTo(m.w.Star, cur, next)
+		if !ok {
+			return nil, fmt.Errorf("mobility: no path between snapped junctions %d and %d", cur, next)
+		}
+		// Distribute the hop times uniformly across (lastT, fx.T].
+		n := len(edges)
+		for i, e := range edges {
+			frac := float64(i+1) / float64(n)
+			events = append(events, Event{
+				Obj: tr.Obj, T: lastT + (fx.T-lastT)*frac, Kind: Move,
+				Road: e, From: nodes[i], At: nodes[i+1],
+			})
+		}
+		cur = next
+		lastT = fx.T
+	}
+	events = append(events, Event{Obj: tr.Obj, T: lastT, Kind: Leave, At: cur})
+	return events, nil
+}
+
+// MatchAll map-matches a set of traces into a combined, time-sorted
+// workload. Traces that cannot be matched are skipped and counted in the
+// returned skip count.
+func (m *MapMatcher) MatchAll(traces []Trace, horizon float64) (*Workload, int) {
+	wl := &Workload{W: m.w, Horizon: horizon}
+	skipped := 0
+	maxObj := 0
+	for _, tr := range traces {
+		evs, err := m.MatchTrace(tr)
+		if err != nil {
+			skipped++
+			continue
+		}
+		wl.Events = append(wl.Events, evs...)
+		if tr.Obj+1 > maxObj {
+			maxObj = tr.Obj + 1
+		}
+	}
+	wl.Objects = maxObj
+	sort.SliceStable(wl.Events, func(i, j int) bool { return wl.Events[i].T < wl.Events[j].T })
+	return wl, skipped
+}

@@ -1,0 +1,173 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// VirtualPathOpts configures BuildVirtualPaths.
+type VirtualPathOpts struct {
+	// CellSize is the waypoint clustering resolution: GPS fixes are
+	// snapped to a grid of this pitch and each occupied cell becomes a
+	// candidate waypoint at the mean of its fixes.
+	CellSize float64
+	// MinSupport drops waypoints visited by fewer fixes.
+	MinSupport int
+	// MinTransit keeps a virtual path between two waypoints only when at
+	// least this many consecutive-fix transitions support it; 0 keeps
+	// every Delaunay edge between kept waypoints.
+	MinTransit int
+}
+
+// BuildVirtualPaths realizes the paper's §4.2 extension for free-roaming
+// objects (air/sea traffic): it derives a planar mobility graph from raw
+// GPS traces instead of a road map. Fixes are clustered into waypoints,
+// waypoints are wired by Delaunay triangulation (planar by
+// construction), and edges without observed traffic support are thinned
+// while preserving connectivity. The resulting World is a drop-in
+// substrate for the whole framework.
+func BuildVirtualPaths(traces []Trace, opts VirtualPathOpts) (*roadnet.World, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("mobility: no traces to build virtual paths from")
+	}
+	if opts.CellSize <= 0 {
+		return nil, fmt.Errorf("mobility: cell size must be positive, got %v", opts.CellSize)
+	}
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	// Cluster fixes into grid cells.
+	type cell struct {
+		sum   geom.Point
+		count int
+	}
+	cells := make(map[[2]int]*cell)
+	key := func(p geom.Point) [2]int {
+		return [2]int{int(math.Floor(p.X / opts.CellSize)), int(math.Floor(p.Y / opts.CellSize))}
+	}
+	for _, tr := range traces {
+		for _, fx := range tr.Fixes {
+			k := key(fx.P)
+			c, ok := cells[k]
+			if !ok {
+				c = &cell{}
+				cells[k] = c
+			}
+			c.sum = c.sum.Add(fx.P)
+			c.count++
+		}
+	}
+	// Keep supported waypoints, deterministically ordered.
+	var keys [][2]int
+	for k, c := range cells {
+		if c.count >= opts.MinSupport {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < 4 {
+		return nil, fmt.Errorf("mobility: only %d supported waypoints (need ≥ 4); lower MinSupport or CellSize", len(keys))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	waypoints := make([]geom.Point, len(keys))
+	cellToWp := make(map[[2]int]int, len(keys))
+	for i, k := range keys {
+		c := cells[k]
+		waypoints[i] = c.sum.Scale(1 / float64(c.count))
+		cellToWp[k] = i
+	}
+	// Count observed transitions between waypoints.
+	transit := make(map[delaunay.Edge]int)
+	for _, tr := range traces {
+		prev := -1
+		for _, fx := range tr.Fixes {
+			wp, ok := cellToWp[key(fx.P)]
+			if !ok {
+				continue
+			}
+			if prev >= 0 && prev != wp {
+				e := delaunay.Edge{U: prev, V: wp}
+				if e.V < e.U {
+					e.U, e.V = e.V, e.U
+				}
+				transit[e]++
+			}
+			prev = wp
+		}
+	}
+	// Wire waypoints with Delaunay edges; keep supported edges plus a
+	// spanning skeleton so the graph stays connected and planar.
+	tris, err := delaunay.Triangulate(waypoints)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: triangulating waypoints: %w", err)
+	}
+	g := planar.NewGraph(len(waypoints), len(waypoints)*3)
+	for _, p := range waypoints {
+		g.AddNode(p)
+	}
+	edges := delaunay.Edges(tris)
+	uf := newUF(len(waypoints))
+	// Pass 1: supported edges.
+	for _, e := range edges {
+		if transit[e] >= opts.MinTransit && opts.MinTransit > 0 {
+			if _, err := g.AddEdge(planar.NodeID(e.U), planar.NodeID(e.V)); err != nil {
+				return nil, err
+			}
+			uf.union(e.U, e.V)
+		}
+	}
+	// Pass 2: connectivity skeleton (and, when MinTransit ≤ 0, the whole
+	// triangulation).
+	for _, e := range edges {
+		if opts.MinTransit <= 0 || uf.union(e.U, e.V) {
+			if g.FindEdge(planar.NodeID(e.U), planar.NodeID(e.V)) == planar.NoEdge {
+				if _, err := g.AddEdge(planar.NodeID(e.U), planar.NodeID(e.V)); err != nil {
+					return nil, err
+				}
+			}
+			if opts.MinTransit > 0 {
+				continue
+			}
+			uf.union(e.U, e.V)
+		}
+	}
+	return roadnet.BuildWorld(g)
+}
+
+// newUF is a tiny union-find for skeleton construction.
+type uf struct{ parent []int }
+
+func newUF(n int) *uf {
+	u := &uf{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *uf) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}

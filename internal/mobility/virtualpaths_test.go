@@ -1,0 +1,151 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/planar"
+)
+
+// freeRoamTraces synthesizes free-roaming object traces (no road
+// network): objects drift between random anchor points in a square
+// domain, like ships between ports.
+func freeRoamTraces(rng *rand.Rand, objects, fixesPer int, size float64) []Trace {
+	anchors := make([]geom.Point, 8)
+	for i := range anchors {
+		anchors[i] = geom.Pt(rng.Float64()*size, rng.Float64()*size)
+	}
+	var traces []Trace
+	for obj := 0; obj < objects; obj++ {
+		tr := Trace{Obj: obj}
+		cur := anchors[rng.Intn(len(anchors))]
+		dst := anchors[rng.Intn(len(anchors))]
+		t := rng.Float64() * 100
+		for i := 0; i < fixesPer; i++ {
+			if cur.Dist(dst) < size*0.02 {
+				dst = anchors[rng.Intn(len(anchors))]
+			}
+			dir := dst.Sub(cur)
+			n := dir.Norm()
+			if n > 0 {
+				step := math.Min(n, size*0.02)
+				cur = cur.Add(dir.Scale(step / n))
+			}
+			// Drift noise.
+			cur = geom.Pt(cur.X+rng.NormFloat64()*size*0.003, cur.Y+rng.NormFloat64()*size*0.003)
+			t += 10
+			tr.Fixes = append(tr.Fixes, GPSFix{Obj: obj, T: t, P: cur})
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+func TestBuildVirtualPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	traces := freeRoamTraces(rng, 40, 200, 1000)
+	w, err := BuildVirtualPaths(traces, VirtualPathOpts{
+		CellSize: 80, MinSupport: 5, MinTransit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Star.Connected() {
+		t.Fatal("virtual-path graph disconnected")
+	}
+	if w.NumJunctions() < 10 {
+		t.Errorf("too few waypoints: %d", w.NumJunctions())
+	}
+	if err := w.Star.CheckEuler(w.Dual.FS); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Gateways) == 0 {
+		t.Error("no gateways")
+	}
+}
+
+func TestBuildVirtualPathsEndToEnd(t *testing.T) {
+	// The derived world is a drop-in substrate: map-match the ORIGINAL
+	// free-roam traces onto it and feed the framework.
+	rng := rand.New(rand.NewSource(2))
+	traces := freeRoamTraces(rng, 30, 150, 1000)
+	w, err := BuildVirtualPaths(traces, VirtualPathOpts{
+		CellSize: 90, MinSupport: 4, MinTransit: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapMatcher(w)
+	wl, skipped := m.MatchAll(traces, 2000)
+	if skipped == len(traces) {
+		t.Fatal("all traces failed to match")
+	}
+	if len(wl.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(wl.Events); i++ {
+		if wl.Events[i].T < wl.Events[i-1].T {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestBuildVirtualPathsValidation(t *testing.T) {
+	if _, err := BuildVirtualPaths(nil, VirtualPathOpts{CellSize: 10}); err == nil {
+		t.Error("empty traces accepted")
+	}
+	rng := rand.New(rand.NewSource(3))
+	traces := freeRoamTraces(rng, 2, 10, 100)
+	if _, err := BuildVirtualPaths(traces, VirtualPathOpts{CellSize: 0}); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := BuildVirtualPaths(traces, VirtualPathOpts{CellSize: 10, MinSupport: 10000}); err == nil {
+		t.Error("impossible support threshold accepted")
+	}
+}
+
+func TestVirtualPathsKeepSupportedEdges(t *testing.T) {
+	// A single heavily travelled corridor must survive MinTransit
+	// thinning.
+	var traces []Trace
+	for obj := 0; obj < 10; obj++ {
+		tr := Trace{Obj: obj}
+		for i := 0; i < 60; i++ {
+			x := float64(i%20) * 50
+			tr.Fixes = append(tr.Fixes, GPSFix{Obj: obj, T: float64(i), P: geom.Pt(x, 500+float64(obj%3))})
+		}
+		traces = append(traces, tr)
+	}
+	// Scatter some sparse noise so the domain is 2-D.
+	rng := rand.New(rand.NewSource(4))
+	for obj := 10; obj < 20; obj++ {
+		tr := Trace{Obj: obj}
+		for i := 0; i < 12; i++ {
+			tr.Fixes = append(tr.Fixes, GPSFix{Obj: obj, T: float64(i),
+				P: geom.Pt(rng.Float64()*1000, rng.Float64()*1000)})
+		}
+		traces = append(traces, tr)
+	}
+	w, err := BuildVirtualPaths(traces, VirtualPathOpts{CellSize: 60, MinSupport: 3, MinTransit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Star.Connected() {
+		t.Fatal("disconnected")
+	}
+	// The corridor y≈500 must appear as a chain of junctions.
+	corridor := 0
+	for n := 0; n < w.Star.NumNodes(); n++ {
+		p := w.Star.Point(intToNode(n))
+		if p.Y > 400 && p.Y < 600 {
+			corridor++
+		}
+	}
+	if corridor < 5 {
+		t.Errorf("corridor waypoints = %d, want several", corridor)
+	}
+}
+
+func intToNode(n int) planar.NodeID { return planar.NodeID(n) }

@@ -1,0 +1,212 @@
+// Package netsim is the in-network communication substrate: a
+// deterministic message-passing simulator over the sensing graph used to
+// account for the communication costs the paper reports — nodes accessed,
+// messages sent, and hop counts — under the two collection protocols of
+// §4.6 (flooding the query region vs routing along its perimeter).
+//
+// The simulator models the algorithmic cost structure, not radio
+// timing: each link delivery is one message, consistent with the paper's
+// evaluation, which measures node accesses as the communication proxy.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/planar"
+)
+
+// Metrics aggregates the communication cost of one query.
+type Metrics struct {
+	// NodesAccessed is the number of distinct sensors that participated.
+	NodesAccessed int
+	// Messages is the number of link-level deliveries.
+	Messages int
+	// Hops is the worst-case path length from the entry sensor.
+	Hops int
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.NodesAccessed += other.NodesAccessed
+	m.Messages += other.Messages
+	if other.Hops > m.Hops {
+		m.Hops = other.Hops
+	}
+}
+
+// Network is a static communication graph: sensors connected by the
+// sensing-graph links (or a sampled subset of them).
+//
+// The search scratch arrays are epoch-stamped so repeated queries do not
+// reallocate; a Network is therefore NOT safe for concurrent use. Create
+// one per goroutine (construction is O(V)).
+type Network struct {
+	g *planar.Graph
+	// active restricts communication to a subset of links; nil means all.
+	activeEdges map[planar.EdgeID]bool
+	activeNodes map[planar.NodeID]bool
+	// BFS scratch.
+	epoch   int32
+	seenAt  []int32
+	hops    []int32
+	prev    []planar.NodeID
+	queue   []planar.NodeID
+	pending []bool
+}
+
+// New builds a network over all nodes and links of g.
+func New(g *planar.Graph) *Network { return NewRestricted(g, nil, nil) }
+
+// NewRestricted builds a network that may only use the given links (the
+// sampled graph G̃'s materialized paths).
+func NewRestricted(g *planar.Graph, edges map[planar.EdgeID]bool, nodes map[planar.NodeID]bool) *Network {
+	n := g.NumNodes()
+	return &Network{
+		g:           g,
+		activeEdges: edges,
+		activeNodes: nodes,
+		seenAt:      make([]int32, n),
+		hops:        make([]int32, n),
+		prev:        make([]planar.NodeID, n),
+		pending:     make([]bool, n),
+	}
+}
+
+func (n *Network) usable(e planar.EdgeID) bool {
+	return n.activeEdges == nil || n.activeEdges[e]
+}
+
+func (n *Network) nodeUsable(v planar.NodeID) bool {
+	return n.activeNodes == nil || n.activeNodes[v]
+}
+
+// Flood simulates region flooding: starting from root, a request wave
+// expands over usable links restricted to `members` until every member is
+// reached; responses aggregate back up the spanning tree. Messages are
+// counted as request + response per tree link plus wasted request
+// deliveries on non-tree links inside the region.
+func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Metrics, error) {
+	if !members[root] {
+		return Metrics{}, fmt.Errorf("netsim: flood root %d is not a region member", root)
+	}
+	visited := map[planar.NodeID]int{root: 0}
+	queue := []planar.NodeID{root}
+	treeLinks := 0
+	wasted := 0
+	maxHop := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range n.g.Incident(v) {
+			if !n.usable(e) {
+				continue
+			}
+			o := n.g.Edge(e).Other(v)
+			if !members[o] || !n.nodeUsable(o) {
+				continue
+			}
+			if _, ok := visited[o]; ok {
+				wasted++ // duplicate request delivery
+				continue
+			}
+			visited[o] = visited[v] + 1
+			if visited[o] > maxHop {
+				maxHop = visited[o]
+			}
+			treeLinks++
+			queue = append(queue, o)
+		}
+	}
+	return Metrics{
+		NodesAccessed: len(visited),
+		Messages:      2*treeLinks + wasted,
+		Hops:          maxHop,
+	}, nil
+}
+
+// Route simulates perimeter collection: starting from the sensor of
+// `targets` closest to the dispatcher entry, the query visits every
+// target by repeatedly routing to the nearest unvisited target over
+// usable links (a greedy travelling collector, the "one node traverses
+// and aggregates" method of §4.6). All intermediate relay sensors count
+// as accessed.
+func (n *Network) Route(entry planar.NodeID, targets []planar.NodeID) (Metrics, error) {
+	if len(targets) == 0 {
+		return Metrics{}, fmt.Errorf("netsim: no route targets")
+	}
+	remaining := 0
+	for _, t := range targets {
+		if !n.pending[t] {
+			n.pending[t] = true
+			remaining++
+		}
+	}
+	defer func() {
+		for _, t := range targets {
+			n.pending[t] = false
+		}
+	}()
+	accessed := map[planar.NodeID]bool{entry: true}
+	cur := entry
+	messages := 0
+	totalHops := 0
+	for remaining > 0 {
+		dst, ok := n.bfsToNearest(cur)
+		if !ok {
+			return Metrics{}, fmt.Errorf("netsim: %d perimeter sensors unreachable from %d", remaining, cur)
+		}
+		// Walk the path backwards, marking relays.
+		hops := int(n.hops[dst])
+		for at := dst; ; at = n.prev[at] {
+			accessed[at] = true
+			if at == cur {
+				break
+			}
+		}
+		messages += hops
+		totalHops += hops
+		cur = dst
+		n.pending[cur] = false
+		remaining--
+	}
+	return Metrics{
+		NodesAccessed: len(accessed),
+		Messages:      messages + totalHops, // request forwarding + aggregated reply
+		Hops:          totalHops,
+	}, nil
+}
+
+// bfsToNearest runs BFS from src over usable links until the nearest
+// pending node is settled, filling the scratch hop/prev arrays. It
+// returns the settled node, or ok=false when no pending node is
+// reachable.
+func (n *Network) bfsToNearest(src planar.NodeID) (planar.NodeID, bool) {
+	n.epoch++
+	n.seenAt[src] = n.epoch
+	n.hops[src] = 0
+	n.prev[src] = src
+	if n.pending[src] {
+		return src, true
+	}
+	n.queue = append(n.queue[:0], src)
+	for qi := 0; qi < len(n.queue); qi++ {
+		v := n.queue[qi]
+		for _, e := range n.g.Incident(v) {
+			if !n.usable(e) {
+				continue
+			}
+			o := n.g.Edge(e).Other(v)
+			if !n.nodeUsable(o) || n.seenAt[o] == n.epoch {
+				continue
+			}
+			n.seenAt[o] = n.epoch
+			n.hops[o] = n.hops[v] + 1
+			n.prev[o] = v
+			if n.pending[o] {
+				return o, true
+			}
+			n.queue = append(n.queue, o)
+		}
+	}
+	return planar.NoNode, false
+}

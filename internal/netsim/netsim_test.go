@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/planar"
+)
+
+func grid(t *testing.T, nx, ny int) *planar.Graph {
+	t.Helper()
+	g := planar.NewGraph(nx*ny, nx*ny*2)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			g.AddNode(geom.Pt(float64(x), float64(y)))
+		}
+	}
+	id := func(x, y int) planar.NodeID { return planar.NodeID(y*nx + x) }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				if _, err := g.AddEdge(id(x, y), id(x+1, y)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if y+1 < ny {
+				if _, err := g.AddEdge(id(x, y), id(x, y+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestFloodCoversRegion(t *testing.T) {
+	g := grid(t, 5, 5)
+	n := New(g)
+	members := make(map[planar.NodeID]bool)
+	for i := 0; i < 10; i++ {
+		members[planar.NodeID(i)] = true // two bottom rows
+	}
+	m, err := n.Flood(0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesAccessed != 10 {
+		t.Errorf("nodes accessed = %d, want 10", m.NodesAccessed)
+	}
+	if m.Messages < 18 { // ≥ 2 per tree link (9 links)
+		t.Errorf("messages = %d, want ≥ 18", m.Messages)
+	}
+	if m.Hops < 1 || m.Hops > 9 {
+		t.Errorf("hops = %d implausible", m.Hops)
+	}
+}
+
+func TestFloodRootValidation(t *testing.T) {
+	g := grid(t, 3, 3)
+	n := New(g)
+	if _, err := n.Flood(0, map[planar.NodeID]bool{5: true}); err == nil {
+		t.Error("root outside region accepted")
+	}
+}
+
+func TestFloodSingleton(t *testing.T) {
+	g := grid(t, 3, 3)
+	n := New(g)
+	m, err := n.Flood(4, map[planar.NodeID]bool{4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesAccessed != 1 || m.Messages != 0 || m.Hops != 0 {
+		t.Errorf("singleton flood = %+v", m)
+	}
+}
+
+func TestRouteVisitsAllTargets(t *testing.T) {
+	g := grid(t, 6, 6)
+	n := New(g)
+	targets := []planar.NodeID{0, 5, 30, 35} // the four corners
+	m, err := n.Route(0, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesAccessed < 4 {
+		t.Errorf("nodes accessed = %d, want ≥ 4", m.NodesAccessed)
+	}
+	// Lower bound: visiting 3 more corners needs ≥ 15 hops on a 6×6 grid.
+	if m.Hops < 15 {
+		t.Errorf("hops = %d, want ≥ 15", m.Hops)
+	}
+	if m.Messages < m.Hops {
+		t.Errorf("messages %d below hops %d", m.Messages, m.Hops)
+	}
+}
+
+func TestRouteEmptyTargets(t *testing.T) {
+	g := grid(t, 3, 3)
+	n := New(g)
+	if _, err := n.Route(0, nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+}
+
+func TestRouteSingleTargetAtEntry(t *testing.T) {
+	g := grid(t, 3, 3)
+	n := New(g)
+	m, err := n.Route(4, []planar.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hops != 0 || m.NodesAccessed != 1 {
+		t.Errorf("self route = %+v", m)
+	}
+}
+
+func TestRestrictedNetworkBlocksLinks(t *testing.T) {
+	g := grid(t, 4, 1) // path 0-1-2-3
+	// Only the first link active: node 3 unreachable.
+	active := map[planar.EdgeID]bool{0: true}
+	n := NewRestricted(g, active, nil)
+	if _, err := n.Route(0, []planar.NodeID{3}); err == nil {
+		t.Error("unreachable target did not error")
+	}
+	m, err := n.Route(0, []planar.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hops != 1 {
+		t.Errorf("hops = %d, want 1", m.Hops)
+	}
+}
+
+func TestRestrictedFlood(t *testing.T) {
+	g := grid(t, 3, 1)
+	active := map[planar.EdgeID]bool{0: true} // 0-1 only
+	n := NewRestricted(g, active, nil)
+	members := map[planar.NodeID]bool{0: true, 1: true, 2: true}
+	m, err := n.Flood(0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesAccessed != 2 {
+		t.Errorf("restricted flood reached %d, want 2", m.NodesAccessed)
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{NodesAccessed: 3, Messages: 5, Hops: 2}
+	a.Add(Metrics{NodesAccessed: 1, Messages: 2, Hops: 7})
+	if a.NodesAccessed != 4 || a.Messages != 7 || a.Hops != 7 {
+		t.Errorf("Add = %+v", a)
+	}
+}

@@ -1,0 +1,98 @@
+package planar
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDualOfGrid(t *testing.T) {
+	g := buildGrid(t, 4, 4)
+	d, err := BuildDual(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dual nodes = faces = 9 interior + 1 outer.
+	if d.G.NumNodes() != 10 {
+		t.Errorf("dual nodes = %d, want 10", d.G.NumNodes())
+	}
+	// Dual edges = primal edges (no bridges in a grid).
+	if d.G.NumEdges() != g.NumEdges() {
+		t.Errorf("dual edges = %d, want %d", d.G.NumEdges(), g.NumEdges())
+	}
+	if !d.G.Connected() {
+		t.Error("dual not connected")
+	}
+	// Round trip: dual edge ↔ primal edge.
+	for pe := 0; pe < g.NumEdges(); pe++ {
+		de := d.EdgeOf[pe]
+		if de == NoEdge {
+			t.Fatalf("primal edge %d has no dual (bridge in a grid?)", pe)
+		}
+		if got := d.CrossedBy(de); got != EdgeID(pe) {
+			t.Errorf("CrossedBy(%d) = %d, want %d", de, got, pe)
+		}
+	}
+	// The outer node is placed outside the primal bounds.
+	if g.Bounds().Contains(d.G.Point(d.OuterNode)) {
+		t.Error("outer dual node placed inside the domain")
+	}
+	// Interior dual nodes sit inside the primal bounds (centroids).
+	for _, n := range d.InteriorNodes() {
+		if !g.Bounds().Contains(d.G.Point(n)) {
+			t.Errorf("interior dual node %d outside bounds", n)
+		}
+	}
+	if len(d.InteriorNodes()) != 9 {
+		t.Errorf("interior nodes = %d, want 9", len(d.InteriorNodes()))
+	}
+}
+
+func TestDualWithBridge(t *testing.T) {
+	// Two triangles joined by a bridge edge: the bridge has no dual edge.
+	g := NewGraph(6, 7)
+	a := g.AddNode(geom.Pt(0, 0))
+	b := g.AddNode(geom.Pt(1, 0))
+	c := g.AddNode(geom.Pt(0.5, 1))
+	d1 := g.AddNode(geom.Pt(3, 0))
+	e := g.AddNode(geom.Pt(4, 0))
+	f := g.AddNode(geom.Pt(3.5, 1))
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, b, c)
+	mustEdge(t, g, c, a)
+	bridge := mustEdge(t, g, b, d1)
+	mustEdge(t, g, d1, e)
+	mustEdge(t, g, e, f)
+	mustEdge(t, g, f, d1)
+	d, err := BuildDual(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EdgeOf[bridge] != NoEdge {
+		t.Error("bridge got a dual edge")
+	}
+	// Faces: 2 triangles + outer = 3 dual nodes; dual edges = 6.
+	if d.G.NumNodes() != 3 {
+		t.Errorf("dual nodes = %d, want 3", d.G.NumNodes())
+	}
+	if d.G.NumEdges() != 6 {
+		t.Errorf("dual edges = %d, want 6", d.G.NumEdges())
+	}
+}
+
+func TestDualEdgeConnectsFlankingFaces(t *testing.T) {
+	g := buildGrid(t, 3, 3)
+	d, err := BuildDual(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < g.NumEdges(); pe++ {
+		de := d.EdgeOf[pe]
+		fu, fv := d.FS.SidesOf(EdgeID(pe))
+		ed := d.G.Edge(de)
+		got := map[NodeID]bool{ed.U: true, ed.V: true}
+		if !got[NodeID(fu)] || !got[NodeID(fv)] {
+			t.Errorf("dual edge %d connects %v, want faces %d,%d", de, ed, fu, fv)
+		}
+	}
+}

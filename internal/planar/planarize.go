@@ -1,0 +1,237 @@
+package planar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Planarize builds an embedded planar graph from a raw set of segments
+// that may cross: it inserts a node at every pairwise intersection point
+// (the paper's §4.2 step of removing flyover/underpass crossings by
+// inserting nodes), merges coincident endpoints, and splits segments into
+// non-crossing edges.
+//
+// The implementation is the straightforward O(n²) pairwise sweep, which is
+// ample for the synthetic-city sizes used here (thousands of segments).
+func Planarize(segs []geom.Segment) (*Graph, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("planar: no segments to planarize")
+	}
+	// Collect split points per segment: endpoints plus intersections.
+	splits := make([][]geom.Point, len(segs))
+	for i, s := range segs {
+		splits[i] = append(splits[i], s.A, s.B)
+	}
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			if !segs[i].Bounds().Expand(geom.Eps).Intersects(segs[j].Bounds()) {
+				continue
+			}
+			if p, ok := segs[i].Intersection(segs[j]); ok {
+				splits[i] = append(splits[i], p)
+				splits[j] = append(splits[j], p)
+			}
+		}
+	}
+	g := NewGraph(len(segs), len(segs)*2)
+	idx := newPointIndex()
+	for i, s := range segs {
+		pts := splits[i]
+		dir := s.B.Sub(s.A)
+		sort.Slice(pts, func(a, b int) bool {
+			return pts[a].Sub(s.A).Dot(dir) < pts[b].Sub(s.A).Dot(dir)
+		})
+		prev := idx.id(g, pts[0])
+		for _, p := range pts[1:] {
+			cur := idx.id(g, p)
+			if cur == prev {
+				continue // duplicate split point
+			}
+			if g.FindEdge(prev, cur) == NoEdge {
+				if _, err := g.AddEdge(prev, cur); err != nil {
+					return nil, err
+				}
+			}
+			prev = cur
+		}
+	}
+	return g, nil
+}
+
+// pointIndex deduplicates points within geom.Eps via a snapped-grid map.
+type pointIndex struct {
+	m map[[2]int64]NodeID
+}
+
+func newPointIndex() *pointIndex {
+	return &pointIndex{m: make(map[[2]int64]NodeID)}
+}
+
+const snapScale = 1 / (10 * geom.Eps)
+
+func snapKey(p geom.Point) [2]int64 {
+	return [2]int64{int64(math.Round(p.X * snapScale)), int64(math.Round(p.Y * snapScale))}
+}
+
+// id returns the node for p, creating it on first sight.
+func (px *pointIndex) id(g *Graph, p geom.Point) NodeID {
+	k := snapKey(p)
+	if n, ok := px.m[k]; ok {
+		return n
+	}
+	n := g.AddNode(p)
+	px.m[k] = n
+	return n
+}
+
+// SimplifyDegree2 removes "contour" nodes: nodes of degree 2 that only
+// describe road geometry (paper §5.1.3). The two incident edges are merged
+// into one whose weight is the sum of the originals. Nodes listed in keep
+// are preserved regardless of degree. The result is a new graph; node IDs
+// are remapped, and the mapping from old to new IDs is returned (NoNode
+// for removed nodes).
+//
+// Chains that would collapse into a self loop or a duplicate parallel edge
+// keep one interior node to stay a simple graph.
+func SimplifyDegree2(g *Graph, keep map[NodeID]bool) (*Graph, []NodeID) {
+	n := g.NumNodes()
+	removable := make([]bool, n)
+	for i := 0; i < n; i++ {
+		removable[i] = g.Degree(NodeID(i)) == 2 && !keep[NodeID(i)]
+	}
+	// Components made entirely of removable nodes (isolated cycles) have
+	// no anchor to collapse toward; keep them unchanged.
+	reached := make([]bool, n)
+	var stack []NodeID
+	for i := 0; i < n; i++ {
+		if !removable[i] {
+			reached[i] = true
+			stack = append(stack, NodeID(i))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Incident(v) {
+			o := g.Edge(e).Other(v)
+			if !reached[o] {
+				reached[o] = true
+				stack = append(stack, o)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !reached[i] {
+			removable[i] = false
+		}
+	}
+	type chainEdge struct {
+		u, v NodeID
+		w    float64
+	}
+	var out []chainEdge
+	visited := make([]bool, g.NumEdges())
+	for ei := range g.Edges() {
+		if visited[ei] {
+			continue
+		}
+		e := g.Edge(EdgeID(ei))
+		if removable[e.U] || removable[e.V] {
+			continue // handled by chain walks below
+		}
+		visited[ei] = true
+		out = append(out, chainEdge{e.U, e.V, e.Weight})
+	}
+	// Walk chains starting from each non-removable node.
+	for s := 0; s < n; s++ {
+		if removable[s] {
+			continue
+		}
+		for _, e0 := range g.Incident(NodeID(s)) {
+			if visited[e0] {
+				continue
+			}
+			o := g.Edge(e0).Other(NodeID(s))
+			if !removable[o] {
+				continue
+			}
+			// Trace the chain s — o — ... — t.
+			w := g.Edge(e0).Weight
+			visited[e0] = true
+			prev := NodeID(s)
+			cur := o
+			var interior []NodeID
+			for removable[cur] {
+				interior = append(interior, cur)
+				var next EdgeID = NoEdge
+				for _, e := range g.Incident(cur) {
+					if g.Edge(e).Other(cur) != prev || visited[e] {
+						if !visited[e] {
+							next = e
+						}
+					}
+				}
+				if next == NoEdge {
+					break
+				}
+				visited[next] = true
+				w += g.Edge(next).Weight
+				prev, cur = cur, g.Edge(next).Other(cur)
+			}
+			if cur == NodeID(s) || removable[cur] {
+				// Cycle chain back to the anchor: a single kept midpoint
+				// would produce a parallel edge pair, so keep two
+				// interior nodes and emit three edges. A cycle in a
+				// simple graph has at least two interior nodes.
+				if len(interior) >= 2 {
+					m1 := interior[len(interior)/3]
+					m2 := interior[2*len(interior)/3]
+					removable[m1] = false
+					removable[m2] = false
+					out = append(out, chainEdge{NodeID(s), m1, w / 3},
+						chainEdge{m1, m2, w / 3},
+						chainEdge{m2, cur, w / 3})
+				}
+				continue
+			}
+			out = append(out, chainEdge{NodeID(s), cur, w})
+		}
+	}
+	// Isolated removable cycles (all nodes degree 2, none kept) are
+	// dropped entirely; they cannot occur in connected city graphs with a
+	// kept gateway, so no special handling beyond ignoring them.
+
+	remap := make([]NodeID, n)
+	ng := NewGraph(n, len(out))
+	for i := 0; i < n; i++ {
+		if removable[i] {
+			remap[i] = NoNode
+			continue
+		}
+		remap[i] = ng.AddNode(g.Point(NodeID(i)))
+	}
+	seen := make(map[[2]NodeID]bool, len(out))
+	for _, ce := range out {
+		u, v := remap[ce.u], remap[ce.v]
+		if u == NoNode || v == NoNode || u == v {
+			continue
+		}
+		k := [2]NodeID{u, v}
+		if v < u {
+			k = [2]NodeID{v, u}
+		}
+		if seen[k] {
+			continue // keep the graph simple: drop parallel merged edges
+		}
+		seen[k] = true
+		// Edge weight keeps the traversed road length even though the
+		// drawn segment is now a chord.
+		if _, err := ng.AddWeightedEdge(u, v, ce.w); err == nil {
+			continue
+		}
+	}
+	return ng, remap
+}

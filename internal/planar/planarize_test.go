@@ -1,0 +1,196 @@
+package planar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPlanarizeCross(t *testing.T) {
+	// Two crossing diagonals become 4 edges meeting at a new centre node.
+	segs := []geom.Segment{
+		geom.Seg(geom.Pt(0, 0), geom.Pt(2, 2)),
+		geom.Seg(geom.Pt(0, 2), geom.Pt(2, 0)),
+	}
+	g, err := Planarize(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Errorf("nodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("edges = %d, want 4", g.NumEdges())
+	}
+	// The centre node has degree 4.
+	deg4 := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.Degree(NodeID(n)) == 4 {
+			deg4++
+			if !g.Point(NodeID(n)).Eq(geom.Pt(1, 1)) {
+				t.Errorf("centre at %v", g.Point(NodeID(n)))
+			}
+		}
+	}
+	if deg4 != 1 {
+		t.Errorf("degree-4 nodes = %d, want 1", deg4)
+	}
+}
+
+func TestPlanarizeSharedEndpoints(t *testing.T) {
+	// A square given as 4 segments: endpoints must merge, no extra nodes.
+	segs := []geom.Segment{
+		geom.Seg(geom.Pt(0, 0), geom.Pt(1, 0)),
+		geom.Seg(geom.Pt(1, 0), geom.Pt(1, 1)),
+		geom.Seg(geom.Pt(1, 1), geom.Pt(0, 1)),
+		geom.Seg(geom.Pt(0, 1), geom.Pt(0, 0)),
+	}
+	g, err := Planarize(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Errorf("got %d nodes %d edges, want 4/4", g.NumNodes(), g.NumEdges())
+	}
+	fs, err := g.Faces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Faces) != 2 {
+		t.Errorf("faces = %d, want 2", len(fs.Faces))
+	}
+}
+
+func TestPlanarizeGridOfSegments(t *testing.T) {
+	// 3 horizontal × 3 vertical long streets = 9 intersections.
+	var segs []geom.Segment
+	for i := 0; i < 3; i++ {
+		y := float64(i)
+		segs = append(segs, geom.Seg(geom.Pt(-0.5, y), geom.Pt(2.5, y)))
+		x := float64(i)
+		segs = append(segs, geom.Seg(geom.Pt(x, -0.5), geom.Pt(x, 2.5)))
+	}
+	g, err := Planarize(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 crossings + 12 dangling endpoints.
+	if g.NumNodes() != 21 {
+		t.Errorf("nodes = %d, want 21", g.NumNodes())
+	}
+	// Each street splits into 4 edges: 6 streets × 4 = 24.
+	if g.NumEdges() != 24 {
+		t.Errorf("edges = %d, want 24", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("planarized grid not connected")
+	}
+}
+
+func TestPlanarizeEmpty(t *testing.T) {
+	if _, err := Planarize(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestSimplifyDegree2(t *testing.T) {
+	// Path a—b—c—d with b,c degree 2 collapses to a single edge a—d with
+	// the summed weight.
+	g := NewGraph(4, 3)
+	a := g.AddNode(geom.Pt(0, 0))
+	b := g.AddNode(geom.Pt(1, 0.2))
+	c := g.AddNode(geom.Pt(2, -0.2))
+	d := g.AddNode(geom.Pt(3, 0))
+	for _, pair := range [][2]NodeID{{a, b}, {b, c}, {c, d}} {
+		mustEdge(t, g, pair[0], pair[1])
+	}
+	var wantW float64
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		wantW += g.Edge(EdgeID(ei)).Weight
+	}
+	ng, remap := SimplifyDegree2(g, nil)
+	if ng.NumNodes() != 2 || ng.NumEdges() != 1 {
+		t.Fatalf("simplified to %d nodes %d edges", ng.NumNodes(), ng.NumEdges())
+	}
+	if remap[a] == NoNode || remap[d] == NoNode {
+		t.Error("endpoints removed")
+	}
+	if remap[b] != NoNode || remap[c] != NoNode {
+		t.Error("interior contour nodes kept")
+	}
+	if got := ng.Edge(0).Weight; math.Abs(got-wantW) > 1e-9 {
+		t.Errorf("merged weight = %v, want %v", got, wantW)
+	}
+}
+
+func TestSimplifyDegree2Keep(t *testing.T) {
+	g := NewGraph(3, 2)
+	a := g.AddNode(geom.Pt(0, 0))
+	b := g.AddNode(geom.Pt(1, 0))
+	c := g.AddNode(geom.Pt(2, 0))
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, b, c)
+	ng, remap := SimplifyDegree2(g, map[NodeID]bool{b: true})
+	if ng.NumNodes() != 3 || ng.NumEdges() != 2 {
+		t.Errorf("kept node was simplified: %d nodes %d edges", ng.NumNodes(), ng.NumEdges())
+	}
+	if remap[b] == NoNode {
+		t.Error("kept node removed")
+	}
+}
+
+func TestSimplifyDegree2IsolatedCycle(t *testing.T) {
+	// A pure cycle has no anchor junctions: it must be kept unchanged
+	// rather than dropped.
+	g := NewGraph(4, 4)
+	a := g.AddNode(geom.Pt(0, 0))
+	b := g.AddNode(geom.Pt(2, 0))
+	c := g.AddNode(geom.Pt(1, 2))
+	m := g.AddNode(geom.Pt(1, 0.1))
+	mustEdge(t, g, a, m)
+	mustEdge(t, g, m, b)
+	mustEdge(t, g, b, c)
+	mustEdge(t, g, c, a)
+	ng, remap := SimplifyDegree2(g, nil)
+	if ng.NumNodes() != 4 || ng.NumEdges() != 4 {
+		t.Errorf("got %d nodes %d edges, want 4/4 unchanged", ng.NumNodes(), ng.NumEdges())
+	}
+	for _, n := range []NodeID{a, b, c, m} {
+		if remap[n] == NoNode {
+			t.Errorf("cycle node %d removed", n)
+		}
+	}
+	if !ng.Connected() {
+		t.Error("simplified graph disconnected")
+	}
+}
+
+func TestSimplifyDegree2CycleWithAnchor(t *testing.T) {
+	// A cycle with one anchor (degree-3 node via a pendant edge): the
+	// cycle interior collapses but stays a simple graph (no self loop or
+	// parallel pair) by keeping one midpoint node.
+	g := NewGraph(5, 5)
+	a := g.AddNode(geom.Pt(0, 0)) // anchor: degree 3
+	b := g.AddNode(geom.Pt(2, 0))
+	c := g.AddNode(geom.Pt(1, 2))
+	m := g.AddNode(geom.Pt(1, -0.5))
+	p := g.AddNode(geom.Pt(-2, 0)) // pendant
+	mustEdge(t, g, a, m)
+	mustEdge(t, g, m, b)
+	mustEdge(t, g, b, c)
+	mustEdge(t, g, c, a)
+	mustEdge(t, g, a, p)
+	ng, remap := SimplifyDegree2(g, nil)
+	if remap[a] == NoNode || remap[p] == NoNode {
+		t.Fatal("anchor or pendant removed")
+	}
+	if !ng.Connected() {
+		t.Error("simplified graph disconnected")
+	}
+	// No self loops (AddEdge would have rejected them), and at least the
+	// anchor–pendant edge plus a cycle remnant must remain.
+	if ng.NumEdges() < 3 {
+		t.Errorf("edges = %d, want ≥ 3", ng.NumEdges())
+	}
+}

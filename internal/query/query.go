@@ -1,0 +1,231 @@
+// Package query is the spatiotemporal range-query engine: it dispatches a
+// rectangular query (§4.6) against either the full sensing graph G or a
+// sampled graph G̃, evaluates the requested count with the differential-
+// form theorems of internal/core, and accounts the communication cost via
+// internal/netsim.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netsim"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+	"repro/internal/sampled"
+)
+
+// Kind selects the query semantics of §3.3.
+type Kind int
+
+// The query kinds.
+const (
+	// Snapshot counts objects inside the region at T1 (Theorem 4.1/4.2;
+	// the paper's spatial range count with t1 ≈ t2).
+	Snapshot Kind = iota
+	// Static counts objects present during the whole interval [T1, T2].
+	Static
+	// Transient counts the net flow over (T1, T2] (Theorem 4.3).
+	Transient
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Snapshot:
+		return "snapshot"
+	case Static:
+		return "static"
+	case Transient:
+		return "transient"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Request is one spatiotemporal range count query.
+type Request struct {
+	// Rect is the spatial range; the query region Q_R is the union of
+	// sensing faces (junctions) inside it.
+	Rect geom.Rect
+	// T1, T2 bound the temporal range. Snapshot queries use T1 only.
+	T1, T2 float64
+	// Kind selects the count semantics.
+	Kind Kind
+	// Bound selects lower or upper approximation on sampled graphs;
+	// ignored on the unsampled engine.
+	Bound sampled.Bound
+}
+
+// Validate reports structural problems with the request.
+func (r Request) Validate() error {
+	if r.Rect.Empty() {
+		return fmt.Errorf("query: empty rectangle")
+	}
+	if r.Kind != Snapshot && r.T2 < r.T1 {
+		return fmt.Errorf("query: T2 %v before T1 %v", r.T2, r.T1)
+	}
+	return nil
+}
+
+// Response is the result of one query.
+type Response struct {
+	// Count is the estimated count (semantics per Request.Kind).
+	Count float64
+	// Missed is true when a sampled engine could not cover the region
+	// (lower approximation empty) — the count is then 0.
+	Missed bool
+	// Region is the junction set actually counted (after approximation).
+	Region *core.Region
+	// ExactRegionSize is the junction count of the un-approximated Q_R.
+	ExactRegionSize int
+	// Net is the simulated communication cost.
+	Net netsim.Metrics
+	// EdgesAccessed is the number of perimeter sensing edges read.
+	EdgesAccessed int
+}
+
+// Engine answers queries over one store and an optional sampled graph.
+type Engine struct {
+	w *roadnet.World
+	// counter provides C(γ,t); lister optionally provides raw event
+	// enumeration for exact static counts.
+	counter core.Counter
+	lister  core.EventLister
+	// sg, when non-nil, makes this a sampled engine.
+	sg *sampled.Graph
+	// net simulates communication. Never nil after NewEngine.
+	net *netsim.Network
+	// StaticSamples is the probe count for StaticCountSampled when no
+	// EventLister is available (learned stores). Default 16.
+	StaticSamples int
+}
+
+// NewEngine builds an engine over the full (unsampled) sensing graph.
+// lister may be nil (learned stores); static queries then use sampled
+// probing.
+func NewEngine(w *roadnet.World, counter core.Counter, lister core.EventLister) *Engine {
+	return &Engine{
+		w:             w,
+		counter:       counter,
+		lister:        lister,
+		net:           netsim.New(w.Dual.G),
+		StaticSamples: 16,
+	}
+}
+
+// NewSampledEngine builds an engine over a sampled graph G̃. Queries are
+// approximated to cluster unions and routed along perimeters only.
+func NewSampledEngine(sg *sampled.Graph, counter core.Counter, lister core.EventLister) *Engine {
+	e := NewEngine(sg.W, counter, lister)
+	e.sg = sg
+	e.net = netsim.NewRestricted(sg.W.Dual.G, sg.DualEdges, nil)
+	return e
+}
+
+// World returns the engine's world.
+func (e *Engine) World() *roadnet.World { return e.w }
+
+// Sampled reports whether the engine answers on a sampled graph.
+func (e *Engine) Sampled() bool { return e.sg != nil }
+
+// Query answers one request.
+func (e *Engine) Query(req Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	exact, err := core.NewRegion(e.w, e.w.JunctionsIn(req.Rect))
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{ExactRegionSize: exact.Size()}
+	region := exact
+	if e.sg != nil {
+		approx, missed, err := e.sg.ApproximateRegion(exact, req.Bound)
+		if err != nil {
+			return nil, err
+		}
+		if missed && req.Bound == sampled.Lower {
+			resp.Missed = true
+			resp.Region = approx
+			return resp, nil
+		}
+		region = approx
+	}
+	resp.Region = region
+	if region.Empty() {
+		resp.Missed = true
+		return resp, nil
+	}
+	resp.Count = e.count(region, req)
+	resp.EdgesAccessed = len(region.CutRoads())
+	resp.Net = e.cost(region, req)
+	return resp, nil
+}
+
+func (e *Engine) count(region *core.Region, req Request) float64 {
+	switch req.Kind {
+	case Snapshot:
+		return core.SnapshotCount(e.counter, region, req.T1)
+	case Static:
+		if e.lister != nil {
+			return core.StaticCount(e.counter, e.lister, region, req.T1, req.T2)
+		}
+		samples := e.StaticSamples
+		if samples <= 0 {
+			samples = 16
+		}
+		return core.StaticCountSampled(e.counter, region, req.T1, req.T2, samples)
+	case Transient:
+		return core.TransientCount(e.counter, region, req.T1, req.T2)
+	}
+	return 0
+}
+
+// cost simulates the communication of the query: sampled engines route
+// along the region perimeter; the unsampled engine floods every sensor
+// inside the query rectangle (§5.4).
+func (e *Engine) cost(region *core.Region, req Request) netsim.Metrics {
+	if e.sg != nil {
+		sensors := region.PerimeterSensors()
+		if len(sensors) == 0 {
+			return netsim.Metrics{}
+		}
+		m, err := e.net.Route(sensors[0], sensors)
+		if err != nil {
+			// Restricted links can disconnect perimeter segments; fall
+			// back to counting the perimeter sensors themselves.
+			return netsim.Metrics{NodesAccessed: len(sensors)}
+		}
+		return m
+	}
+	members := make(map[planar.NodeID]bool)
+	var root planar.NodeID = planar.NoNode
+	for _, s := range e.w.SensorsIn(req.Rect) {
+		members[s] = true
+		if root == planar.NoNode {
+			root = s
+		}
+	}
+	// Perimeter sensors participate too (they hold the boundary forms).
+	for _, s := range region.PerimeterSensors() {
+		members[s] = true
+		if root == planar.NoNode {
+			root = s
+		}
+	}
+	if root == planar.NoNode {
+		return netsim.Metrics{}
+	}
+	m, err := e.net.Flood(root, members)
+	if err != nil {
+		return netsim.Metrics{NodesAccessed: len(members)}
+	}
+	// Flooding may not reach members outside the connected component of
+	// the region; count them as accessed via the dispatcher.
+	if m.NodesAccessed < len(members) {
+		m.Messages += len(members) - m.NodesAccessed
+		m.NodesAccessed = len(members)
+	}
+	return m
+}

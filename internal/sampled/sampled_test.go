@@ -1,0 +1,354 @@
+package sampled
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+	"repro/internal/sampling"
+)
+
+func testWorld(t *testing.T, seed int64) *roadnet.World {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w, err := roadnet.GridCity(
+		roadnet.GridOpts{NX: 12, NY: 12, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.15}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func selectSensors(t *testing.T, w *roadnet.World, m int, seed int64) []planar.NodeID {
+	t.Helper()
+	cands := sampling.CandidatesFromDual(w.Dual.InteriorNodes(), w.Dual.G.Point)
+	sel, err := sampling.Uniform{}.Sample(cands, m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestBuildTriangulation(t *testing.T) {
+	w := testWorld(t, 1)
+	sensors := selectSensors(t, w, 20, 2)
+	g, err := Build(w, sensors, Options{Connect: Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.DualEdges) == 0 {
+		t.Fatal("no dual edges materialized")
+	}
+	if g.NumSensors() < len(sensors) {
+		t.Errorf("sensors %d < selected %d", g.NumSensors(), len(sensors))
+	}
+	if g.NumClusters() < 2 {
+		t.Errorf("clusters = %d, want ≥ 2 (the graph should enclose faces)", g.NumClusters())
+	}
+	// Monitored roads are exactly the duals of the G̃ edges.
+	if len(g.MonitoredRoads) != len(g.DualEdges) {
+		t.Errorf("monitored roads %d != dual edges %d", len(g.MonitoredRoads), len(g.DualEdges))
+	}
+	for _, road := range g.MonitoredRoads {
+		if !g.Monitors(road) {
+			t.Error("Monitors inconsistent")
+		}
+	}
+}
+
+func TestBuildKNN(t *testing.T) {
+	w := testWorld(t, 3)
+	sensors := selectSensors(t, w, 20, 4)
+	for _, k := range []int{2, 3, 5} {
+		g, err := Build(w, sensors, Options{Connect: KNN, K: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(g.DualEdges) == 0 {
+			t.Fatalf("k=%d: no edges", k)
+		}
+	}
+}
+
+func TestKNNMoreEdgesWithLargerK(t *testing.T) {
+	w := testWorld(t, 5)
+	sensors := selectSensors(t, w, 25, 6)
+	var prev int
+	for _, k := range []int{1, 3, 6} {
+		g, err := Build(w, sensors, Options{Connect: KNN, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.DualEdges) < prev {
+			t.Errorf("k=%d produced fewer dual edges (%d) than smaller k (%d)",
+				k, len(g.DualEdges), prev)
+		}
+		prev = len(g.DualEdges)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	w := testWorld(t, 7)
+	if _, err := Build(w, nil, Options{}); err == nil {
+		t.Error("empty sensor set accepted")
+	}
+	if _, err := Build(w, []planar.NodeID{w.Dual.OuterNode}, Options{}); err == nil {
+		t.Error("outer node accepted as sensor")
+	}
+	if _, err := Build(w, []planar.NodeID{-5}, Options{}); err == nil {
+		t.Error("out-of-range sensor accepted")
+	}
+	if _, err := Build(w, selectSensors(t, w, 5, 8), Options{Connect: Connectivity(99)}); err == nil {
+		t.Error("unknown connectivity accepted")
+	}
+	if _, err := BuildFromDualEdges(w, nil); err == nil {
+		t.Error("empty dual edge set accepted")
+	}
+	if _, err := BuildFromDualEdges(w, []planar.EdgeID{99999}); err == nil {
+		t.Error("out-of-range dual edge accepted")
+	}
+}
+
+func TestClustersPartitionJunctions(t *testing.T) {
+	w := testWorld(t, 9)
+	g, err := Build(w, selectSensors(t, w, 30, 10), Options{Connect: Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[planar.NodeID]int)
+	for id := 0; id < g.NumClusters(); id++ {
+		for _, j := range g.Cluster(id) {
+			if _, dup := seen[j]; dup {
+				t.Fatalf("junction %d in two clusters", j)
+			}
+			seen[j] = id
+			if g.ClusterOf(j) != id {
+				t.Fatalf("ClusterOf(%d) = %d, want %d", j, g.ClusterOf(j), id)
+			}
+		}
+	}
+	if len(seen) != w.Star.NumNodes() {
+		t.Errorf("clusters cover %d of %d junctions", len(seen), w.Star.NumNodes())
+	}
+}
+
+func TestClusterBoundariesAreMonitored(t *testing.T) {
+	// The key structural invariant: any road between two different
+	// clusters must be monitored.
+	w := testWorld(t, 11)
+	g, err := Build(w, selectSensors(t, w, 25, 12), Options{Connect: Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ei := 0; ei < w.Star.NumEdges(); ei++ {
+		e := w.Star.Edge(planar.EdgeID(ei))
+		if g.ClusterOf(e.U) != g.ClusterOf(e.V) && !g.Monitors(planar.EdgeID(ei)) {
+			t.Fatalf("road %d crosses clusters but is unmonitored", ei)
+		}
+	}
+}
+
+func TestApproximateRegionBounds(t *testing.T) {
+	w := testWorld(t, 13)
+	g, err := Build(w, selectSensors(t, w, 30, 14), Options{Connect: Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	b := w.Bounds()
+	misses := 0
+	for trial := 0; trial < 40; trial++ {
+		rect := geom.RectWH(
+			b.Min.X+rng.Float64()*b.Width()/2,
+			b.Min.Y+rng.Float64()*b.Height()/2,
+			b.Width()*(0.2+rng.Float64()*0.4),
+			b.Height()*(0.2+rng.Float64()*0.4))
+		exact, err := core.NewRegion(w, w.JunctionsIn(rect))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower, lmiss, err := g.ApproximateRegion(exact, Lower)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper, _, err := g.ApproximateRegion(exact, Upper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lmiss {
+			misses++
+		}
+		// Lower ⊆ exact ⊆ upper.
+		for _, j := range lower.Junctions() {
+			if !exact.Contains(j) {
+				t.Fatal("lower approximation exceeds exact region")
+			}
+		}
+		for _, j := range exact.Junctions() {
+			if !upper.Contains(j) {
+				t.Fatal("upper approximation misses exact junctions")
+			}
+		}
+		// Approximated regions have fully monitored perimeters.
+		if err := g.CheckRegionMonitored(lower); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckRegionMonitored(upper); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if misses == 40 {
+		t.Error("every query missed; sampled graph degenerate")
+	}
+}
+
+func TestApproximateCountsBracketExact(t *testing.T) {
+	// End-to-end with a real workload: lower count ≤ exact ≤ upper count
+	// for snapshot queries (monotone counting over nested junction sets
+	// does not hold in general for net flows, but occupancy is monotone).
+	w := testWorld(t, 17)
+	rng := rand.New(rand.NewSource(18))
+	wl, err := mobility.Generate(w, mobility.Opts{
+		Objects: 120, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewStore(w)
+	if err := wl.Feed(st); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(w, selectSensors(t, w, 40, 19), Options{Connect: Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Bounds()
+	for trial := 0; trial < 30; trial++ {
+		rect := geom.RectWH(
+			b.Min.X+rng.Float64()*b.Width()/3,
+			b.Min.Y+rng.Float64()*b.Height()/3,
+			b.Width()*0.4, b.Height()*0.4)
+		exact, err := core.NewRegion(w, w.JunctionsIn(rect))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower, lmiss, _ := g.ApproximateRegion(exact, Lower)
+		upper, _, _ := g.ApproximateRegion(exact, Upper)
+		ts := rng.Float64() * wl.Horizon
+		exactC := core.SnapshotCount(st, exact, ts)
+		upperC := core.SnapshotCount(st, upper, ts)
+		if upperC < exactC {
+			t.Fatalf("upper count %v < exact %v", upperC, exactC)
+		}
+		if !lmiss {
+			lowerC := core.SnapshotCount(st, lower, ts)
+			if lowerC > exactC {
+				t.Fatalf("lower count %v > exact %v", lowerC, exactC)
+			}
+		}
+	}
+}
+
+func TestBuildFromDualEdges(t *testing.T) {
+	w := testWorld(t, 21)
+	// Use the boundary of a small junction region as the dual edge set.
+	b := w.Bounds()
+	rect := geom.RectWH(b.Min.X, b.Min.Y, b.Width()/2, b.Height()/2)
+	r, err := core.NewRegion(w, w.JunctionsIn(rect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var des []planar.EdgeID
+	for _, cr := range r.CutRoads() {
+		if de := w.Dual.EdgeOf[cr.Road]; de != planar.NoEdge {
+			des = append(des, de)
+		}
+	}
+	g, err := BuildFromDualEdges(w, des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The region itself must now be exactly representable: its cluster
+	// union lower approximation equals it up to bridge-road leakage.
+	lower, miss, err := g.ApproximateRegion(r, Lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss {
+		t.Fatal("region built from its own boundary missed")
+	}
+	if lower.Size() == 0 || lower.Size() > r.Size() {
+		t.Errorf("lower size = %d, exact = %d", lower.Size(), r.Size())
+	}
+}
+
+func TestCachedCutRoadsMatchScan(t *testing.T) {
+	// ApproximateRegion precomputes the perimeter from the monitored
+	// edges; it must equal the full region scan exactly.
+	w := testWorld(t, 23)
+	g, err := Build(w, selectSensors(t, w, 30, 24), Options{Connect: Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(25))
+	b := w.Bounds()
+	for trial := 0; trial < 20; trial++ {
+		rect := geom.RectWH(
+			b.Min.X+rng.Float64()*b.Width()/2,
+			b.Min.Y+rng.Float64()*b.Height()/2,
+			b.Width()*0.4, b.Height()*0.4)
+		exact, err := core.NewRegion(w, w.JunctionsIn(rect))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bound := range []Bound{Lower, Upper} {
+			approx, miss, err := g.ApproximateRegion(exact, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if miss {
+				continue
+			}
+			cached := approx.CutRoads()
+			// Rebuild the same region without the cache.
+			fresh, err := core.NewRegion(w, approx.Junctions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			scanned := fresh.CutRoads()
+			if !sameCutSet(cached, scanned) {
+				t.Fatalf("%v: cached perimeter (%d) != scanned (%d)",
+					bound, len(cached), len(scanned))
+			}
+		}
+	}
+}
+
+func sameCutSet(a, b []core.CutRoad) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[core.CutRoad]bool, len(a))
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConnectivityString(t *testing.T) {
+	if Triangulation.String() != "triangulation" || KNN.String() != "knn" {
+		t.Error("Connectivity.String wrong")
+	}
+	if Lower.String() != "lower" || Upper.String() != "upper" {
+		t.Error("Bound.String wrong")
+	}
+}

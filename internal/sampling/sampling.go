@@ -1,0 +1,457 @@
+// Package sampling implements the paper's query-oblivious sensor
+// selection methods (§4.3): given the candidate sensor locations (the
+// interior nodes of the sensing graph G) and a budget of m communication
+// sensors, each sampler returns the subset Ṽ ⊂ V to activate.
+//
+// All samplers accept optional per-node weights (§4.3 closing remark,
+// e.g. past query appearance counts) and are deterministic for a fixed
+// *rand.Rand seed.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/planar"
+)
+
+// Candidate is a sensor location eligible for selection.
+type Candidate struct {
+	Node planar.NodeID
+	P    geom.Point
+	// Weight biases selection; zero-valued weights are treated as 1.
+	Weight float64
+}
+
+// Sampler selects m candidate sensors. Implementations must return at
+// most m distinct nodes, fewer only when the candidate pool is smaller.
+type Sampler interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Sample returns the selected sensor nodes.
+	Sample(cands []Candidate, m int, rng *rand.Rand) ([]planar.NodeID, error)
+}
+
+func validate(cands []Candidate, m int) (int, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("sampling: budget m=%d must be positive", m)
+	}
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("sampling: no candidates")
+	}
+	if m > len(cands) {
+		m = len(cands)
+	}
+	return m, nil
+}
+
+func weight(c Candidate) float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// Uniform is uniform random sampling: m nodes drawn without replacement
+// with probability proportional to weight.
+type Uniform struct{}
+
+// Name implements Sampler.
+func (Uniform) Name() string { return "uniform" }
+
+// Sample implements Sampler.
+func (Uniform) Sample(cands []Candidate, m int, rng *rand.Rand) ([]planar.NodeID, error) {
+	m, err := validate(cands, m)
+	if err != nil {
+		return nil, err
+	}
+	return weightedWithoutReplacement(cands, m, rng), nil
+}
+
+// weightedWithoutReplacement draws m candidates without replacement with
+// probability proportional to weight, using exponential keys (Efraimidis–
+// Spirakis): sort by Exp(1)/w and take the m smallest.
+func weightedWithoutReplacement(cands []Candidate, m int, rng *rand.Rand) []planar.NodeID {
+	type keyed struct {
+		n planar.NodeID
+		k float64
+	}
+	keys := make([]keyed, len(cands))
+	for i, c := range cands {
+		keys[i] = keyed{n: c.Node, k: rng.ExpFloat64() / weight(c)}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].k < keys[j].k })
+	out := make([]planar.NodeID, m)
+	for i := 0; i < m; i++ {
+		out[i] = keys[i].n
+	}
+	return out
+}
+
+// Systematic imposes a virtual grid over the domain and picks one node
+// per occupied cell — closest to the cell centre, or weighted-random when
+// Randomized is set.
+type Systematic struct {
+	// Randomized picks a random node per cell instead of the one closest
+	// to the cell centre.
+	Randomized bool
+}
+
+// Name implements Sampler.
+func (s Systematic) Name() string {
+	if s.Randomized {
+		return "systematic-rand"
+	}
+	return "systematic"
+}
+
+// Sample implements Sampler.
+func (s Systematic) Sample(cands []Candidate, m int, rng *rand.Rand) ([]planar.NodeID, error) {
+	m, err := validate(cands, m)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, len(cands))
+	for i, c := range cands {
+		pts[i] = c.P
+	}
+	bounds := geom.BoundingRect(pts).Expand(geom.Eps)
+	// Choose the finest grid whose occupied-cell count does not exceed m,
+	// by shrinking from a generous initial resolution.
+	aspect := bounds.Width() / math.Max(bounds.Height(), geom.Eps)
+	for cells := m; cells >= 1; cells-- {
+		ny := int(math.Max(1, math.Round(math.Sqrt(float64(cells)/aspect))))
+		nx := (cells + ny - 1) / ny
+		sel := systematicPick(cands, bounds, nx, ny, s.Randomized, rng)
+		if len(sel) <= m {
+			return fillRemainder(sel, cands, m, rng), nil
+		}
+	}
+	return weightedWithoutReplacement(cands, m, rng), nil
+}
+
+func systematicPick(cands []Candidate, bounds geom.Rect, nx, ny int, randomized bool, rng *rand.Rand) []planar.NodeID {
+	cw := bounds.Width() / float64(nx)
+	ch := bounds.Height() / float64(ny)
+	type cellState struct {
+		best     int
+		bestDist float64
+		members  []int
+	}
+	cells := make(map[[2]int]*cellState)
+	for i, c := range cands {
+		cx := int((c.P.X - bounds.Min.X) / cw)
+		cy := int((c.P.Y - bounds.Min.Y) / ch)
+		if cx >= nx {
+			cx = nx - 1
+		}
+		if cy >= ny {
+			cy = ny - 1
+		}
+		key := [2]int{cx, cy}
+		st, ok := cells[key]
+		if !ok {
+			st = &cellState{best: -1, bestDist: math.Inf(1)}
+			cells[key] = st
+		}
+		center := geom.Pt(bounds.Min.X+(float64(cx)+0.5)*cw, bounds.Min.Y+(float64(cy)+0.5)*ch)
+		if d := c.P.Dist2(center); d < st.bestDist {
+			st.bestDist = d
+			st.best = i
+		}
+		st.members = append(st.members, i)
+	}
+	// Deterministic iteration order over cells.
+	keys := make([][2]int, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var out []planar.NodeID
+	for _, k := range keys {
+		st := cells[k]
+		pick := st.best
+		if randomized {
+			pick = st.members[rng.Intn(len(st.members))]
+		}
+		out = append(out, cands[pick].Node)
+	}
+	return out
+}
+
+// fillRemainder tops sel up to m nodes with uniform draws from the unused
+// candidates, so every sampler consumes its full budget.
+func fillRemainder(sel []planar.NodeID, cands []Candidate, m int, rng *rand.Rand) []planar.NodeID {
+	if len(sel) >= m {
+		return sel[:m]
+	}
+	used := make(map[planar.NodeID]bool, len(sel))
+	for _, n := range sel {
+		used[n] = true
+	}
+	var rest []Candidate
+	for _, c := range cands {
+		if !used[c.Node] {
+			rest = append(rest, c)
+		}
+	}
+	extra := weightedWithoutReplacement(rest, m-len(sel), rng)
+	return append(sel, extra...)
+}
+
+// Stratified partitions candidates into strata via the Strata function
+// (e.g. district of the city) and samples each stratum proportionally to
+// its allocation (by default, its candidate count).
+type Stratified struct {
+	// Strata maps a candidate to its stratum label. Nil means a 3×3
+	// district grid over the domain.
+	Strata func(Candidate) int
+	// Alloc returns the sampling budget share of each stratum given the
+	// per-stratum candidate counts; nil allocates proportionally to the
+	// stratum sizes (a stand-in for the paper's area-based function).
+	Alloc func(stratumSizes map[int]int, m int) map[int]int
+}
+
+// Name implements Sampler.
+func (Stratified) Name() string { return "stratified" }
+
+// DistrictStrata returns a strata function dividing the bounding
+// rectangle into nx × ny districts.
+func DistrictStrata(bounds geom.Rect, nx, ny int) func(Candidate) int {
+	return func(c Candidate) int {
+		cx := int((c.P.X - bounds.Min.X) / bounds.Width() * float64(nx))
+		cy := int((c.P.Y - bounds.Min.Y) / bounds.Height() * float64(ny))
+		if cx >= nx {
+			cx = nx - 1
+		}
+		if cy >= ny {
+			cy = ny - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		return cy*nx + cx
+	}
+}
+
+// Sample implements Sampler.
+func (s Stratified) Sample(cands []Candidate, m int, rng *rand.Rand) ([]planar.NodeID, error) {
+	m, err := validate(cands, m)
+	if err != nil {
+		return nil, err
+	}
+	strata := s.Strata
+	if strata == nil {
+		pts := make([]geom.Point, len(cands))
+		for i, c := range cands {
+			pts[i] = c.P
+		}
+		strata = DistrictStrata(geom.BoundingRect(pts), 3, 3)
+	}
+	groups := make(map[int][]Candidate)
+	for _, c := range cands {
+		k := strata(c)
+		groups[k] = append(groups[k], c)
+	}
+	sizes := make(map[int]int, len(groups))
+	for k, g := range groups {
+		sizes[k] = len(g)
+	}
+	alloc := s.Alloc
+	if alloc == nil {
+		alloc = proportionalAlloc
+	}
+	quota := alloc(sizes, m)
+	var keys []int
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []planar.NodeID
+	for _, k := range keys {
+		q := quota[k]
+		if q <= 0 {
+			continue
+		}
+		if q > len(groups[k]) {
+			q = len(groups[k])
+		}
+		out = append(out, weightedWithoutReplacement(groups[k], q, rng)...)
+	}
+	return fillRemainder(out, cands, m, rng), nil
+}
+
+// proportionalAlloc distributes m across strata proportionally to their
+// sizes using largest remainders.
+func proportionalAlloc(sizes map[int]int, m int) map[int]int {
+	total := 0
+	var keys []int
+	for k, n := range sizes {
+		total += n
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make(map[int]int, len(sizes))
+	type rem struct {
+		k int
+		r float64
+	}
+	var rems []rem
+	assigned := 0
+	for _, k := range keys {
+		exact := float64(m) * float64(sizes[k]) / float64(total)
+		base := int(exact)
+		out[k] = base
+		assigned += base
+		rems = append(rems, rem{k: k, r: exact - float64(base)})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].r != rems[j].r {
+			return rems[i].r > rems[j].r
+		}
+		return rems[i].k < rems[j].k
+	})
+	for i := 0; assigned < m && i < len(rems); i++ {
+		out[rems[i].k]++
+		assigned++
+	}
+	return out
+}
+
+// KDTreeSampler partitions the candidates with a kd-tree until leaves
+// hold ⌈n/m⌉ nodes and picks one node per leaf (§4.3 hierarchical
+// space-partition sampling).
+type KDTreeSampler struct {
+	// Randomized picks a random leaf member instead of the one closest
+	// to the leaf centroid.
+	Randomized bool
+}
+
+// Name implements Sampler.
+func (s KDTreeSampler) Name() string {
+	if s.Randomized {
+		return "kdtree-rand"
+	}
+	return "kdtree"
+}
+
+// Sample implements Sampler.
+func (s KDTreeSampler) Sample(cands []Candidate, m int, rng *rand.Rand) ([]planar.NodeID, error) {
+	m, err := validate(cands, m)
+	if err != nil {
+		return nil, err
+	}
+	items := toItems(cands)
+	kt := index.BuildKDTree(items)
+	maxLeaf := (len(cands) + m - 1) / m
+	leaves := kt.Leaves(maxLeaf)
+	sel := pickPerLeaf(leaves, cands, s.Randomized, rng, m)
+	return fillRemainder(sel, cands, m, rng), nil
+}
+
+// QuadTreeSampler is the QuadTree variant of hierarchical sampling.
+type QuadTreeSampler struct {
+	// Randomized picks a random leaf member instead of the one closest
+	// to the leaf centroid.
+	Randomized bool
+}
+
+// Name implements Sampler.
+func (s QuadTreeSampler) Name() string {
+	if s.Randomized {
+		return "quadtree-rand"
+	}
+	return "quadtree"
+}
+
+// Sample implements Sampler.
+func (s QuadTreeSampler) Sample(cands []Candidate, m int, rng *rand.Rand) ([]planar.NodeID, error) {
+	m, err := validate(cands, m)
+	if err != nil {
+		return nil, err
+	}
+	items := toItems(cands)
+	maxLeaf := (len(cands) + m - 1) / m
+	qt := index.BuildQuadTree(items, maxLeaf)
+	leaves := qt.Leaves()
+	sel := pickPerLeaf(leaves, cands, s.Randomized, rng, m)
+	return fillRemainder(sel, cands, m, rng), nil
+}
+
+func toItems(cands []Candidate) []index.Item {
+	items := make([]index.Item, len(cands))
+	for i, c := range cands {
+		items[i] = index.Item{ID: i, P: c.P}
+	}
+	return items
+}
+
+// pickPerLeaf selects one representative per leaf: the member closest to
+// the leaf centroid, or a random member. If there are more leaves than m,
+// the m largest leaves win (they represent the densest areas).
+func pickPerLeaf(leaves [][]index.Item, cands []Candidate, randomized bool, rng *rand.Rand, m int) []planar.NodeID {
+	sort.Slice(leaves, func(i, j int) bool { return len(leaves[i]) > len(leaves[j]) })
+	if len(leaves) > m {
+		leaves = leaves[:m]
+	}
+	out := make([]planar.NodeID, 0, len(leaves))
+	for _, leaf := range leaves {
+		if len(leaf) == 0 {
+			continue
+		}
+		pick := 0
+		if randomized {
+			pick = rng.Intn(len(leaf))
+		} else {
+			var c geom.Point
+			for _, it := range leaf {
+				c = c.Add(it.P)
+			}
+			c = c.Scale(1 / float64(len(leaf)))
+			best := math.Inf(1)
+			for i, it := range leaf {
+				if d := it.P.Dist2(c); d < best {
+					best = d
+					pick = i
+				}
+			}
+		}
+		out = append(out, cands[leaf[pick].ID].Node)
+	}
+	return out
+}
+
+// All returns one instance of every query-oblivious sampler, in the
+// order the paper's figures list them.
+func All() []Sampler {
+	return []Sampler{
+		Uniform{},
+		Systematic{},
+		Stratified{},
+		KDTreeSampler{Randomized: true},
+		QuadTreeSampler{Randomized: true},
+	}
+}
+
+// CandidatesFromDual builds the candidate list from a world's sensing
+// graph: all interior dual nodes at their centroid positions with unit
+// weight.
+func CandidatesFromDual(interior []planar.NodeID, pos func(planar.NodeID) geom.Point) []Candidate {
+	out := make([]Candidate, len(interior))
+	for i, n := range interior {
+		out[i] = Candidate{Node: n, P: pos(n), Weight: 1}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/planar"
+)
+
+func gridCandidates(nx, ny int, spacing float64) []Candidate {
+	var out []Candidate
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			out = append(out, Candidate{
+				Node:   planar.NodeID(y*nx + x),
+				P:      geom.Pt(float64(x)*spacing, float64(y)*spacing),
+				Weight: 1,
+			})
+		}
+	}
+	return out
+}
+
+func checkSelection(t *testing.T, name string, sel []planar.NodeID, cands []Candidate, m int) {
+	t.Helper()
+	if len(sel) != m {
+		t.Errorf("%s: selected %d, want %d", name, len(sel), m)
+	}
+	valid := make(map[planar.NodeID]bool, len(cands))
+	for _, c := range cands {
+		valid[c.Node] = true
+	}
+	seen := make(map[planar.NodeID]bool)
+	for _, n := range sel {
+		if !valid[n] {
+			t.Errorf("%s: selected non-candidate %d", name, n)
+		}
+		if seen[n] {
+			t.Errorf("%s: duplicate selection %d", name, n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAllSamplersBasicContract(t *testing.T) {
+	cands := gridCandidates(12, 12, 10)
+	for _, s := range All() {
+		for _, m := range []int{1, 5, 20, 80, 144} {
+			rng := rand.New(rand.NewSource(7))
+			sel, err := s.Sample(cands, m, rng)
+			if err != nil {
+				t.Fatalf("%s m=%d: %v", s.Name(), m, err)
+			}
+			checkSelection(t, s.Name(), sel, cands, m)
+		}
+	}
+}
+
+func TestSamplersRejectBadInput(t *testing.T) {
+	cands := gridCandidates(4, 4, 10)
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range All() {
+		if _, err := s.Sample(cands, 0, rng); err == nil {
+			t.Errorf("%s: zero budget accepted", s.Name())
+		}
+		if _, err := s.Sample(nil, 3, rng); err == nil {
+			t.Errorf("%s: empty candidates accepted", s.Name())
+		}
+	}
+}
+
+func TestSamplersClampOversizedBudget(t *testing.T) {
+	cands := gridCandidates(3, 3, 10)
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range All() {
+		sel, err := s.Sample(cands, 50, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(sel) != len(cands) {
+			t.Errorf("%s: selected %d of %d", s.Name(), len(sel), len(cands))
+		}
+	}
+}
+
+func TestUniformWeightBias(t *testing.T) {
+	// A heavily weighted candidate must be selected far more often.
+	cands := gridCandidates(5, 5, 10)
+	cands[0].Weight = 200
+	hits := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		sel, err := Uniform{}.Sample(cands, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range sel {
+			if n == cands[0].Node {
+				hits++
+			}
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("weight-200 candidate selected only %d/%d times", hits, trials)
+	}
+}
+
+func TestSystematicSpread(t *testing.T) {
+	// Systematic samples must cover all four quadrants of a uniform grid.
+	cands := gridCandidates(20, 20, 10)
+	rng := rand.New(rand.NewSource(3))
+	sel, err := Systematic{}.Sample(cands, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad := make(map[int]int)
+	for _, n := range sel {
+		x, y := int(n)%20, int(n)/20
+		q := 0
+		if x >= 10 {
+			q |= 1
+		}
+		if y >= 10 {
+			q |= 2
+		}
+		quad[q]++
+	}
+	for q := 0; q < 4; q++ {
+		if quad[q] == 0 {
+			t.Errorf("quadrant %d empty: %v", q, quad)
+		}
+	}
+}
+
+func TestStratifiedQuota(t *testing.T) {
+	// With a 2-strata split 75/25, allocations follow proportionally.
+	cands := gridCandidates(20, 20, 10)
+	strata := func(c Candidate) int {
+		if c.P.X < 150 {
+			return 0
+		}
+		return 1
+	}
+	rng := rand.New(rand.NewSource(4))
+	sel, err := Stratified{Strata: strata}.Sample(cands, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := [2]int{}
+	for _, n := range sel {
+		x := int(n) % 20
+		if x < 15 {
+			count[0]++
+		} else {
+			count[1]++
+		}
+	}
+	if count[0] < 24 || count[0] > 36 {
+		t.Errorf("stratum 0 got %d of 40, want ≈30", count[0])
+	}
+}
+
+func TestProportionalAlloc(t *testing.T) {
+	sizes := map[int]int{0: 10, 1: 30, 2: 60}
+	got := proportionalAlloc(sizes, 10)
+	total := 0
+	for _, v := range got {
+		total += v
+	}
+	if total != 10 {
+		t.Fatalf("alloc total = %d, want 10", total)
+	}
+	if got[2] < got[1] || got[1] < got[0] {
+		t.Errorf("alloc not monotone in size: %v", got)
+	}
+}
+
+func TestHierarchicalSamplersSpread(t *testing.T) {
+	cands := gridCandidates(16, 16, 10)
+	for _, s := range []Sampler{KDTreeSampler{}, QuadTreeSampler{}, KDTreeSampler{Randomized: true}, QuadTreeSampler{Randomized: true}} {
+		rng := rand.New(rand.NewSource(5))
+		sel, err := s.Sample(cands, 16, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		checkSelection(t, s.Name(), sel, cands, 16)
+		// Spread check: selected nodes should not all be in one quadrant.
+		quad := make(map[int]int)
+		for _, n := range sel {
+			x, y := int(n)%16, int(n)/16
+			q := 0
+			if x >= 8 {
+				q |= 1
+			}
+			if y >= 8 {
+				q |= 2
+			}
+			quad[q]++
+		}
+		if len(quad) < 3 {
+			t.Errorf("%s: selection concentrated: %v", s.Name(), quad)
+		}
+	}
+}
+
+func TestSamplerNames(t *testing.T) {
+	want := map[string]bool{
+		"uniform": true, "systematic": true, "stratified": true,
+		"kdtree-rand": true, "quadtree-rand": true,
+	}
+	for _, s := range All() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected sampler name %q", s.Name())
+		}
+		delete(want, s.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing samplers: %v", want)
+	}
+	if (Systematic{Randomized: true}).Name() != "systematic-rand" {
+		t.Error("systematic-rand name")
+	}
+	if (KDTreeSampler{}).Name() != "kdtree" {
+		t.Error("kdtree name")
+	}
+	if (QuadTreeSampler{}).Name() != "quadtree" {
+		t.Error("quadtree name")
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	cands := gridCandidates(10, 10, 10)
+	for _, s := range All() {
+		a, err := s.Sample(cands, 12, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Sample(cands, 12, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic length", s.Name())
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic selection", s.Name())
+			}
+		}
+	}
+}
+
+func TestCandidatesFromDual(t *testing.T) {
+	nodes := []planar.NodeID{3, 5, 9}
+	pos := func(n planar.NodeID) geom.Point { return geom.Pt(float64(n), 0) }
+	cands := CandidatesFromDual(nodes, pos)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if cands[1].Node != 5 || cands[1].P != geom.Pt(5, 0) || cands[1].Weight != 1 {
+		t.Errorf("candidate = %+v", cands[1])
+	}
+}

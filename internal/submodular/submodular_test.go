@@ -1,0 +1,336 @@
+package submodular
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// coverObjective is a simple weighted-coverage objective used to test the
+// greedy machinery: each element covers a set of ground items.
+type coverObjective struct {
+	covers  map[int][]int
+	covered map[int]bool
+}
+
+func newCoverObjective(covers map[int][]int) *coverObjective {
+	return &coverObjective{covers: covers, covered: make(map[int]bool)}
+}
+
+func (o *coverObjective) Gain(e Element) float64 {
+	g := 0.0
+	for _, item := range o.covers[e.ID] {
+		if !o.covered[item] {
+			g++
+		}
+	}
+	return g
+}
+
+func (o *coverObjective) Select(e Element) {
+	for _, item := range o.covers[e.ID] {
+		o.covered[item] = true
+	}
+}
+
+func TestLazyGreedyCoverage(t *testing.T) {
+	covers := map[int][]int{
+		0: {1, 2, 3, 4, 5},
+		1: {1, 2},
+		2: {6, 7},
+		3: {8},
+	}
+	elems := []Element{{ID: 0, Cost: 1}, {ID: 1, Cost: 1}, {ID: 2, Cost: 1}, {ID: 3, Cost: 1}}
+	sel, err := LazyGreedy(elems, 2, newCoverObjective(covers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d, want 2", len(sel))
+	}
+	if sel[0].ID != 0 {
+		t.Errorf("first pick = %d, want the big set 0", sel[0].ID)
+	}
+	if sel[1].ID != 2 {
+		t.Errorf("second pick = %d, want 2", sel[1].ID)
+	}
+}
+
+func TestLazyGreedyRespectsBudgetAndCost(t *testing.T) {
+	covers := map[int][]int{
+		0: {1, 2, 3, 4, 5, 6}, // great but expensive
+		1: {1, 2, 3},          // cheap
+		2: {4, 5},             // cheap
+	}
+	elems := []Element{{ID: 0, Cost: 10}, {ID: 1, Cost: 1}, {ID: 2, Cost: 1}}
+	sel, err := LazyGreedy(elems, 3, newCoverObjective(covers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, e := range sel {
+		total += e.Cost
+	}
+	if total > 3 {
+		t.Errorf("budget exceeded: %v", total)
+	}
+	if len(sel) != 2 {
+		t.Errorf("selected %d elements, want the two cheap ones", len(sel))
+	}
+}
+
+func TestLazyGreedyMatchesNaive(t *testing.T) {
+	// On random coverage instances the lazy and naive greedies must pick
+	// identical sets (same tie-breaking by heap order is not guaranteed,
+	// so compare achieved coverage instead).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		covers := make(map[int][]int)
+		var elems []Element
+		n := 3 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			var items []int
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				items = append(items, rng.Intn(30))
+			}
+			covers[i] = items
+			elems = append(elems, Element{ID: i, Cost: 1 + float64(rng.Intn(3))})
+		}
+		budget := 2 + float64(rng.Intn(6))
+		lazySel, err := LazyGreedy(elems, budget, newCoverObjective(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveSel, err := NaiveGreedy(elems, budget, newCoverObjective(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := func(sel []Element) int {
+			set := make(map[int]bool)
+			for _, e := range sel {
+				for _, it := range covers[e.ID] {
+					set[it] = true
+				}
+			}
+			return len(set)
+		}
+		if math.Abs(float64(cov(lazySel)-cov(naiveSel))) > 0 {
+			t.Fatalf("trial %d: lazy coverage %d != naive %d", trial, cov(lazySel), cov(naiveSel))
+		}
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	obj := newCoverObjective(map[int][]int{0: {1}})
+	if _, err := LazyGreedy([]Element{{ID: 0, Cost: 1}}, 0, obj); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := LazyGreedy([]Element{{ID: 0, Cost: 0}}, 1, obj); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if _, err := NaiveGreedy([]Element{{ID: 0, Cost: -1}}, 1, obj); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func testWorld(t *testing.T, seed int64) *roadnet.World {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w, err := roadnet.GridCity(
+		roadnet.GridOpts{NX: 10, NY: 10, Spacing: 50, Jitter: 0.15, RemoveFrac: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func regionFromRect(t *testing.T, w *roadnet.World, rect geom.Rect) *core.Region {
+	t.Helper()
+	r, err := core.NewRegion(w, w.JunctionsIn(rect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPartitionDisjointAtoms(t *testing.T) {
+	w := testWorld(t, 1)
+	b := w.Bounds()
+	q1 := regionFromRect(t, w, geom.RectWH(b.Min.X, b.Min.Y, b.Width()*0.6, b.Height()*0.6))
+	q2 := regionFromRect(t, w, geom.RectWH(b.Min.X+b.Width()*0.3, b.Min.Y+b.Height()*0.3,
+		b.Width()*0.6, b.Height()*0.6))
+	atoms := Partition(w, []*core.Region{q1, q2})
+	if len(atoms) < 3 {
+		t.Fatalf("atoms = %d, want ≥ 3 (Q1−Q3, Q2−Q3, Q3)", len(atoms))
+	}
+	// Atoms are disjoint and cover exactly the covered junctions.
+	seen := make(map[planar.NodeID]bool)
+	covered := make(map[planar.NodeID]bool)
+	for _, j := range q1.Junctions() {
+		covered[j] = true
+	}
+	for _, j := range q2.Junctions() {
+		covered[j] = true
+	}
+	total := 0
+	for _, a := range atoms {
+		if len(a.Junctions) == 0 {
+			t.Error("empty atom")
+		}
+		if len(a.Queries) == 0 {
+			t.Error("atom covered by no query")
+		}
+		for _, j := range a.Junctions {
+			if seen[j] {
+				t.Fatalf("junction %d in two atoms", j)
+			}
+			if !covered[j] {
+				t.Fatalf("junction %d not covered by any query", j)
+			}
+			seen[j] = true
+			total++
+		}
+	}
+	if total != len(covered) {
+		t.Errorf("atoms cover %d junctions, queries cover %d", total, len(covered))
+	}
+	// The overlap atom is covered by both queries.
+	both := 0
+	for _, a := range atoms {
+		if len(a.Queries) == 2 {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Error("no atom covered by both overlapping queries")
+	}
+}
+
+func TestPartitionBoundaryRoads(t *testing.T) {
+	w := testWorld(t, 2)
+	b := w.Bounds()
+	q := regionFromRect(t, w, geom.RectWH(b.Min.X+b.Width()*0.25, b.Min.Y+b.Height()*0.25,
+		b.Width()*0.5, b.Height()*0.5))
+	atoms := Partition(w, []*core.Region{q})
+	if len(atoms) == 0 {
+		t.Fatal("no atoms")
+	}
+	for _, a := range atoms {
+		inAtom := make(map[planar.NodeID]bool)
+		for _, j := range a.Junctions {
+			inAtom[j] = true
+		}
+		for _, road := range a.BoundaryRoads {
+			e := w.Star.Edge(road)
+			if inAtom[e.U] == inAtom[e.V] {
+				t.Fatal("boundary road does not cross the atom boundary")
+			}
+		}
+	}
+}
+
+func TestSelectForQueries(t *testing.T) {
+	w := testWorld(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	b := w.Bounds()
+	var queries []*core.Region
+	for i := 0; i < 12; i++ {
+		rect := geom.RectWH(
+			b.Min.X+rng.Float64()*b.Width()/2,
+			b.Min.Y+rng.Float64()*b.Height()/2,
+			b.Width()*0.3, b.Height()*0.3)
+		queries = append(queries, regionFromRect(t, w, rect))
+	}
+	budget := 40
+	res, err := SelectForQueries(w, queries, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sensors) > budget {
+		t.Errorf("sensors %d exceed budget %d", len(res.Sensors), budget)
+	}
+	if len(res.Selected) == 0 || len(res.DualEdges) == 0 {
+		t.Fatal("nothing selected")
+	}
+	// Selected sensors flank the selected dual edges.
+	sset := make(map[planar.NodeID]bool)
+	for _, s := range res.Sensors {
+		sset[s] = true
+	}
+	for _, de := range res.DualEdges {
+		e := w.Dual.G.Edge(de)
+		flank := false
+		for _, nd := range []planar.NodeID{e.U, e.V} {
+			if nd == w.Dual.OuterNode || sset[nd] {
+				flank = true
+			}
+		}
+		if !flank {
+			t.Fatal("dual edge with no selected sensor")
+		}
+	}
+	// Determinism.
+	res2, err := SelectForQueries(w, queries, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalEdgeSets(res.DualEdges, res2.DualEdges) {
+		t.Error("selection not deterministic")
+	}
+}
+
+func TestSelectForQueriesValidation(t *testing.T) {
+	w := testWorld(t, 5)
+	if _, err := SelectForQueries(w, nil, 10); err == nil {
+		t.Error("no queries accepted")
+	}
+	b := w.Bounds()
+	q := regionFromRect(t, w, geom.RectWH(b.Min.X, b.Min.Y, b.Width(), b.Height()))
+	if _, err := SelectForQueries(w, []*core.Region{q}, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestAtomUtilityMarginal(t *testing.T) {
+	// Utility of an atom = Σ ω(σ)/ω(Q) over covering queries.
+	w := testWorld(t, 6)
+	b := w.Bounds()
+	q := regionFromRect(t, w, geom.RectWH(b.Min.X, b.Min.Y, b.Width()*0.4, b.Height()*0.4))
+	atoms := Partition(w, []*core.Region{q})
+	obj := newAtomObjective(atoms, []*core.Region{q})
+	var sum float64
+	for _, a := range atoms {
+		sum += obj.Gain(Element{ID: a.ID, Cost: 1})
+	}
+	// All atoms of a single query sum to ω(Q)/ω(Q) = 1.
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("total utility = %v, want 1", sum)
+	}
+	// After selection the gain drops to zero.
+	obj.Select(Element{ID: atoms[0].ID})
+	if g := obj.Gain(Element{ID: atoms[0].ID}); g != 0 {
+		t.Errorf("re-selection gain = %v", g)
+	}
+}
+
+func equalEdgeSets(a, b []planar.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]planar.EdgeID(nil), a...)
+	bc := append([]planar.EdgeID(nil), b...)
+	sort.Slice(ac, func(i, j int) bool { return ac[i] < ac[j] })
+	sort.Slice(bc, func(i, j int) bool { return bc[i] < bc[j] })
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+// Package viz renders worlds, sampled sensing graphs, and query regions
+// to SVG — the Figure 2/4/6 views of the paper, useful for debugging
+// placements and for documentation. Rendering is stdlib-only (hand-built
+// SVG markup through encoding/xml escaping).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+	"repro/internal/sampled"
+)
+
+// Style configures rendering colours and sizes. The zero value is
+// unusable; start from DefaultStyle.
+type Style struct {
+	Width       int
+	Margin      float64
+	RoadColor   string
+	RoadWidth   float64
+	Junction    string
+	JunctionR   float64
+	SensorColor string
+	SensorR     float64
+	SampledEdge string
+	SampledW    float64
+	RegionFill  string
+	GatewayFill string
+	Background  string
+}
+
+// DefaultStyle returns the palette used by cmd/stqviz.
+func DefaultStyle() Style {
+	return Style{
+		Width:       900,
+		Margin:      20,
+		RoadColor:   "#c8c8c8",
+		RoadWidth:   1,
+		Junction:    "#9a9a9a",
+		JunctionR:   1.5,
+		SensorColor: "#d62728",
+		SensorR:     4,
+		SampledEdge: "#1f77b4",
+		SampledW:    2.2,
+		RegionFill:  "#2ca02c",
+		GatewayFill: "#ff7f0e",
+		Background:  "#ffffff",
+	}
+}
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+type Canvas struct {
+	style  Style
+	bounds geom.Rect
+	scale  float64
+	height float64
+	body   strings.Builder
+}
+
+// NewCanvas sizes a canvas to the world's bounding box.
+func NewCanvas(bounds geom.Rect, style Style) (*Canvas, error) {
+	if bounds.Empty() || bounds.Width() <= 0 {
+		return nil, fmt.Errorf("viz: empty bounds %v", bounds)
+	}
+	if style.Width <= 0 {
+		return nil, fmt.Errorf("viz: style width must be positive")
+	}
+	inner := float64(style.Width) - 2*style.Margin
+	scale := inner / bounds.Width()
+	return &Canvas{
+		style:  style,
+		bounds: bounds,
+		scale:  scale,
+		height: bounds.Height()*scale + 2*style.Margin,
+	}, nil
+}
+
+// pt maps a world point to SVG coordinates (Y flipped).
+func (c *Canvas) pt(p geom.Point) (float64, float64) {
+	x := (p.X-c.bounds.Min.X)*c.scale + c.style.Margin
+	y := c.height - ((p.Y-c.bounds.Min.Y)*c.scale + c.style.Margin)
+	return x, y
+}
+
+// Line draws a world-coordinate segment.
+func (c *Canvas) Line(a, b geom.Point, color string, width float64) {
+	x1, y1 := c.pt(a)
+	x2, y2 := c.pt(b)
+	fmt.Fprintf(&c.body,
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, escape(color), width)
+}
+
+// Circle draws a filled circle at a world point.
+func (c *Canvas) Circle(p geom.Point, r float64, fill string) {
+	x, y := c.pt(p)
+	fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n",
+		x, y, r, escape(fill))
+}
+
+// RectOutline draws a world-coordinate rectangle outline with a
+// translucent fill.
+func (c *Canvas) RectOutline(r geom.Rect, stroke string) {
+	x1, y1 := c.pt(geom.Pt(r.Min.X, r.Max.Y))
+	x2, y2 := c.pt(geom.Pt(r.Max.X, r.Min.Y))
+	fmt.Fprintf(&c.body,
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" stroke="%s" fill="%s" fill-opacity="0.15"/>`+"\n",
+		x1, y1, x2-x1, y2-y1, escape(stroke), escape(stroke))
+}
+
+// Text places a label at a world point.
+func (c *Canvas) Text(p geom.Point, s string, size float64, fill string) {
+	x, y := c.pt(p)
+	fmt.Fprintf(&c.body, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="%s">%s</text>`+"\n",
+		x, y, size, escape(fill), escape(s))
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%.0f" viewBox="0 0 %d %.0f">`+"\n",
+		c.style.Width, c.height, c.style.Width, c.height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="%s"/>`+"\n", escape(c.style.Background))
+	b.WriteString(c.body.String())
+	b.WriteString("</svg>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// DrawWorld renders the mobility graph: roads, junctions, gateways.
+func DrawWorld(c *Canvas, w *roadnet.World, style Style) {
+	for ei := 0; ei < w.Star.NumEdges(); ei++ {
+		e := w.Star.Edge(planar.EdgeID(ei))
+		c.Line(w.Star.Point(e.U), w.Star.Point(e.V), style.RoadColor, style.RoadWidth)
+	}
+	for n := 0; n < w.Star.NumNodes(); n++ {
+		c.Circle(w.Star.Point(planar.NodeID(n)), style.JunctionR, style.Junction)
+	}
+	for _, g := range w.Gateways {
+		c.Circle(w.Star.Point(g), style.JunctionR*2, style.GatewayFill)
+	}
+}
+
+// DrawSampled overlays the sampled sensing graph: materialized sensing
+// edges and the selected communication sensors.
+func DrawSampled(c *Canvas, sg *sampled.Graph, style Style) {
+	d := sg.W.Dual
+	for de := range sg.DualEdges {
+		e := d.G.Edge(de)
+		c.Line(d.G.Point(e.U), d.G.Point(e.V), style.SampledEdge, style.SampledW)
+	}
+	for _, s := range sg.Sensors {
+		c.Circle(d.G.Point(s), style.SensorR, style.SensorColor)
+	}
+}
+
+// DrawRegion overlays a query rectangle and highlights the junctions of
+// the (approximated) region.
+func DrawRegion(c *Canvas, w *roadnet.World, rect geom.Rect, region *core.Region, style Style) {
+	c.RectOutline(rect, style.RegionFill)
+	if region == nil {
+		return
+	}
+	for _, j := range region.Junctions() {
+		c.Circle(w.Star.Point(j), style.JunctionR*2, style.RegionFill)
+	}
+}
+
+// RenderWorld is the one-call variant: world plus optional sampled graph
+// and query region to an SVG document.
+func RenderWorld(w io.Writer, world *roadnet.World, sg *sampled.Graph, rect *geom.Rect, region *core.Region, style Style) error {
+	c, err := NewCanvas(world.Bounds().Expand(world.Bounds().Width()*0.02), style)
+	if err != nil {
+		return err
+	}
+	DrawWorld(c, world, style)
+	if sg != nil {
+		DrawSampled(c, sg, style)
+	}
+	if rect != nil {
+		DrawRegion(c, world, *rect, region, style)
+	}
+	_, err = c.WriteTo(w)
+	return err
+}

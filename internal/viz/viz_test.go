@@ -1,0 +1,119 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/roadnet"
+	"repro/internal/sampled"
+	"repro/internal/sampling"
+)
+
+func testWorld(t *testing.T) *roadnet.World {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 8, NY: 8, Spacing: 50, Jitter: 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRenderWorldValidSVG(t *testing.T) {
+	w := testWorld(t)
+	var buf bytes.Buffer
+	if err := RenderWorld(&buf, w, nil, nil, nil, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("missing svg root")
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	if strings.Count(out, "<line") < w.Star.NumEdges() {
+		t.Errorf("roads drawn = %d, want ≥ %d", strings.Count(out, "<line"), w.Star.NumEdges())
+	}
+	if strings.Count(out, "<circle") < w.Star.NumNodes() {
+		t.Error("junctions missing")
+	}
+}
+
+func TestRenderWithSampledAndRegion(t *testing.T) {
+	w := testWorld(t)
+	cands := sampling.CandidatesFromDual(w.Dual.InteriorNodes(), w.Dual.G.Point)
+	sel, err := sampling.Uniform{}.Sample(cands, 10, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sampled.Build(w, sel, sampled.Options{Connect: sampled.Triangulation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Bounds()
+	rect := geom.RectWH(b.Min.X, b.Min.Y, b.Width()/2, b.Height()/2)
+	region, err := core.NewRegion(w, w.JunctionsIn(rect))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderWorld(&buf, w, sg, &rect, region, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<rect") {
+		t.Error("query rect missing")
+	}
+	if !strings.Contains(out, DefaultStyle().SensorColor) {
+		t.Error("sensors missing")
+	}
+	if !strings.Contains(out, DefaultStyle().SampledEdge) {
+		t.Error("sampled edges missing")
+	}
+}
+
+func TestCanvasValidation(t *testing.T) {
+	if _, err := NewCanvas(geom.Rect{Min: geom.Pt(1, 1), Max: geom.Pt(0, 0)}, DefaultStyle()); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	st := DefaultStyle()
+	st.Width = 0
+	if _, err := NewCanvas(geom.RectWH(0, 0, 10, 10), st); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestTextElement(t *testing.T) {
+	c, err := NewCanvas(geom.RectWH(0, 0, 100, 100), DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Text(geom.Pt(50, 50), "hello <world>", 12, "#000")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hello &lt;world&gt;") {
+		t.Error("text not escaped")
+	}
+}

@@ -1,0 +1,123 @@
+// Package worldio serializes worlds and workloads to JSON for the CLI
+// tools. Worlds are stored as generator specs (kind + options + seed), so
+// files stay small and rebuilds are exact; workload events are stored
+// verbatim so downstream consumers do not need the mobility generator.
+package worldio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/mobility"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// CitySpec describes how to rebuild a synthetic city.
+type CitySpec struct {
+	// Kind is "grid", "radial" or "random".
+	Kind string `json:"kind"`
+	Seed int64  `json:"seed"`
+	// Exactly one of the option structs is consulted, per Kind.
+	Grid   *roadnet.GridOpts   `json:"grid,omitempty"`
+	Radial *roadnet.RadialOpts `json:"radial,omitempty"`
+	Random *roadnet.RandomOpts `json:"random,omitempty"`
+}
+
+// Build constructs the world the spec describes.
+func (c CitySpec) Build() (*roadnet.World, error) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	switch c.Kind {
+	case "grid":
+		if c.Grid == nil {
+			return nil, fmt.Errorf("worldio: grid spec missing options")
+		}
+		return roadnet.GridCity(*c.Grid, rng)
+	case "radial":
+		if c.Radial == nil {
+			return nil, fmt.Errorf("worldio: radial spec missing options")
+		}
+		return roadnet.RadialCity(*c.Radial, rng)
+	case "random":
+		if c.Random == nil {
+			return nil, fmt.Errorf("worldio: random spec missing options")
+		}
+		return roadnet.RandomCity(*c.Random, rng)
+	}
+	return nil, fmt.Errorf("worldio: unknown city kind %q", c.Kind)
+}
+
+// EventRec is the JSON shape of one crossing event.
+type EventRec struct {
+	Obj  int     `json:"obj"`
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"` // "enter" | "move" | "leave"
+	Road int     `json:"road,omitempty"`
+	From int     `json:"from,omitempty"`
+	At   int     `json:"at"`
+}
+
+// File is the serialized bundle.
+type File struct {
+	City    CitySpec   `json:"city"`
+	Horizon float64    `json:"horizon"`
+	Objects int        `json:"objects"`
+	Events  []EventRec `json:"events"`
+}
+
+// Save writes a world spec and workload to w as JSON.
+func Save(w io.Writer, spec CitySpec, wl *mobility.Workload) error {
+	f := File{City: spec, Horizon: wl.Horizon, Objects: wl.Objects}
+	f.Events = make([]EventRec, len(wl.Events))
+	for i, ev := range wl.Events {
+		rec := EventRec{Obj: ev.Obj, T: ev.T, At: int(ev.At)}
+		switch ev.Kind {
+		case mobility.Enter:
+			rec.Kind = "enter"
+		case mobility.Move:
+			rec.Kind = "move"
+			rec.Road = int(ev.Road)
+			rec.From = int(ev.From)
+		case mobility.Leave:
+			rec.Kind = "leave"
+		default:
+			return fmt.Errorf("worldio: unknown event kind %d", ev.Kind)
+		}
+		f.Events[i] = rec
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a bundle and rebuilds the world and workload.
+func Load(r io.Reader) (*roadnet.World, *mobility.Workload, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("worldio: decoding: %w", err)
+	}
+	world, err := f.City.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	wl := &mobility.Workload{W: world, Horizon: f.Horizon, Objects: f.Objects}
+	wl.Events = make([]mobility.Event, len(f.Events))
+	for i, rec := range f.Events {
+		ev := mobility.Event{Obj: rec.Obj, T: rec.T, At: planar.NodeID(rec.At)}
+		switch rec.Kind {
+		case "enter":
+			ev.Kind = mobility.Enter
+		case "move":
+			ev.Kind = mobility.Move
+			ev.Road = planar.EdgeID(rec.Road)
+			ev.From = planar.NodeID(rec.From)
+		case "leave":
+			ev.Kind = mobility.Leave
+		default:
+			return nil, nil, fmt.Errorf("worldio: event %d has unknown kind %q", i, rec.Kind)
+		}
+		wl.Events[i] = ev
+	}
+	return world, wl, nil
+}

@@ -1,0 +1,101 @@
+package worldio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mobility"
+	"repro/internal/roadnet"
+)
+
+func testSpec() CitySpec {
+	g := roadnet.GridOpts{NX: 8, NY: 8, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}
+	return CitySpec{Kind: "grid", Seed: 5, Grid: &g}
+}
+
+func TestRoundTrip(t *testing.T) {
+	spec := testSpec()
+	w, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := mobility.Generate(w, mobility.Opts{
+		Objects: 20, Horizon: 5000, TripsPerObject: 3,
+		MeanSpeed: 10, MeanPause: 100, LeaveProb: 0.5},
+		rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, spec, wl); err != nil {
+		t.Fatal(err)
+	}
+	w2, wl2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumJunctions() != w.NumJunctions() || w2.NumRoads() != w.NumRoads() {
+		t.Error("rebuilt world differs")
+	}
+	if len(wl2.Events) != len(wl.Events) || wl2.Objects != wl.Objects || wl2.Horizon != wl.Horizon {
+		t.Fatal("workload metadata differs")
+	}
+	for i := range wl.Events {
+		if wl.Events[i] != wl2.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, wl.Events[i], wl2.Events[i])
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := (CitySpec{Kind: "grid", Seed: 1}).Build(); err == nil {
+		t.Error("grid without options accepted")
+	}
+	if _, err := (CitySpec{Kind: "hexagonal", Seed: 1}).Build(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (CitySpec{Kind: "radial", Seed: 1}).Build(); err == nil {
+		t.Error("radial without options accepted")
+	}
+	if _, err := (CitySpec{Kind: "random", Seed: 1}).Build(); err == nil {
+		t.Error("random without options accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Load(strings.NewReader(
+		`{"city":{"kind":"grid","seed":1,"grid":{"NX":4,"NY":4,"Spacing":10}},` +
+			`"horizon":10,"objects":1,"events":[{"obj":0,"t":1,"kind":"warp","at":0}]}`)); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}
+
+func TestOtherCityKindsRoundTrip(t *testing.T) {
+	specs := []CitySpec{
+		{Kind: "radial", Seed: 2, Radial: &roadnet.RadialOpts{Rings: 3, Spokes: 8, RingGap: 30}},
+		{Kind: "random", Seed: 3, Random: &roadnet.RandomOpts{N: 40, Size: 300, RemoveFrac: 0.2}},
+	}
+	for _, spec := range specs {
+		w, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		var buf bytes.Buffer
+		wl := &mobility.Workload{W: w, Horizon: 100, Objects: 0}
+		if err := Save(&buf, spec, wl); err != nil {
+			t.Fatal(err)
+		}
+		w2, _, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w2.NumJunctions() != w.NumJunctions() {
+			t.Errorf("%s: rebuild differs", spec.Kind)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+// Package stq (SpatioTemporal Queries) is the public API of the
+// in-network approximate spatiotemporal range-query framework of
+// "In-Network Approximate and Efficient Spatiotemporal Range Queries on
+// Moving Objects" (EDBT 2024).
+//
+// The framework answers privacy-aware count queries — how many distinct
+// objects are in a spatial region during a time interval — inside a
+// sensor network, without ever storing object identifiers or
+// trajectories. Its pieces:
+//
+//   - a planar mobility graph (roads + junctions) and its dual sensing
+//     graph (one sensor per city block, one sensing edge per road);
+//   - discrete differential 1-forms on the sensing edges: two monotone
+//     crossing-timestamp sequences per road, which make region counts a
+//     boundary integral and cancel double counting;
+//   - sensor placement (uniform / systematic / stratified / kd-tree /
+//     QuadTree sampling, or query-adaptive submodular maximization) and a
+//     sampled sensing graph G̃ whose perimeters are the only sensors a
+//     query touches;
+//   - constant-size learned temporal models replacing raw timestamps.
+//
+// # Quick start
+//
+//	sys, _ := stq.NewGridCitySystem(stq.DefaultGridOpts(), 42)
+//	wl, _ := sys.GenerateWorkload(stq.DefaultMobilityOpts(), 42)
+//	sys.Ingest(wl)
+//	sys.PlaceSensors(stq.PlacementQuadTree, 64, 42)
+//	resp, _ := sys.Query(stq.Query{
+//		Rect: sys.Bounds().Expand(-200),
+//		T1:   3600, T2: 7200,
+//		Kind: stq.Transient,
+//	})
+//	fmt.Println(resp.Count, resp.NodesAccessed)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package stq
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/learned"
+	"repro/internal/mobility"
+	"repro/internal/planar"
+	"repro/internal/privacy"
+	"repro/internal/query"
+	"repro/internal/roadnet"
+	"repro/internal/sampled"
+	"repro/internal/sampling"
+	"repro/internal/submodular"
+)
+
+// Re-exported building blocks. The aliases keep one canonical definition
+// in the internal packages while exposing them to library users.
+type (
+	// Point is a 2-D location.
+	Point = geom.Point
+	// Rect is an axis-aligned query rectangle.
+	Rect = geom.Rect
+	// GridOpts configures the jittered-grid synthetic city.
+	GridOpts = roadnet.GridOpts
+	// RadialOpts configures the ring-and-spoke synthetic city.
+	RadialOpts = roadnet.RadialOpts
+	// RandomOpts configures the Delaunay-based synthetic city.
+	RandomOpts = roadnet.RandomOpts
+	// MobilityOpts configures workload generation.
+	MobilityOpts = mobility.Opts
+	// Workload is a time-ordered stream of crossing events.
+	Workload = mobility.Workload
+	// NodeID identifies a junction or sensor.
+	NodeID = planar.NodeID
+	// EdgeID identifies a road or sensing edge.
+	EdgeID = planar.EdgeID
+	// Kind selects the query semantics.
+	Kind = query.Kind
+	// Bound selects lower or upper approximation on sampled systems.
+	Bound = sampled.Bound
+	// SampledOptions configures the sampled graph's connectivity.
+	SampledOptions = sampled.Options
+)
+
+// Query kinds (see the paper's §3.3).
+const (
+	// Snapshot counts objects inside the region at T1.
+	Snapshot = query.Snapshot
+	// Static counts objects present during the whole interval [T1, T2].
+	Static = query.Static
+	// Transient counts the net in-minus-out flow over (T1, T2].
+	Transient = query.Transient
+)
+
+// Approximation bounds (§4.6).
+const (
+	// Lower approximates the query region from inside (count ≤ exact).
+	Lower = sampled.Lower
+	// Upper approximates from outside (count ≥ exact).
+	Upper = sampled.Upper
+)
+
+// Convenience constructors for the option structs.
+var (
+	// DefaultGridOpts is roadnet.DefaultGridOpts.
+	DefaultGridOpts = roadnet.DefaultGridOpts
+	// DefaultMobilityOpts is mobility.DefaultOpts.
+	DefaultMobilityOpts = mobility.DefaultOpts
+)
+
+// Placement selects a sensor-placement strategy for PlaceSensors.
+type Placement int
+
+// The placement strategies of §4.3 (query-oblivious sampling). For the
+// query-adaptive submodular strategy use PlaceSensorsForQueries.
+const (
+	PlacementUniform Placement = iota
+	PlacementSystematic
+	PlacementStratified
+	PlacementKDTree
+	PlacementQuadTree
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlacementUniform:
+		return "uniform"
+	case PlacementSystematic:
+		return "systematic"
+	case PlacementStratified:
+		return "stratified"
+	case PlacementKDTree:
+		return "kdtree"
+	case PlacementQuadTree:
+		return "quadtree"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+func (p Placement) sampler() (sampling.Sampler, error) {
+	switch p {
+	case PlacementUniform:
+		return sampling.Uniform{}, nil
+	case PlacementSystematic:
+		return sampling.Systematic{}, nil
+	case PlacementStratified:
+		return sampling.Stratified{}, nil
+	case PlacementKDTree:
+		return sampling.KDTreeSampler{Randomized: true}, nil
+	case PlacementQuadTree:
+		return sampling.QuadTreeSampler{Randomized: true}, nil
+	}
+	return nil, fmt.Errorf("stq: unknown placement %d", int(p))
+}
+
+// Connectivity selects how sampled sensors are wired into G̃ (§4.5).
+type Connectivity = sampled.Connectivity
+
+// Connectivity methods.
+const (
+	// Triangulation connects sensors by Delaunay triangulation.
+	Triangulation = sampled.Triangulation
+	// KNN connects each sensor to its nearest selected neighbours.
+	KNN = sampled.KNN
+)
+
+// Query is one spatiotemporal range count request.
+type Query struct {
+	// Rect is the spatial range.
+	Rect Rect
+	// T1, T2 bound the time interval (T2 unused for Snapshot).
+	T1, T2 float64
+	// Kind selects the count semantics (default Snapshot).
+	Kind Kind
+	// Bound selects lower/upper approximation on sampled systems
+	// (default Lower).
+	Bound Bound
+}
+
+// Response reports a query result.
+type Response struct {
+	// Count is the estimated number of objects.
+	Count float64
+	// Missed reports that the sampled graph could not cover the region.
+	Missed bool
+	// RegionFaces is the number of sensing faces actually counted.
+	RegionFaces int
+	// NodesAccessed, Messages, Hops are the simulated in-network
+	// communication costs.
+	NodesAccessed int
+	Messages      int
+	Hops          int
+	// EdgesAccessed is the number of perimeter sensing edges read.
+	EdgesAccessed int
+}
+
+// System is a complete in-network query system: a world, its tracking-
+// form store, and (after PlaceSensors) a sampled communication graph.
+// Construct with NewGridCitySystem / NewRadialCitySystem /
+// NewRandomCitySystem, or NewSystem over a custom road network.
+//
+// Ingest and Record* calls are safe for concurrent use with queries;
+// placement calls are not (configure placement before serving queries).
+type System struct {
+	world    *roadnet.World
+	store    *core.Store
+	learnt   *learned.Store
+	sg       *sampled.Graph
+	engine   *query.Engine
+	trainer  learned.Trainer
+	releaser *privacy.CountReleaser
+	// perQueryEpsilon is spent on every private query.
+	perQueryEpsilon float64
+	acct            *privacy.Accountant
+}
+
+// NewSystem wraps an existing world.
+func NewSystem(w *roadnet.World) *System {
+	s := &System{world: w, store: core.NewStore(w)}
+	s.rebuild()
+	return s
+}
+
+// NewGridCitySystem generates a jittered-grid city and wraps it.
+func NewGridCitySystem(opts GridOpts, seed int64) (*System, error) {
+	w, err := roadnet.GridCity(opts, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(w), nil
+}
+
+// NewRadialCitySystem generates a ring-and-spoke city and wraps it.
+func NewRadialCitySystem(opts RadialOpts, seed int64) (*System, error) {
+	w, err := roadnet.RadialCity(opts, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(w), nil
+}
+
+// NewRandomCitySystem generates a Delaunay-based city and wraps it.
+func NewRandomCitySystem(opts RandomOpts, seed int64) (*System, error) {
+	w, err := roadnet.RandomCity(opts, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(w), nil
+}
+
+// World exposes the underlying world for advanced use.
+func (s *System) World() *roadnet.World { return s.world }
+
+// Bounds returns the bounding rectangle of the city.
+func (s *System) Bounds() Rect { return s.world.Bounds() }
+
+// NumSensors returns the number of candidate sensor locations.
+func (s *System) NumSensors() int { return s.world.NumSensors() }
+
+// NumCommunicationSensors returns the number of active communication
+// sensors after placement (0 before placement).
+func (s *System) NumCommunicationSensors() int {
+	if s.sg == nil {
+		return 0
+	}
+	return s.sg.NumSensors()
+}
+
+// GenerateWorkload produces a synthetic moving-object workload over the
+// system's city.
+func (s *System) GenerateWorkload(opts MobilityOpts, seed int64) (*Workload, error) {
+	return mobility.Generate(s.world, opts, rand.New(rand.NewSource(seed)))
+}
+
+// Ingest replays a workload into the tracking forms.
+func (s *System) Ingest(wl *Workload) error {
+	if err := wl.Feed(s.store); err != nil {
+		return err
+	}
+	if s.trainer != nil {
+		s.learnt = learned.FromExact(s.store, s.trainer)
+	}
+	s.rebuild()
+	return nil
+}
+
+// RecordMove ingests a single road crossing: the object traverses road
+// starting from junction `from` at time t.
+func (s *System) RecordMove(road EdgeID, from NodeID, t float64) error {
+	return s.store.RecordMove(road, from, t)
+}
+
+// RecordEnter ingests a world entry at a gateway junction.
+func (s *System) RecordEnter(gateway NodeID, t float64) error {
+	return s.store.RecordEnter(gateway, t)
+}
+
+// RecordLeave ingests a world exit at a gateway junction.
+func (s *System) RecordLeave(gateway NodeID, t float64) error {
+	return s.store.RecordLeave(gateway, t)
+}
+
+// PlaceSensors selects `budget` communication sensors with a
+// query-oblivious strategy and builds the sampled graph with Delaunay
+// connectivity. Call PlaceSensorsConnect for k-NN wiring.
+func (s *System) PlaceSensors(p Placement, budget int, seed int64) error {
+	return s.PlaceSensorsConnect(p, budget, seed, sampled.Options{Connect: sampled.Triangulation})
+}
+
+// PlaceSensorsConnect is PlaceSensors with explicit connectivity options.
+func (s *System) PlaceSensorsConnect(p Placement, budget int, seed int64, opts sampled.Options) error {
+	smp, err := p.sampler()
+	if err != nil {
+		return err
+	}
+	cands := sampling.CandidatesFromDual(s.world.Dual.InteriorNodes(), s.world.Dual.G.Point)
+	sel, err := smp.Sample(cands, budget, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	sg, err := sampled.Build(s.world, sel, opts)
+	if err != nil {
+		return err
+	}
+	s.sg = sg
+	s.rebuild()
+	return nil
+}
+
+// PlaceSensorsForQueries runs the query-adaptive submodular selection
+// (§4.4) against a set of expected query rectangles.
+func (s *System) PlaceSensorsForQueries(rects []Rect, budget int) error {
+	var hist []*core.Region
+	for _, rc := range rects {
+		r, err := core.NewRegion(s.world, s.world.JunctionsIn(rc))
+		if err != nil {
+			return err
+		}
+		if !r.Empty() {
+			hist = append(hist, r)
+		}
+	}
+	res, err := submodular.SelectForQueries(s.world, hist, budget)
+	if err != nil {
+		return err
+	}
+	sg, err := sampled.BuildFromDualEdges(s.world, res.DualEdges)
+	if err != nil {
+		return err
+	}
+	s.sg = sg
+	s.rebuild()
+	return nil
+}
+
+// ClearPlacement reverts the system to the full (unsampled) sensing
+// graph.
+func (s *System) ClearPlacement() {
+	s.sg = nil
+	s.rebuild()
+}
+
+// UseLearnedModels replaces raw timestamp storage in the query path with
+// constant-size regression models (§4.8): linear, polynomial, piecewise
+// or step regressors from the learned package. Pass nil to revert to
+// exact forms. Models are (re)trained from the currently ingested events
+// and after every subsequent Ingest.
+func (s *System) UseLearnedModels(tr learned.Trainer) {
+	s.trainer = tr
+	if tr == nil {
+		s.learnt = nil
+	} else {
+		s.learnt = learned.FromExact(s.store, tr)
+	}
+	s.rebuild()
+}
+
+// rebuild reconstructs the engine after configuration changes.
+func (s *System) rebuild() {
+	var counter core.Counter = s.store
+	var lister core.EventLister = s.store
+	if s.learnt != nil {
+		counter = s.learnt
+		lister = nil
+	}
+	if s.sg != nil {
+		s.engine = query.NewSampledEngine(s.sg, counter, lister)
+	} else {
+		s.engine = query.NewEngine(s.world, counter, lister)
+	}
+}
+
+// EnablePrivacy turns on ε-differentially private count releases: every
+// subsequent Query perturbs its count with the Laplace mechanism at
+// perQueryEpsilon and draws from a total budget of totalEpsilon; queries
+// beyond the budget fail. Pass totalEpsilon ≤ 0 to disable.
+func (s *System) EnablePrivacy(totalEpsilon, perQueryEpsilon float64, seed int64) error {
+	if totalEpsilon <= 0 {
+		s.releaser = nil
+		s.acct = nil
+		return nil
+	}
+	if perQueryEpsilon <= 0 || perQueryEpsilon > totalEpsilon {
+		return fmt.Errorf("stq: per-query epsilon %v out of (0, %v]", perQueryEpsilon, totalEpsilon)
+	}
+	acct, err := privacy.NewAccountant(totalEpsilon)
+	if err != nil {
+		return err
+	}
+	s.acct = acct
+	s.perQueryEpsilon = perQueryEpsilon
+	s.releaser = privacy.NewCountReleaser(privacy.Laplace{}, acct, seed)
+	return nil
+}
+
+// PrivacyBudgetRemaining returns the unspent ε, or +Inf when privacy is
+// disabled.
+func (s *System) PrivacyBudgetRemaining() float64 {
+	if s.acct == nil {
+		return math.Inf(1)
+	}
+	return s.acct.Remaining()
+}
+
+// Query answers one spatiotemporal range count query.
+func (s *System) Query(q Query) (*Response, error) {
+	resp, err := s.engine.Query(query.Request{
+		Rect: q.Rect, T1: q.T1, T2: q.T2, Kind: q.Kind, Bound: q.Bound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.releaser != nil && !resp.Missed {
+		noisy, err := s.releaser.Release(resp.Count, s.perQueryEpsilon)
+		if err != nil {
+			return nil, err
+		}
+		resp.Count = noisy
+	}
+	return &Response{
+		Count:         resp.Count,
+		Missed:        resp.Missed,
+		RegionFaces:   resp.Region.Size(),
+		NodesAccessed: resp.Net.NodesAccessed,
+		Messages:      resp.Net.Messages,
+		Hops:          resp.Net.Hops,
+		EdgesAccessed: resp.EdgesAccessed,
+	}, nil
+}
+
+// StorageBytes reports the tracking-form storage of the current
+// configuration: learned-model bytes over the monitored roads when
+// learned models are active (and a sampled graph restricts monitoring),
+// raw timestamp bytes otherwise.
+func (s *System) StorageBytes() int {
+	if s.learnt != nil {
+		if s.sg != nil {
+			return s.learnt.Storage(s.sg.MonitoredRoads)
+		}
+		return s.learnt.Storage(nil)
+	}
+	return s.store.Storage().Bytes
+}
+
+// Gateways returns the world-boundary junctions through which objects
+// enter and leave.
+func (s *System) Gateways() []NodeID { return s.world.Gateways }

@@ -1,0 +1,292 @@
+package stq
+
+import (
+	"testing"
+
+	"repro/internal/learned"
+)
+
+func newTestSystem(t *testing.T) (*System, *Workload) {
+	t.Helper()
+	sys, err := NewGridCitySystem(GridOpts{
+		NX: 10, NY: 10, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.15}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sys.GenerateWorkload(MobilityOpts{
+		Objects: 80, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(wl); err != nil {
+		t.Fatal(err)
+	}
+	return sys, wl
+}
+
+func centered(sys *System, frac float64) Rect {
+	b := sys.Bounds()
+	c := b.Center()
+	w, h := b.Width()*frac, b.Height()*frac
+	return Rect{Min: Point{X: c.X - w/2, Y: c.Y - h/2}, Max: Point{X: c.X + w/2, Y: c.Y + h/2}}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	if sys.NumSensors() == 0 {
+		t.Fatal("no sensors")
+	}
+	if sys.NumCommunicationSensors() != 0 {
+		t.Error("placement before PlaceSensors")
+	}
+	if len(sys.Gateways()) == 0 {
+		t.Error("no gateways")
+	}
+	resp, err := sys.Query(Query{Rect: centered(sys, 0.5), T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Missed {
+		t.Error("unsampled query missed")
+	}
+	if resp.RegionFaces == 0 || resp.NodesAccessed == 0 {
+		t.Errorf("degenerate response %+v", resp)
+	}
+}
+
+func TestSystemAllKinds(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	rect := centered(sys, 0.6)
+	t1, t2 := wl.Horizon*0.3, wl.Horizon*0.7
+	snap, err := sys.Query(Query{Rect: rect, T1: t1, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := sys.Query(Query{Rect: rect, T1: t1, T2: t2, Kind: Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Count > snap.Count {
+		t.Errorf("static %v above snapshot %v", static.Count, snap.Count)
+	}
+	if _, err := sys.Query(Query{Rect: rect, T1: t1, T2: t2, Kind: Transient}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemPlacementReducesAccess(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	rect := centered(sys, 0.7)
+	full, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.PlaceSensors(PlacementQuadTree, 25, 9); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumCommunicationSensors() == 0 {
+		t.Fatal("no communication sensors after placement")
+	}
+	smp, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot, Bound: Lower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smp.Missed {
+		if smp.Count > full.Count {
+			t.Errorf("lower-bound %v above exact %v", smp.Count, full.Count)
+		}
+		if smp.NodesAccessed >= full.NodesAccessed {
+			t.Errorf("sampled accessed %d ≥ unsampled %d", smp.NodesAccessed, full.NodesAccessed)
+		}
+	}
+	up, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot, Bound: Upper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Count < full.Count {
+		t.Errorf("upper-bound %v below exact %v", up.Count, full.Count)
+	}
+	sys.ClearPlacement()
+	if sys.NumCommunicationSensors() != 0 {
+		t.Error("ClearPlacement did not revert")
+	}
+}
+
+func TestSystemQueryAdaptivePlacement(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	hot := centered(sys, 0.4)
+	if err := sys.PlaceSensorsForQueries([]Rect{hot, centered(sys, 0.3)}, 40); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Query(Query{Rect: hot, T1: wl.Horizon / 2, Kind: Snapshot, Bound: Lower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Missed {
+		t.Error("trained region missed")
+	}
+}
+
+func TestSystemLearnedModels(t *testing.T) {
+	// Constant-size models only pay off at event volumes well above the
+	// model parameter count, so this test uses a denser workload.
+	sys, err := NewGridCitySystem(GridOpts{
+		NX: 10, NY: 10, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.15}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sys.GenerateWorkload(MobilityOpts{
+		Objects: 500, Horizon: 60000, TripsPerObject: 8,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(wl); err != nil {
+		t.Fatal(err)
+	}
+	rect := centered(sys, 0.5)
+	exact, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactStorage := sys.StorageBytes()
+	sys.UseLearnedModels(learned.PiecewiseTrainer{Segments: 8})
+	approx, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := exact.Count - approx.Count
+	if d < 0 {
+		d = -d
+	}
+	if d > float64(exact.Count)/2+5 {
+		t.Errorf("learned count %v far from exact %v", approx.Count, exact.Count)
+	}
+	if sys.StorageBytes() >= exactStorage {
+		t.Errorf("learned storage %d not below exact %d", sys.StorageBytes(), exactStorage)
+	}
+	// Static works without an event lister (sampled probing).
+	if _, err := sys.Query(Query{Rect: rect, T1: 1000, T2: 5000, Kind: Static}); err != nil {
+		t.Fatal(err)
+	}
+	sys.UseLearnedModels(nil)
+	back, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != exact.Count {
+		t.Error("revert to exact forms changed the count")
+	}
+}
+
+func TestSystemManualRecording(t *testing.T) {
+	sys, err := NewGridCitySystem(GridOpts{NX: 5, NY: 5, Spacing: 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := sys.Gateways()[0]
+	if err := sys.RecordEnter(gw, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := sys.World()
+	var road EdgeID = -1
+	var from NodeID
+	for _, e := range w.Star.Incident(gw) {
+		road = e
+		from = gw
+		break
+	}
+	if road < 0 {
+		t.Fatal("gateway has no incident road")
+	}
+	if err := sys.RecordMove(road, from, 2); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Query(Query{Rect: sys.Bounds().Expand(1), T1: 3, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 {
+		t.Errorf("count = %v, want 1", resp.Count)
+	}
+	if err := sys.RecordLeave(from, 1); err == nil {
+		t.Error("time regression accepted")
+	}
+}
+
+func TestOtherCityKinds(t *testing.T) {
+	if _, err := NewRadialCitySystem(RadialOpts{Rings: 4, Spokes: 8, RingGap: 40, SkipFrac: 0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRandomCitySystem(RandomOpts{N: 60, Size: 500, RemoveFrac: 0.2}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemPrivacy(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	rect := centered(sys, 0.6)
+	exact, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnablePrivacy(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnablePrivacy(2.0, 3.0, 1); err == nil {
+		t.Error("per-query epsilon above total accepted")
+	}
+	if err := sys.EnablePrivacy(2.0, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	var devSum float64
+	for i := 0; i < 4; i++ {
+		resp, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := resp.Count - exact.Count
+		if d < 0 {
+			d = -d
+		}
+		devSum += d
+	}
+	if devSum == 0 {
+		t.Error("privacy enabled but counts unperturbed across 4 queries")
+	}
+	if got := sys.PrivacyBudgetRemaining(); got > 1e-9 {
+		t.Errorf("budget remaining = %v, want 0", got)
+	}
+	if _, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot}); err == nil {
+		t.Error("query beyond privacy budget accepted")
+	}
+	// Disable and verify exactness returns.
+	if err := sys.EnablePrivacy(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Query(Query{Rect: rect, T1: wl.Horizon / 2, Kind: Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != exact.Count {
+		t.Error("disabled privacy still perturbs")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	names := map[Placement]string{
+		PlacementUniform: "uniform", PlacementSystematic: "systematic",
+		PlacementStratified: "stratified", PlacementKDTree: "kdtree",
+		PlacementQuadTree: "quadtree",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	sys, _ := newTestSystem(t)
+	if err := sys.PlaceSensors(Placement(99), 10, 1); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}
