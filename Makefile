@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race bench experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json experiments examples fmt vet clean
 
 all: build test
 
@@ -13,8 +13,18 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast-path query/ingest micro-benchmarks as machine-readable JSON.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTransientQuery|BenchmarkSnapshotQuery|BenchmarkStaticQuery|BenchmarkRegionBuild|BenchmarkIngest' \
+		-benchmem ./internal/core | $(GO) run ./cmd/benchjson > BENCH_query.json
+	@cat BENCH_query.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON array on stdout, one object per benchmark result line:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/core | go run ./cmd/benchjson
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS/ok
+// trailers) are skipped. Fields bytes_per_op and allocs_per_op are -1
+// when the run did not use -benchmem.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results := []Result{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			results = append(results, r)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  1000000  1008 ns/op  [32 B/op  1 allocs/op]
+//
+// The -8 GOMAXPROCS suffix is stripped from the name.
+func parseLine(line string) (Result, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Result{}, false, nil
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("ns/op in %q: %w", line, err)
+	}
+	r := Result{Name: name, Iterations: iters, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true, nil
+}

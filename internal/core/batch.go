@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/planar"
+)
+
+// EventKind distinguishes the three store-ingestible crossing kinds.
+type EventKind uint8
+
+// Batch event kinds.
+const (
+	// EventEnter is a world-entry at a gateway (from ★v_ext).
+	EventEnter EventKind = iota
+	// EventMove is a road traversal between two junctions.
+	EventMove
+	// EventLeave is a world-exit at a gateway (to ★v_ext).
+	EventLeave
+)
+
+// Event is one identifier-free crossing event for batch ingestion.
+// Move events set Road and From; Enter/Leave events set Gateway.
+type Event struct {
+	T    float64
+	Kind EventKind
+	// Road and From describe a Move: the object traverses Road starting
+	// at junction From, crossing the dual sensing edge at time T.
+	Road planar.EdgeID
+	From planar.NodeID
+	// Gateway is the world junction of an Enter/Leave.
+	Gateway planar.NodeID
+}
+
+// MoveEvent builds a Move batch event.
+func MoveEvent(road planar.EdgeID, from planar.NodeID, t float64) Event {
+	return Event{T: t, Kind: EventMove, Road: road, From: from}
+}
+
+// EnterEvent builds a world-entry batch event.
+func EnterEvent(gateway planar.NodeID, t float64) Event {
+	return Event{T: t, Kind: EventEnter, Gateway: gateway}
+}
+
+// LeaveEvent builds a world-exit batch event.
+func LeaveEvent(gateway planar.NodeID, t float64) Event {
+	return Event{T: t, Kind: EventLeave, Gateway: gateway}
+}
+
+// RecordBatch ingests a time-ordered batch of events under a single
+// write-lock acquisition — the batch counterpart of RecordMove /
+// RecordEnter / RecordLeave for high-throughput ingestion.
+//
+// The batch is atomic: every event is validated (kind, road range,
+// endpoint membership, global time ordering against both the store
+// clock and earlier events of the batch) before anything is applied, so
+// a failed call leaves the store unchanged.
+func (s *Store) RecordBatch(events []Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Pass 1: validate against the store and the batch's own ordering.
+	clock := s.clock
+	for i, ev := range events {
+		if ev.T < clock {
+			return fmt.Errorf("core: batch event %d at %v precedes time %v (events must be time ordered)", i, ev.T, clock)
+		}
+		clock = ev.T
+		switch ev.Kind {
+		case EventMove:
+			if ev.Road < 0 || int(ev.Road) >= len(s.roads) {
+				return fmt.Errorf("core: batch event %d: road %d out of range", i, ev.Road)
+			}
+			e := s.w.Star.Edge(ev.Road)
+			if ev.From != e.U && ev.From != e.V {
+				return fmt.Errorf("core: batch event %d: node %d is not an endpoint of road %d", i, ev.From, ev.Road)
+			}
+		case EventEnter, EventLeave:
+			// Any junction may carry world edges (map-matched real traces
+			// appear and vanish anywhere), as with RecordEnter/RecordLeave.
+		default:
+			return fmt.Errorf("core: batch event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	// Pass 2: apply.
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventMove:
+			e := s.w.Star.Edge(ev.Road)
+			s.roads[ev.Road].Record(ev.From == e.U, ev.T)
+		case EventEnter:
+			if len(s.worldIn[ev.Gateway]) == 0 && len(s.worldOut[ev.Gateway]) == 0 {
+				s.worldJs = nil
+			}
+			s.worldIn[ev.Gateway] = append(s.worldIn[ev.Gateway], ev.T)
+		case EventLeave:
+			if len(s.worldIn[ev.Gateway]) == 0 && len(s.worldOut[ev.Gateway]) == 0 {
+				s.worldJs = nil
+			}
+			s.worldOut[ev.Gateway] = append(s.worldOut[ev.Gateway], ev.T)
+		}
+	}
+	s.clock = clock
+	s.events += len(events)
+	return nil
+}

@@ -75,6 +75,88 @@ func TestStoreConcurrentReadersOneWriter(t *testing.T) {
 	}
 }
 
+// TestRoadTrackerConcurrentWithIngest exercises the RoadTracker
+// aliasing contract under the race detector: tracker snapshots are read
+// (counts, raw events) while a writer keeps appending to the same
+// trackers, via both the per-event and the batch ingestion paths.
+func TestRoadTrackerConcurrentWithIngest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 6, NY: 6, Spacing: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewStore(w)
+	gw := w.Gateways[0]
+	if err := st.RecordEnter(gw, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const events = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				road := planar.EdgeID(rr.Intn(w.Star.NumEdges()))
+				trk := st.RoadTracker(road)
+				n := trk.Count(true, float64(events)) + trk.Count(false, float64(events))
+				if n < 0 || n != trk.Len() {
+					t.Errorf("tracker snapshot inconsistent: counts %d vs len %d", n, trk.Len())
+					return
+				}
+				for _, ts := range trk.Events(rr.Intn(2) == 0) {
+					if ts < 0 {
+						t.Error("negative timestamp in snapshot")
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	// Writer: alternate single-event and batch ingestion.
+	cur := gw
+	batch := make([]core.Event, 0, 16)
+	for i := 1; i <= events; i++ {
+		inc := w.Star.Incident(cur)
+		e := inc[rng.Intn(len(inc))]
+		if i%3 == 0 {
+			// Flush pending batch first to keep global time ordering.
+			if err := st.RecordBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+			if err := st.RecordMove(e, cur, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			batch = append(batch, core.MoveEvent(e, cur, float64(i)))
+			if len(batch) == cap(batch) {
+				if err := st.RecordBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		cur = w.Star.Edge(e).Other(cur)
+	}
+	if err := st.RecordBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if st.NumEvents() != events+1 {
+		t.Errorf("events = %d, want %d", st.NumEvents(), events+1)
+	}
+}
+
 // TestStoreRejectsOutOfOrderAcrossKinds verifies global time ordering
 // across event kinds, not just per edge.
 func TestStoreRejectsOutOfOrderAcrossKinds(t *testing.T) {

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/planar"
 	"repro/internal/roadnet"
@@ -26,14 +27,26 @@ import (
 
 // Region is a query region expressed as a union of sensing-graph faces,
 // i.e. a set of junctions of the mobility graph (vertex–face duality).
+//
+// A Region is immutable once its perimeter is materialized: CutRoads
+// memoizes the scan on first call, and every later use (counting,
+// perimeter sensors, cost accounting) reads the cached 1-chain. After
+// that first call a Region is safe for concurrent readers.
 type Region struct {
 	w         *roadnet.World
 	inside    []bool
 	junctions []planar.NodeID
-	// cutCache, when non-nil, is the precomputed perimeter (set by
-	// sampled-graph region approximation, which derives it from the
-	// monitored edge set in O(|E(G̃)|) instead of scanning the region).
+	// cutCache, when non-nil, is the memoized perimeter: either the
+	// result of the first CutRoads scan, or a precomputed perimeter
+	// installed by SetCutRoads (sampled-graph region approximation
+	// derives it from the monitored edge set in O(|E(G̃)|) instead of
+	// scanning the region).
 	cutCache []CutRoad
+	cutOnce  sync.Once
+	// scans counts full perimeter scans actually performed — the
+	// instrumentation hook the query tests assert single-scan behaviour
+	// with. It is 0 or 1 for any Region.
+	scans int
 }
 
 // NewRegion builds a Region from a set of junctions of w's mobility
@@ -82,26 +95,44 @@ type CutRoad struct {
 // SetCutRoads installs a precomputed perimeter. The caller asserts that
 // cuts is exactly the set CutRoads would compute; the sampled package
 // uses this to answer queries by touching only monitored sensing edges,
-// which is what an in-network deployment does.
+// which is what an in-network deployment does. SetCutRoads must be
+// called before the Region is shared across goroutines.
 func (r *Region) SetCutRoads(cuts []CutRoad) { r.cutCache = cuts }
 
 // CutRoads returns the perimeter of the region: every road with exactly
 // one endpoint inside, each reported once. This is the 1-chain ∂Q_R the
 // differential forms are integrated along.
+//
+// The scan runs at most once per Region; the result is memoized, so the
+// query engine and the counting theorems share a single perimeter
+// computation. Callers must not modify the returned slice.
 func (r *Region) CutRoads() []CutRoad {
-	if r.cutCache != nil {
-		return r.cutCache
-	}
-	var out []CutRoad
-	for _, j := range r.junctions {
-		for _, e := range r.w.Star.Incident(j) {
-			if !r.Contains(r.w.Star.Edge(e).Other(j)) {
-				out = append(out, CutRoad{Road: e, Inside: j})
+	r.cutOnce.Do(func() {
+		if r.cutCache != nil {
+			return // installed by SetCutRoads
+		}
+		r.scans++
+		var out []CutRoad
+		for _, j := range r.junctions {
+			for _, e := range r.w.Star.Incident(j) {
+				if !r.Contains(r.w.Star.Edge(e).Other(j)) {
+					out = append(out, CutRoad{Road: e, Inside: j})
+				}
 			}
 		}
-	}
-	return out
+		if out == nil {
+			out = []CutRoad{} // non-nil marks the memo as computed
+		}
+		r.cutCache = out
+	})
+	return r.cutCache
 }
+
+// PerimeterScans reports how many full perimeter scans the Region has
+// performed — 0 before the first CutRoads call (or when a perimeter was
+// installed with SetCutRoads), 1 after. Instrumentation for tests and
+// cost accounting.
+func (r *Region) PerimeterScans() int { return r.scans }
 
 // worldJunctionsInside filters a counter's world-edge junctions to those
 // contained in the region; their world edges (to ★v_ext) are part of the
@@ -171,9 +202,56 @@ type SignedEvent struct {
 	Delta int
 }
 
+// IntervalCounter is an optional Counter extension: the count of
+// crossings inside a half-open interval (t1, t2], answered in one call
+// instead of two prefix counts. The exact store answers it with the two
+// binary searches fused under one lock acquisition.
+type IntervalCounter interface {
+	// RoadCrossingsIn returns the number of crossings of road toward the
+	// given endpoint with timestamps in (t1, t2].
+	RoadCrossingsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64) float64
+	// WorldCrossingsIn returns the number of world-entry (entering=true)
+	// or world-exit events at the gateway in (t1, t2].
+	WorldCrossingsIn(gateway planar.NodeID, entering bool, t1, t2 float64) float64
+}
+
+// BatchCounter is an optional Counter extension for stores that can
+// integrate a whole region perimeter in one call — one lock acquisition
+// and one tracker fetch per cut road, instead of one of each per count.
+// The counting theorems dispatch to it when available; the accumulation
+// order is specified so that results are bit-identical to the per-edge
+// reference kernels (the property tests assert this).
+type BatchCounter interface {
+	// CountCuts returns the boundary integral at time t:
+	//   Σ_cuts [C(γ⁺,t) − C(γ⁻,t)] + Σ_worldJs [C(in,t) − C(out,t)]
+	// accumulated in slice order, cuts first.
+	CountCuts(cuts []CutRoad, worldJs []planar.NodeID, t float64) float64
+	// CountCutsTimes evaluates the same integral at every probe time
+	// ts[i], fetching each tracker exactly once, and appends the per-time
+	// totals to dst.
+	CountCutsTimes(cuts []CutRoad, worldJs []planar.NodeID, ts []float64, dst []float64) []float64
+	// CutFlow returns the fused net flow over (t1, t2]:
+	//   CountCuts(cuts, worldJs, t2) − CountCuts(cuts, worldJs, t1)
+	// computed in a single perimeter pass.
+	CutFlow(cuts []CutRoad, worldJs []planar.NodeID, t1, t2 float64) float64
+}
+
 // SnapshotCount evaluates Theorem 4.1/4.2: the number of objects inside
 // the region at time t, as the boundary integral of in − out counts.
+// Stores implementing BatchCounter answer it in one perimeter pass under
+// a single lock acquisition.
 func SnapshotCount(c Counter, r *Region, t float64) float64 {
+	if bc, ok := c.(BatchCounter); ok {
+		return bc.CountCuts(r.CutRoads(), r.worldJunctionsInside(c), t)
+	}
+	return SnapshotCountReference(c, r, t)
+}
+
+// SnapshotCountReference is the per-edge reference implementation of
+// SnapshotCount: two prefix counts per cut road through the plain
+// Counter interface. Kept as the oracle the fast-path property tests
+// compare against.
+func SnapshotCountReference(c Counter, r *Region, t float64) float64 {
 	var total float64
 	for _, cr := range r.CutRoads() {
 		e := r.w.Star.Edge(cr.Road)
@@ -190,8 +268,38 @@ func SnapshotCount(c Counter, r *Region, t float64) float64 {
 // TransientCount evaluates Theorem 4.3: the net number of objects that
 // entered minus left the region during (t1, t2]. Negative values mean net
 // outflow, as in the paper.
+//
+// The fast path is a single perimeter pass: BatchCounter stores fuse the
+// whole integral under one lock acquisition; IntervalCounter stores fuse
+// the two prefix counts per direction into one interval count. The
+// reference path walks the perimeter twice (one SnapshotCount per
+// endpoint).
 func TransientCount(c Counter, r *Region, t1, t2 float64) float64 {
-	return SnapshotCount(c, r, t2) - SnapshotCount(c, r, t1)
+	if bc, ok := c.(BatchCounter); ok {
+		return bc.CutFlow(r.CutRoads(), r.worldJunctionsInside(c), t1, t2)
+	}
+	if ic, ok := c.(IntervalCounter); ok {
+		var total float64
+		for _, cr := range r.CutRoads() {
+			e := r.w.Star.Edge(cr.Road)
+			total += ic.RoadCrossingsIn(cr.Road, cr.Inside, t1, t2)
+			total -= ic.RoadCrossingsIn(cr.Road, e.Other(cr.Inside), t1, t2)
+		}
+		for _, g := range r.worldJunctionsInside(c) {
+			total += ic.WorldCrossingsIn(g, true, t1, t2)
+			total -= ic.WorldCrossingsIn(g, false, t1, t2)
+		}
+		return total
+	}
+	return TransientCountReference(c, r, t1, t2)
+}
+
+// TransientCountReference is the seed two-snapshot implementation of
+// TransientCount: two full perimeter walks, four binary searches and
+// four lock acquisitions per cut road. Kept as the oracle the fast-path
+// property tests and benchmarks compare against.
+func TransientCountReference(c Counter, r *Region, t1, t2 float64) float64 {
+	return SnapshotCountReference(c, r, t2) - SnapshotCountReference(c, r, t1)
 }
 
 // StaticCount returns the number of objects present in the region for the
@@ -215,18 +323,57 @@ func StaticCount(c Counter, el EventLister, r *Region, t1, t2 float64) float64 {
 // available (learned stores): it takes the minimum of SnapshotCount over
 // `samples` evenly spaced probe times in [t1, t2]. samples < 2 is raised
 // to 2 (the interval endpoints).
+//
+// BatchCounter stores evaluate all probes in one perimeter pass: each
+// cut road's tracker is fetched once and probed at every sample time,
+// instead of re-walking the perimeter (and re-locking the store) per
+// probe as the reference does.
 func StaticCountSampled(c Counter, r *Region, t1, t2 float64, samples int) float64 {
 	if samples < 2 {
 		samples = 2
 	}
+	if bc, ok := c.(BatchCounter); ok {
+		ts := probeTimes(t1, t2, samples)
+		vals := bc.CountCutsTimes(r.CutRoads(), r.worldJunctionsInside(c), ts, make([]float64, 0, samples))
+		min := vals[0]
+		for _, v := range vals[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	return StaticCountSampledReference(c, r, t1, t2, samples)
+}
+
+// StaticCountSampledReference is the seed implementation of
+// StaticCountSampled: one full SnapshotCount perimeter walk per probe
+// time. Kept as the oracle the fast-path property tests compare against.
+func StaticCountSampledReference(c Counter, r *Region, t1, t2 float64, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
 	step := (t2 - t1) / float64(samples-1)
-	min := SnapshotCount(c, r, t1)
+	min := SnapshotCountReference(c, r, t1)
 	for i := 1; i < samples; i++ {
-		if v := SnapshotCount(c, r, t1+step*float64(i)); v < min {
+		if v := SnapshotCountReference(c, r, t1+step*float64(i)); v < min {
 			min = v
 		}
 	}
 	return min
+}
+
+// probeTimes returns the `samples` evenly spaced probe instants of
+// [t1, t2] — exactly the instants the reference implementation visits,
+// so fast-path and reference results agree bit for bit.
+func probeTimes(t1, t2 float64, samples int) []float64 {
+	step := (t2 - t1) / float64(samples-1)
+	ts := make([]float64, samples)
+	ts[0] = t1
+	for i := 1; i < samples; i++ {
+		ts[i] = t1 + step*float64(i)
+	}
+	return ts
 }
 
 // perimeterEvents gathers the signed boundary events of r in (t1,t2],

@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/roadnet"
+)
+
+// Micro-benchmarks for the fast-path kernels, one per optimization
+// level. Each fused variant is paired with the reference it replaced so
+// `go test -bench` shows the speedup directly.
+
+type benchEnv struct {
+	w       *roadnet.World
+	wl      *mobility.Workload
+	st      *core.Store
+	regions []*core.Region
+	rects   []geom.Rect
+}
+
+func newBenchEnv(seed int64, nRegions int) *benchEnv {
+	rng := rand.New(rand.NewSource(seed))
+	w, err := roadnet.GridCity(
+		roadnet.GridOpts{NX: 16, NY: 16, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.15}, rng)
+	if err != nil {
+		panic(err)
+	}
+	wl, err := mobility.Generate(w, mobility.Opts{
+		Objects: 300, Horizon: 30000, TripsPerObject: 5,
+		MeanSpeed: 10, MeanPause: 400, LeaveProb: 0.5, HotspotBias: 0.3}, rng)
+	if err != nil {
+		panic(err)
+	}
+	st := core.NewStore(w)
+	if err := wl.Feed(st); err != nil {
+		panic(err)
+	}
+	env := &benchEnv{w: w, wl: wl, st: st}
+	b := w.Bounds()
+	for i := 0; i < nRegions; i++ {
+		wf := 0.3 + rng.Float64()*0.4
+		hf := 0.3 + rng.Float64()*0.4
+		rect := geom.RectWH(
+			b.Min.X+rng.Float64()*b.Width()*(1-wf),
+			b.Min.Y+rng.Float64()*b.Height()*(1-hf),
+			b.Width()*wf, b.Height()*hf)
+		r, err := core.NewRegion(w, w.JunctionsIn(rect))
+		if err != nil {
+			panic(err)
+		}
+		r.CutRoads() // pre-memoize: both variants then measure pure counting
+		env.regions = append(env.regions, r)
+		env.rects = append(env.rects, rect)
+	}
+	return env
+}
+
+var sinkF float64
+
+// BenchmarkTransientQuery compares the fused single-pass transient
+// kernel against the seed's two-snapshot reference on identical
+// pre-built regions.
+func BenchmarkTransientQuery(b *testing.B) {
+	env := newBenchEnv(1, 16)
+	t1, t2 := env.wl.Horizon*0.3, env.wl.Horizon*0.7
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkF = core.TransientCount(env.st, env.regions[i%len(env.regions)], t1, t2)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkF = core.TransientCountReference(env.st, env.regions[i%len(env.regions)], t1, t2)
+		}
+	})
+}
+
+// BenchmarkSnapshotQuery: batched perimeter pass vs per-edge interface
+// calls, one instant.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	env := newBenchEnv(2, 16)
+	ts := env.wl.Horizon / 2
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkF = core.SnapshotCount(env.st, env.regions[i%len(env.regions)], ts)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkF = core.SnapshotCountReference(env.st, env.regions[i%len(env.regions)], ts)
+		}
+	})
+}
+
+// BenchmarkStaticQuery: batched multi-probe minimum (one tracker fetch
+// per edge) vs the seed's per-probe perimeter re-walk.
+func BenchmarkStaticQuery(b *testing.B) {
+	env := newBenchEnv(3, 16)
+	t1, t2 := env.wl.Horizon*0.3, env.wl.Horizon*0.7
+	const samples = 16
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkF = core.StaticCountSampled(env.st, env.regions[i%len(env.regions)], t1, t2, samples)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkF = core.StaticCountSampledReference(env.st, env.regions[i%len(env.regions)], t1, t2, samples)
+		}
+	})
+}
+
+var sinkN int
+
+// BenchmarkRegionBuild: kd-tree-backed JunctionsIn + memoized perimeter
+// construction, the per-query setup cost.
+func BenchmarkRegionBuild(b *testing.B) {
+	env := newBenchEnv(4, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rect := env.rects[i%len(env.rects)]
+		r, err := core.NewRegion(env.w, env.w.JunctionsIn(rect))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkN = len(r.CutRoads())
+	}
+}
+
+// BenchmarkIngest compares batch ingestion (one lock + one validation
+// pass per chunk) against the seed's per-event locking path, replaying
+// the same workload into a fresh store each iteration.
+func BenchmarkIngest(b *testing.B) {
+	env := newBenchEnv(5, 1)
+	// Pre-convert the workload once; both variants replay the same events.
+	events := make([]core.Event, 0, len(env.wl.Events))
+	for _, ev := range env.wl.Events {
+		switch ev.Kind {
+		case mobility.Enter:
+			events = append(events, core.EnterEvent(ev.At, ev.T))
+		case mobility.Move:
+			events = append(events, core.MoveEvent(ev.Road, ev.From, ev.T))
+		case mobility.Leave:
+			events = append(events, core.LeaveEvent(ev.At, ev.T))
+		}
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := core.NewStore(env.w)
+			if err := st.RecordBatch(events); err != nil {
+				b.Fatal(err)
+			}
+			sinkN = st.NumEvents()
+		}
+	})
+	b.Run("perEvent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := core.NewStore(env.w)
+			for _, ev := range events {
+				var err error
+				switch ev.Kind {
+				case core.EventEnter:
+					err = st.RecordEnter(ev.Gateway, ev.T)
+				case core.EventMove:
+					err = st.RecordMove(ev.Road, ev.From, ev.T)
+				case core.EventLeave:
+					err = st.RecordLeave(ev.Gateway, ev.T)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sinkN = st.NumEvents()
+		}
+	})
+}

@@ -61,7 +61,9 @@ func countIn(ts []float64, t1, t2 float64) int {
 
 // Store is the exact (non-learned) tracking-form store of a world: one
 // Tracker per road plus world-edge event lists per gateway. It is the
-// reference Counter and EventLister implementation.
+// reference Counter and EventLister implementation, and additionally
+// implements the IntervalCounter and BatchCounter fast paths: a whole
+// perimeter integral runs under a single read-lock acquisition.
 //
 // Store is safe for concurrent use: ingestion takes the write lock,
 // queries the read lock.
@@ -73,6 +75,10 @@ type Store struct {
 	worldIn, worldOut map[planar.NodeID][]float64
 	clock             float64
 	events            int
+	// worldJs memoizes WorldJunctions (guarded by mu); nil means stale.
+	// Ingesting the first event of a previously unseen gateway
+	// invalidates it.
+	worldJs []planar.NodeID
 }
 
 // NewStore returns an empty store over w.
@@ -138,6 +144,9 @@ func (s *Store) RecordEnter(g planar.NodeID, t float64) error {
 	if err := s.advance(t); err != nil {
 		return err
 	}
+	if len(s.worldIn[g]) == 0 && len(s.worldOut[g]) == 0 {
+		s.worldJs = nil
+	}
 	s.worldIn[g] = append(s.worldIn[g], t)
 	return nil
 }
@@ -148,6 +157,9 @@ func (s *Store) RecordLeave(g planar.NodeID, t float64) error {
 	defer s.mu.Unlock()
 	if err := s.advance(t); err != nil {
 		return err
+	}
+	if len(s.worldIn[g]) == 0 && len(s.worldOut[g]) == 0 {
+		s.worldJs = nil
 	}
 	s.worldOut[g] = append(s.worldOut[g], t)
 	return nil
@@ -172,12 +184,31 @@ func (s *Store) WorldCrossings(g planar.NodeID, entering bool, t float64) float6
 }
 
 // WorldJunctions implements Counter: the junctions with any world-edge
-// events, in ascending order for determinism.
+// events, in ascending order for determinism. The sorted set is
+// memoized and invalidated only when a previously unseen gateway
+// ingests its first event, so the steady-state cost is one read-locked
+// slice load instead of rebuilding and sorting from the maps. Callers
+// must not modify the returned slice.
 func (s *Store) WorldJunctions() []planar.NodeID {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if js := s.worldJs; js != nil {
+		s.mu.RUnlock()
+		return js
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.worldJs == nil {
+		s.worldJs = s.rebuildWorldJunctions()
+	}
+	return s.worldJs
+}
+
+// rebuildWorldJunctions recomputes the sorted world-junction set.
+// Callers must hold the write lock.
+func (s *Store) rebuildWorldJunctions() []planar.NodeID {
+	out := make([]planar.NodeID, 0, len(s.worldIn)+len(s.worldOut))
 	seen := make(map[planar.NodeID]bool, len(s.worldIn)+len(s.worldOut))
-	var out []planar.NodeID
 	for g := range s.worldIn {
 		if !seen[g] {
 			seen[g] = true
@@ -224,10 +255,21 @@ func appendSigned(dst []SignedEvent, ts []float64, delta int, t1, t2 float64) []
 	return dst
 }
 
-// RoadTracker exposes the tracker of one road for storage accounting and
-// for training learned models. Callers must not mutate it.
-func (s *Store) RoadTracker(road planar.EdgeID) *Tracker {
-	return &s.roads[road]
+// RoadTracker returns a snapshot of the tracker of one road for storage
+// accounting and for training learned models.
+//
+// Aliasing contract: the snapshot is taken under the read lock and
+// shares its timestamp arrays with the live tracker. This is race-free
+// because ingestion only ever appends — stored timestamps are never
+// mutated in place, and the snapshot's length was captured under the
+// lock, so concurrent appends land beyond every index the snapshot can
+// read. Callers must treat the snapshot as read-only (in particular,
+// must not call Record on it) and see events ingested up to the call,
+// not later ones.
+func (s *Store) RoadTracker(road planar.EdgeID) Tracker {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.roads[road]
 }
 
 // WorldEvents returns the gateway entry/exit timestamp sequences. Callers

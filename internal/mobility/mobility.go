@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/planar"
 	"repro/internal/roadnet"
 )
@@ -209,8 +210,24 @@ type Recorder interface {
 	RecordLeave(gateway planar.NodeID, t float64) error
 }
 
-// Feed replays the workload into a recorder in time order.
+// BatchRecorder is an optional Recorder extension for stores that
+// ingest whole pre-ordered event batches under one lock acquisition;
+// core.Store implements it. Feed prefers it when available.
+type BatchRecorder interface {
+	RecordBatch(events []core.Event) error
+}
+
+// feedChunk bounds the conversion buffer of the batch ingestion path;
+// each chunk is one lock acquisition on the store.
+const feedChunk = 8192
+
+// Feed replays the workload into a recorder in time order. Recorders
+// implementing BatchRecorder ingest in chunked batches — one lock
+// acquisition per feedChunk events instead of one per event.
 func (wl *Workload) Feed(rec Recorder) error {
+	if br, ok := rec.(BatchRecorder); ok {
+		return wl.feedBatched(br)
+	}
 	for i, ev := range wl.Events {
 		var err error
 		switch ev.Kind {
@@ -225,6 +242,33 @@ func (wl *Workload) Feed(rec Recorder) error {
 		}
 		if err != nil {
 			return fmt.Errorf("mobility: feeding event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (wl *Workload) feedBatched(br BatchRecorder) error {
+	buf := make([]core.Event, 0, feedChunk)
+	for base := 0; base < len(wl.Events); base += feedChunk {
+		hi := base + feedChunk
+		if hi > len(wl.Events) {
+			hi = len(wl.Events)
+		}
+		buf = buf[:0]
+		for i, ev := range wl.Events[base:hi] {
+			switch ev.Kind {
+			case Enter:
+				buf = append(buf, core.EnterEvent(ev.At, ev.T))
+			case Leave:
+				buf = append(buf, core.LeaveEvent(ev.At, ev.T))
+			case Move:
+				buf = append(buf, core.MoveEvent(ev.Road, ev.From, ev.T))
+			default:
+				return fmt.Errorf("mobility: feeding event %d: unknown event kind %d", base+i, ev.Kind)
+			}
+		}
+		if err := br.RecordBatch(buf); err != nil {
+			return fmt.Errorf("mobility: feeding events [%d,%d): %w", base, hi, err)
 		}
 	}
 	return nil

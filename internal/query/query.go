@@ -158,6 +158,9 @@ func (e *Engine) Query(req Request) (*Response, error) {
 		return resp, nil
 	}
 	resp.Count = e.count(region, req)
+	// Region.CutRoads is memoized, so this reads the perimeter the count
+	// above already materialized instead of rescanning the region (the
+	// query tests assert the single-scan behaviour).
 	resp.EdgesAccessed = len(region.CutRoads())
 	resp.Net = e.cost(region, req)
 	return resp, nil

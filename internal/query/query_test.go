@@ -115,6 +115,44 @@ func TestTransientAndStaticKinds(t *testing.T) {
 	}
 }
 
+// TestQuerySinglePerimeterScan asserts the memoization contract: one
+// Query performs exactly one perimeter scan even though the count, the
+// EdgesAccessed accounting and the cost simulation all read CutRoads.
+// Region.PerimeterScans is the call-counting hook.
+func TestQuerySinglePerimeterScan(t *testing.T) {
+	fx := newFixture(t, 11)
+	e := NewEngine(fx.w, fx.st, fx.st)
+	rng := rand.New(rand.NewSource(12))
+	for _, kind := range []Kind{Snapshot, Static, Transient} {
+		for trial := 0; trial < 5; trial++ {
+			rect := centerRect(fx.w, 0.2+rng.Float64()*0.5)
+			resp, err := e.Query(Request{
+				Rect: rect, T1: fx.wl.Horizon * 0.3, T2: fx.wl.Horizon * 0.7, Kind: kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := resp.Region.PerimeterScans(); n != 1 {
+				t.Fatalf("%v query scanned the perimeter %d times, want 1", kind, n)
+			}
+			if resp.EdgesAccessed != len(resp.Region.CutRoads()) {
+				t.Fatalf("%v query EdgesAccessed %d != perimeter %d", kind, resp.EdgesAccessed, len(resp.Region.CutRoads()))
+			}
+		}
+	}
+	// Sampled engines install the perimeter via SetCutRoads: zero scans.
+	se := fx.sampledEngine(t, 40, 13)
+	resp, err := se.Query(Request{Rect: centerRect(fx.w, 0.6), T1: fx.wl.Horizon / 2, Kind: Snapshot, Bound: sampled.Upper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Missed {
+		if n := resp.Region.PerimeterScans(); n != 0 {
+			t.Fatalf("sampled query scanned the perimeter %d times, want 0 (SetCutRoads)", n)
+		}
+	}
+}
+
 func TestRequestValidation(t *testing.T) {
 	fx := newFixture(t, 5)
 	e := NewEngine(fx.w, fx.st, fx.st)

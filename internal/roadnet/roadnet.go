@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/delaunay"
 	"repro/internal/geom"
+	"repro/internal/index"
 	"repro/internal/planar"
 )
 
@@ -34,6 +36,11 @@ type World struct {
 	// Gateways are the junctions on the outer face of ★G; objects enter
 	// and leave the world through them (the ★v_ext mechanism).
 	Gateways []planar.NodeID
+	// junctionIdx and sensorIdx are kd-trees over junction and sensor
+	// locations, built once at construction; they back the per-query
+	// range lookups of JunctionsIn and SensorsIn.
+	junctionIdx *index.KDTree
+	sensorIdx   *index.KDTree
 }
 
 // BuildWorld derives the dual and gateways from a finished mobility graph.
@@ -54,7 +61,21 @@ func BuildWorld(star *planar.Graph) (*World, error) {
 			gws = append(gws, n)
 		}
 	}
-	return &World{Star: star, Dual: d, Gateways: gws}, nil
+	w := &World{Star: star, Dual: d, Gateways: gws}
+	jItems := make([]index.Item, star.NumNodes())
+	for n := range jItems {
+		jItems[n] = index.Item{ID: n, P: star.Point(planar.NodeID(n))}
+	}
+	w.junctionIdx = index.BuildKDTree(jItems)
+	var sItems []index.Item
+	for n := 0; n < d.G.NumNodes(); n++ {
+		if planar.NodeID(n) == d.OuterNode {
+			continue
+		}
+		sItems = append(sItems, index.Item{ID: n, P: d.G.Point(planar.NodeID(n))})
+	}
+	w.sensorIdx = index.BuildKDTree(sItems)
+	return w, nil
 }
 
 // NumJunctions returns the number of junctions in the mobility graph.
@@ -72,30 +93,34 @@ func (w *World) Bounds() geom.Rect { return w.Star.Bounds() }
 
 // JunctionsIn returns the junctions whose location lies inside r: the
 // paper's query region Q_R expressed as a union of sensing-graph faces
-// (one face per junction by vertex–face duality).
+// (one face per junction by vertex–face duality). The lookup descends
+// the construction-time kd-tree — O(√n + k) instead of scanning every
+// junction — and returns IDs in ascending order, matching the linear
+// scan it replaced.
 func (w *World) JunctionsIn(r geom.Rect) []planar.NodeID {
-	var out []planar.NodeID
-	for n := 0; n < w.Star.NumNodes(); n++ {
-		if r.Contains(w.Star.Point(planar.NodeID(n))) {
-			out = append(out, planar.NodeID(n))
-		}
-	}
-	return out
+	return rangeIDs(w.junctionIdx, r)
 }
 
 // SensorsIn returns the sensing-graph nodes (excluding the outer node)
 // whose location lies inside r. Used for the flooding cost of centralized
-// baselines.
+// baselines. Indexed like JunctionsIn.
 func (w *World) SensorsIn(r geom.Rect) []planar.NodeID {
-	var out []planar.NodeID
-	for n := 0; n < w.Dual.G.NumNodes(); n++ {
-		if planar.NodeID(n) == w.Dual.OuterNode {
-			continue
-		}
-		if r.Contains(w.Dual.G.Point(planar.NodeID(n))) {
-			out = append(out, planar.NodeID(n))
-		}
+	return rangeIDs(w.sensorIdx, r)
+}
+
+// rangeIDs runs a kd-tree range query and returns the hit IDs in
+// ascending order (the order the pre-index linear scans produced, which
+// downstream float accumulations are sensitive to).
+func rangeIDs(t *index.KDTree, r geom.Rect) []planar.NodeID {
+	items := t.Range(r, nil)
+	if len(items) == 0 {
+		return nil
 	}
+	out := make([]planar.NodeID, len(items))
+	for i, it := range items {
+		out[i] = planar.NodeID(it.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -113,6 +113,77 @@ func TestJunctionsIn(t *testing.T) {
 	}
 }
 
+// TestRangeQueriesMatchLinearScan: the kd-tree-backed JunctionsIn and
+// SensorsIn must return exactly the nodes (and the ascending order) the
+// pre-index linear scans produced, across random rects including
+// degenerate and out-of-bounds ones.
+func TestRangeQueriesMatchLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, build := range []func() (*World, error){
+		func() (*World, error) {
+			return GridCity(GridOpts{NX: 12, NY: 10, Spacing: 25, Jitter: 0.3, RemoveFrac: 0.2, CurveFrac: 0.2}, rng)
+		},
+		func() (*World, error) {
+			return RandomCity(RandomOpts{N: 80, Size: 500, RemoveFrac: 0.2}, rng)
+		},
+	} {
+		w, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := w.Bounds()
+		rects := []geom.Rect{
+			b,
+			b.Expand(100),
+			planarRect(b.Min.X-50, b.Min.Y-50, 10, 10), // fully outside
+			planarRect(b.Center().X, b.Center().Y, 0, 0),
+		}
+		for i := 0; i < 40; i++ {
+			rects = append(rects, planarRect(
+				b.Min.X+rng.Float64()*b.Width(),
+				b.Min.Y+rng.Float64()*b.Height(),
+				rng.Float64()*b.Width(), rng.Float64()*b.Height()))
+		}
+		for _, rect := range rects {
+			gotJ := w.JunctionsIn(rect)
+			var wantJ []planar.NodeID
+			for n := 0; n < w.Star.NumNodes(); n++ {
+				if rect.Contains(w.Star.Point(planar.NodeID(n))) {
+					wantJ = append(wantJ, planar.NodeID(n))
+				}
+			}
+			if !equalIDs(gotJ, wantJ) {
+				t.Fatalf("JunctionsIn(%v) = %v, linear scan = %v", rect, gotJ, wantJ)
+			}
+			gotS := w.SensorsIn(rect)
+			var wantS []planar.NodeID
+			for n := 0; n < w.Dual.G.NumNodes(); n++ {
+				if planar.NodeID(n) == w.Dual.OuterNode {
+					continue
+				}
+				if rect.Contains(w.Dual.G.Point(planar.NodeID(n))) {
+					wantS = append(wantS, planar.NodeID(n))
+				}
+			}
+			if !equalIDs(gotS, wantS) {
+				t.Fatalf("SensorsIn(%v) = %v, linear scan = %v", rect, gotS, wantS)
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []planar.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestSensorsIn(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	w, err := GridCity(GridOpts{NX: 6, NY: 6, Spacing: 10}, rng)

@@ -80,6 +80,28 @@ type (
 	Bound = sampled.Bound
 	// SampledOptions configures the sampled graph's connectivity.
 	SampledOptions = sampled.Options
+	// Event is one identifier-free crossing event for batch ingestion.
+	Event = core.Event
+)
+
+// Batch event kinds and constructors (see RecordBatch).
+const (
+	// EventEnter is a world-entry at a gateway.
+	EventEnter = core.EventEnter
+	// EventMove is a road traversal.
+	EventMove = core.EventMove
+	// EventLeave is a world-exit at a gateway.
+	EventLeave = core.EventLeave
+)
+
+// Batch event constructors.
+var (
+	// MoveEvent builds a Move batch event.
+	MoveEvent = core.MoveEvent
+	// EnterEvent builds a world-entry batch event.
+	EnterEvent = core.EnterEvent
+	// LeaveEvent builds a world-exit batch event.
+	LeaveEvent = core.LeaveEvent
 )
 
 // Query kinds (see the paper's §3.3).
@@ -273,7 +295,9 @@ func (s *System) GenerateWorkload(opts MobilityOpts, seed int64) (*Workload, err
 	return mobility.Generate(s.world, opts, rand.New(rand.NewSource(seed)))
 }
 
-// Ingest replays a workload into the tracking forms.
+// Ingest replays a workload into the tracking forms. The store ingests
+// in batches — one lock acquisition per chunk of events rather than one
+// per event (mobility.BatchRecorder).
 func (s *System) Ingest(wl *Workload) error {
 	if err := wl.Feed(s.store); err != nil {
 		return err
@@ -283,6 +307,14 @@ func (s *System) Ingest(wl *Workload) error {
 	}
 	s.rebuild()
 	return nil
+}
+
+// RecordBatch ingests a time-ordered batch of crossing events under a
+// single lock acquisition — the high-throughput counterpart of
+// RecordMove / RecordEnter / RecordLeave. The batch is atomic: it is
+// fully validated before anything is applied.
+func (s *System) RecordBatch(events []Event) error {
+	return s.store.RecordBatch(events)
 }
 
 // RecordMove ingests a single road crossing: the object traverses road
