@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults experiments examples fmt vet clean
 
 all: build test
 
@@ -16,6 +16,7 @@ test-race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/stqbench -faults -quick -faults-out ""
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -25,6 +26,11 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkTransientQuery|BenchmarkSnapshotQuery|BenchmarkStaticQuery|BenchmarkRegionBuild|BenchmarkIngest' \
 		-benchmem ./internal/core | $(GO) run ./cmd/benchjson > BENCH_query.json
 	@cat BENCH_query.json
+
+# Fault-injection sweep: degraded-mode intervals, containment, and
+# determinism under seeded crash/drop plans.
+bench-faults:
+	$(GO) run ./cmd/stqbench -faults -faults-out BENCH_faults.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro"
+)
+
+// faultSweepResult is the machine-readable output of one fault sweep
+// (BENCH_faults.json): per crash-rate aggregates over a fixed query set.
+type faultSweepResult struct {
+	Seed    int64           `json:"seed"`
+	Grid    string          `json:"grid"`
+	Sensors int             `json:"sensors"`
+	Queries int             `json:"queries"`
+	Rows    []faultSweepRow `json:"rows"`
+}
+
+type faultSweepRow struct {
+	CrashRate     float64 `json:"crash_rate"`
+	DropProb      float64 `json:"drop_prob"`
+	DeadSensors   int     `json:"dead_sensors"`
+	Answered      int     `json:"answered"`
+	Contained     int     `json:"contained"`
+	DeadPerimeter int     `json:"dead_perimeter_sensors"`
+	UnobsCuts     int     `json:"unobserved_cuts"`
+	Rerouted      int     `json:"rerouted_legs"`
+	Retries       int     `json:"retries"`
+	Drops         int     `json:"drops"`
+	FailedNodes   int     `json:"failed_nodes"`
+	MeanWidth     float64 `json:"mean_interval_width"`
+	MeanMessages  float64 `json:"mean_messages"`
+}
+
+// runFaultSweep builds a 16×16 grid system, answers a deterministic
+// query set under increasing crash-stop rates, and emits the aggregates
+// as JSON. It fails (non-zero exit) when a degraded interval misses the
+// fault-free count or when an identically-seeded second pass produces
+// different metrics — the reproducibility contract CI enforces.
+func runFaultSweep(seed int64, queries int, quick bool, outPath string) error {
+	objects := 200
+	if quick {
+		objects = 80
+		if queries <= 0 {
+			queries = 12
+		}
+	}
+	if queries <= 0 {
+		queries = 40
+	}
+	start := time.Now()
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 16, NY: 16, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, seed)
+	if err != nil {
+		return err
+	}
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: objects, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, seed)
+	if err != nil {
+		return err
+	}
+	if err := sys.Ingest(wl); err != nil {
+		return err
+	}
+	if err := sys.PlaceSensors(stq.PlacementQuadTree, 64, seed); err != nil {
+		return err
+	}
+	fmt.Printf("fault sweep: 16x16 grid, %d sensors, %d objects, %d queries per rate (built in %v)\n",
+		sys.NumCommunicationSensors(), objects, queries, time.Since(start).Round(time.Millisecond))
+
+	// A deterministic query set shared by every rate.
+	rng := rand.New(rand.NewSource(seed))
+	b := sys.Bounds()
+	reqs := make([]stq.Query, 0, queries)
+	for i := 0; i < queries; i++ {
+		frac := 0.3 + rng.Float64()*0.5
+		w, h := b.Width()*frac, b.Height()*frac
+		x := b.Min.X + rng.Float64()*(b.Width()-w)
+		y := b.Min.Y + rng.Float64()*(b.Height()-h)
+		t1 := 2000 + rng.Float64()*10000
+		q := stq.Query{
+			Rect: stq.Rect{Min: stq.Point{X: x, Y: y}, Max: stq.Point{X: x + w, Y: y + h}},
+			T1:   t1, T2: t1 + 2000,
+			Bound: stq.Bound(i % 2),
+		}
+		switch i % 3 {
+		case 0:
+			q.Kind = stq.Transient
+		case 1:
+			q.Kind = stq.Static
+		default:
+			q.Kind = stq.Snapshot
+		}
+		reqs = append(reqs, q)
+	}
+	// Fault-free baselines.
+	sys.ClearFaults()
+	base := make([]*stq.Response, len(reqs))
+	for i, q := range reqs {
+		if base[i], err = sys.Query(q); err != nil {
+			return fmt.Errorf("baseline query %d: %w", i, err)
+		}
+	}
+
+	rates := []float64{0, 0.05, 0.10, 0.20}
+	pass := func() (*faultSweepResult, error) {
+		res := &faultSweepResult{Seed: seed, Grid: "16x16",
+			Sensors: sys.NumCommunicationSensors(), Queries: queries}
+		for _, rate := range rates {
+			spec := stq.FaultSpec{Seed: seed + 1, SensorCrash: rate, DropProb: 0.1, MaxRetries: 3}
+			if err := sys.ApplyFaults(spec); err != nil {
+				return nil, err
+			}
+			row := faultSweepRow{CrashRate: rate, DropProb: spec.DropProb}
+			var widthSum, msgSum float64
+			for i, q := range reqs {
+				resp, err := sys.Query(q)
+				if err != nil {
+					return nil, fmt.Errorf("rate %.2f query %d: %w", rate, i, err)
+				}
+				if row.DeadSensors == 0 {
+					row.DeadSensors = sys.NumFailedSensors(q.T1)
+				}
+				if resp.Missed || base[i].Missed {
+					continue
+				}
+				row.Answered++
+				msgSum += float64(resp.Messages)
+				deg := resp.Degradation
+				if deg == nil {
+					return nil, fmt.Errorf("rate %.2f query %d: no degradation report", rate, i)
+				}
+				if deg.Lower <= base[i].Count && base[i].Count <= deg.Upper {
+					row.Contained++
+				}
+				widthSum += deg.Upper - deg.Lower
+				row.DeadPerimeter += deg.DeadPerimeterSensors
+				row.UnobsCuts += deg.UnobservedCuts
+				row.Rerouted += deg.ReroutedLegs
+				row.Retries += deg.Retries
+				row.Drops += deg.Drops
+				row.FailedNodes += deg.FailedNodes
+			}
+			if row.Answered > 0 {
+				row.MeanWidth = widthSum / float64(row.Answered)
+				row.MeanMessages = msgSum / float64(row.Answered)
+			}
+			if row.Contained != row.Answered {
+				return nil, fmt.Errorf("rate %.2f: only %d/%d degraded intervals contain the fault-free count",
+					rate, row.Contained, row.Answered)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		sys.ClearFaults()
+		return res, nil
+	}
+
+	first, err := pass()
+	if err != nil {
+		return err
+	}
+	second, err := pass()
+	if err != nil {
+		return err
+	}
+	aj, _ := json.MarshalIndent(first, "", "  ")
+	bj, _ := json.MarshalIndent(second, "", "  ")
+	if string(aj) != string(bj) {
+		return fmt.Errorf("fault sweep is not reproducible: identical seeds produced different metrics")
+	}
+
+	fmt.Println("crash%  dead  answered  contained  unobs  rerouted  retries  drops  failed  width    msgs")
+	for _, r := range first.Rows {
+		fmt.Printf("%-6.0f  %-4d  %-8d  %-9d  %-5d  %-8d  %-7d  %-5d  %-6d  %-7.2f  %.1f\n",
+			r.CrashRate*100, r.DeadSensors, r.Answered, r.Contained, r.UnobsCuts,
+			r.Rerouted, r.Retries, r.Drops, r.FailedNodes, r.MeanWidth, r.MeanMessages)
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(aj, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (reproducibility verified)\n", outPath)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //	stqbench -exp fig11a,fig11c      # selected figures
 //	stqbench -exp headline -reps 20  # more repetitions
 //	stqbench -quick                  # small smoke configuration
+//	stqbench -faults                 # fault-injection sweep → BENCH_faults.json
 //
 // Experiment IDs: fig11a fig11b fig11c fig11d fig11e fig12a fig12b
 // fig13ab fig13cd fig14a fig14b fig14cd headline ablation-greedy
@@ -25,13 +26,22 @@ import (
 
 func main() {
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		reps    = flag.Int("reps", 0, "repetitions per configuration (0 = config default)")
-		queries = flag.Int("queries", 0, "queries per repetition (0 = config default)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		quick   = flag.Bool("quick", false, "small smoke configuration")
+		expList   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		reps      = flag.Int("reps", 0, "repetitions per configuration (0 = config default)")
+		queries   = flag.Int("queries", 0, "queries per repetition (0 = config default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quick     = flag.Bool("quick", false, "small smoke configuration")
+		faults    = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
+		faultsOut = flag.String("faults-out", "BENCH_faults.json", "output path for the fault sweep (empty = stdout only)")
 	)
 	flag.Parse()
+	if *faults {
+		if err := runFaultSweep(*seed, *queries, *quick, *faultsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*expList, *reps, *queries, *seed, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "stqbench:", err)
 		os.Exit(1)

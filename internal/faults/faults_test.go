@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/planar"
+)
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{SensorCrash: -0.1},
+		{SensorCrash: 1.5},
+		{LinkDead: 2},
+		{DropProb: -1},
+		{DropProb: 1},
+		{MaxRetries: -1},
+		{Windows: []Window{{Start: 10, End: 5}}},
+		{Windows: []Window{{Start: 0, End: 5, Frac: 2}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) accepted", i, s)
+		}
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero spec rejected: %v", err)
+	}
+	ok := Spec{Seed: 1, SensorCrash: 0.1, LinkDead: 0.05, DropProb: 0.2, MaxRetries: 3,
+		Windows: []Window{{Start: 100, End: 200, Frac: 0.3}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	spec := Spec{Seed: 7, SensorCrash: 0.2, LinkDead: 0.1, DropProb: 0.3, MaxRetries: 2,
+		Windows: []Window{{Start: 10, End: 20, Frac: 0.5}}}
+	a, err := Compile(spec, 200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(spec, 200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 200; v++ {
+		for _, tm := range []float64{0, 15} {
+			if a.NodeDown(planar.NodeID(v), tm) != b.NodeDown(planar.NodeID(v), tm) {
+				t.Fatalf("node %d at t=%v differs across identical compiles", v, tm)
+			}
+		}
+	}
+	for e := 0; e < 300; e++ {
+		if a.LinkDown(planar.EdgeID(e)) != b.LinkDown(planar.EdgeID(e)) {
+			t.Fatalf("link %d differs across identical compiles", e)
+		}
+	}
+	da, db := a.NewDropStream(), b.NewDropStream()
+	for i := 0; i < 1000; i++ {
+		if da() != db() {
+			t.Fatalf("drop stream diverges at delivery %d", i)
+		}
+	}
+	// A different seed should produce a different plan (overwhelmingly).
+	spec.Seed = 8
+	c, err := Compile(spec, 200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := 0; v < 200 && same; v++ {
+		same = a.NodeDown(planar.NodeID(v), 0) == c.NodeDown(planar.NodeID(v), 0)
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical crash sets")
+	}
+}
+
+func TestCompileRates(t *testing.T) {
+	plan, err := Compile(Spec{Seed: 3, SensorCrash: 0.1, LinkDead: 0.1}, 5000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := plan.NumCrashed(); n < 400 || n > 600 {
+		t.Errorf("crashed %d of 5000 at rate 0.1", n)
+	}
+	dead := 0
+	for e := 0; e < 5000; e++ {
+		if plan.LinkDown(planar.EdgeID(e)) {
+			dead++
+		}
+	}
+	if dead < 400 || dead > 600 {
+		t.Errorf("dead links %d of 5000 at rate 0.1", dead)
+	}
+}
+
+func TestWindowsAndImmortal(t *testing.T) {
+	spec := Spec{Seed: 5, SensorCrash: 0.5, Windows: []Window{{Start: 100, End: 200, Frac: 1}}}
+	immortal := planar.NodeID(17)
+	plan, err := Compile(spec, 100, 0, immortal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NodeDown(immortal, 150) {
+		t.Error("immortal node reported down")
+	}
+	// Frac 1 window: every mortal node is down inside the window only.
+	for v := 0; v < 100; v++ {
+		id := planar.NodeID(v)
+		if id == immortal {
+			continue
+		}
+		if !plan.NodeDown(id, 150) {
+			t.Fatalf("node %d up inside a Frac=1 window", v)
+		}
+		if plan.NodeDown(id, 250) != plan.NodeDown(id, 50) {
+			t.Fatalf("node %d outage differs outside the window", v)
+		}
+	}
+	if got, crash := plan.DeadNodesAt(150), plan.NumCrashed(); got != 99 || crash >= got {
+		t.Errorf("dead at 150 = %d (crashed %d), want 99", got, crash)
+	}
+	nodes, _ := plan.ActiveAt(150)
+	if len(nodes) != 1 || !nodes[immortal] {
+		t.Errorf("active at 150 = %v, want only the immortal node", nodes)
+	}
+	nodes, links := plan.ActiveAt(250)
+	if len(nodes) != 100-plan.NumCrashed() {
+		t.Errorf("active outside window = %d, want %d", len(nodes), 100-plan.NumCrashed())
+	}
+	if len(links) != 0 {
+		t.Errorf("links map %v for an edgeless graph", links)
+	}
+}
+
+func TestNoDropStreamWithoutDropProb(t *testing.T) {
+	plan, err := Compile(Spec{Seed: 1}, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NewDropStream() != nil {
+		t.Error("drop stream created for DropProb 0")
+	}
+	if plan.MaxRetries() != 0 {
+		t.Errorf("retries = %d", plan.MaxRetries())
+	}
+}

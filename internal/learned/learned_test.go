@@ -259,6 +259,38 @@ func TestRollingValidation(t *testing.T) {
 	}
 }
 
+// TestRollingRejectsRegressionAfterFlush is the regression test for the
+// post-flush monotonicity hole: filling the buffer to capacity flushes
+// it, and an out-of-order event arriving into the then-empty buffer used
+// to be silently accepted (corrupting CountAt). Monotonicity must hold
+// against the last ingested time, not the buffer tail.
+func TestRollingRejectsRegressionAfterFlush(t *testing.T) {
+	const cap = 10
+	r, err := NewRolling(LinearTrainer{}, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cap; i++ {
+		if err := r.Append(float64(100 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.buffer) != 0 {
+		t.Fatalf("buffer not flushed at capacity: %d events", len(r.buffer))
+	}
+	// Older than the entire model window: must be rejected.
+	if err := r.Append(1); err == nil {
+		t.Error("pre-window event accepted right after flush")
+	}
+	if got := r.CountAt(50); got != 0 {
+		t.Errorf("CountAt(50) = %v after rejected regression, want 0", got)
+	}
+	// Equal to the last ingested time is still fine (non-decreasing).
+	if err := r.Append(float64(100 + cap - 1)); err != nil {
+		t.Errorf("equal-time append rejected: %v", err)
+	}
+}
+
 // TestLearnedStoreEndToEnd trains a learned store from a real workload
 // and checks that snapshot counts stay close to the exact store's.
 func TestLearnedStoreEndToEnd(t *testing.T) {

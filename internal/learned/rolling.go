@@ -23,6 +23,11 @@ type Rolling struct {
 	model      Model
 	modelCount int
 	buffer     []float64
+	// last is the most recent ingested time; monotonicity is enforced
+	// against it rather than the buffer tail, so a regression arriving
+	// right after a flush (empty buffer) is still rejected.
+	last    float64
+	hasLast bool
 }
 
 // NewRolling returns a rolling store with buffer capacity cap using the
@@ -37,11 +42,13 @@ func NewRolling(tr Trainer, cap int) (*Rolling, error) {
 	return &Rolling{trainer: tr, cap: cap}, nil
 }
 
-// Append ingests one event time (non-decreasing).
+// Append ingests one event time (non-decreasing across the whole
+// stream, including across internal flushes).
 func (r *Rolling) Append(t float64) error {
-	if n := len(r.buffer); n > 0 && t < r.buffer[n-1] {
-		return fmt.Errorf("learned: rolling event at %v precedes buffer tail %v", t, r.buffer[n-1])
+	if r.hasLast && t < r.last {
+		return fmt.Errorf("learned: rolling event at %v precedes last ingested %v", t, r.last)
 	}
+	r.last, r.hasLast = t, true
 	r.buffer = append(r.buffer, t)
 	if len(r.buffer) >= r.cap {
 		r.flush()

@@ -7,6 +7,11 @@
 // The simulator models the algorithmic cost structure, not radio
 // timing: each link delivery is one message, consistent with the paper's
 // evaluation, which measures node accesses as the communication proxy.
+// Lossy links are modelled by an optional per-delivery drop decider
+// (SetDelivery): a dropped delivery is retried under exponential backoff
+// up to a bounded budget, after which the delivery times out. Retries,
+// drops, backoff units, and unreachable sensors are all accounted in
+// Metrics so the query layer can report degraded collection honestly.
 package netsim
 
 import (
@@ -19,19 +24,42 @@ import (
 type Metrics struct {
 	// NodesAccessed is the number of distinct sensors that participated.
 	NodesAccessed int
-	// Messages is the number of link-level deliveries.
+	// Messages is the number of link-level transmissions, including
+	// deliveries that were dropped in flight.
 	Messages int
-	// Hops is the worst-case path length from the entry sensor.
+	// Hops is the worst-case path length from the entry sensor: the BFS
+	// depth for Flood, the deepest single collection leg for Route.
 	Hops int
+	// TotalHops is the total traversal length: the sum of all successful
+	// leg lengths for Route (the collector's walk), the tree depth for
+	// Flood. Route fills it with the full tour length, which is what the
+	// latency-style cost models should read — Hops is the per-leg bound.
+	TotalHops int
+	// Retries counts redelivery attempts after dropped deliveries.
+	Retries int
+	// Drops counts link deliveries lost in flight.
+	Drops int
+	// Backoff accumulates the exponential-backoff wait units spent before
+	// retries (1, 2, 4, ... per successive retry of one delivery).
+	Backoff int
+	// FailedNodes counts sensors that should have participated but never
+	// did: dead, unreachable, or behind a timed-out delivery.
+	FailedNodes int
 }
 
-// Add accumulates other into m.
+// Add accumulates other into m. Hops max-merges (it is a worst-case
+// depth); every other field is additive.
 func (m *Metrics) Add(other Metrics) {
 	m.NodesAccessed += other.NodesAccessed
 	m.Messages += other.Messages
 	if other.Hops > m.Hops {
 		m.Hops = other.Hops
 	}
+	m.TotalHops += other.TotalHops
+	m.Retries += other.Retries
+	m.Drops += other.Drops
+	m.Backoff += other.Backoff
+	m.FailedNodes += other.FailedNodes
 }
 
 // Network is a static communication graph: sensors connected by the
@@ -45,6 +73,10 @@ type Network struct {
 	// active restricts communication to a subset of links; nil means all.
 	activeEdges map[planar.EdgeID]bool
 	activeNodes map[planar.NodeID]bool
+	// drop, when non-nil, decides whether one link delivery is lost;
+	// maxRetries bounds redeliveries (SetDelivery).
+	drop       func() bool
+	maxRetries int
 	// BFS scratch.
 	epoch   int32
 	seenAt  []int32
@@ -52,13 +84,15 @@ type Network struct {
 	prev    []planar.NodeID
 	queue   []planar.NodeID
 	pending []bool
+	path    []planar.NodeID
 }
 
 // New builds a network over all nodes and links of g.
 func New(g *planar.Graph) *Network { return NewRestricted(g, nil, nil) }
 
 // NewRestricted builds a network that may only use the given links (the
-// sampled graph G̃'s materialized paths).
+// sampled graph G̃'s materialized paths) and nodes (the sensors a fault
+// plan left alive). nil means unrestricted.
 func NewRestricted(g *planar.Graph, edges map[planar.EdgeID]bool, nodes map[planar.NodeID]bool) *Network {
 	n := g.NumNodes()
 	return &Network{
@@ -69,6 +103,40 @@ func NewRestricted(g *planar.Graph, edges map[planar.EdgeID]bool, nodes map[plan
 		hops:        make([]int32, n),
 		prev:        make([]planar.NodeID, n),
 		pending:     make([]bool, n),
+	}
+}
+
+// SetDelivery installs a per-delivery drop decider and a bounded retry
+// budget: each lost delivery is retried up to maxRetries times (with
+// exponential backoff accounted in Metrics.Backoff) before it times out.
+// Pass drop == nil to restore lossless delivery.
+func (n *Network) SetDelivery(drop func() bool, maxRetries int) {
+	n.drop = drop
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	n.maxRetries = maxRetries
+}
+
+// deliver attempts one link delivery under the drop/retry policy,
+// accounting lost transmissions, retries, and backoff in m. It reports
+// whether the delivery eventually succeeded; the successful transmission
+// itself is accounted by the caller's protocol cost formula.
+func (n *Network) deliver(m *Metrics) bool {
+	if n.drop == nil {
+		return true
+	}
+	for attempt := 0; ; attempt++ {
+		if !n.drop() {
+			return true
+		}
+		m.Drops++
+		m.Messages++ // the lost transmission still cost a send
+		if attempt >= n.maxRetries {
+			return false // bounded timeout: give up on this delivery
+		}
+		m.Retries++
+		m.Backoff += 1 << attempt
 	}
 }
 
@@ -84,11 +152,17 @@ func (n *Network) nodeUsable(v planar.NodeID) bool {
 // expands over usable links restricted to `members` until every member is
 // reached; responses aggregate back up the spanning tree. Messages are
 // counted as request + response per tree link plus wasted request
-// deliveries on non-tree links inside the region.
+// deliveries on non-tree links inside the region. Members that are down,
+// disconnected, or behind timed-out deliveries are counted in
+// Metrics.FailedNodes instead of aborting the wave.
 func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Metrics, error) {
 	if !members[root] {
 		return Metrics{}, fmt.Errorf("netsim: flood root %d is not a region member", root)
 	}
+	if !n.nodeUsable(root) {
+		return Metrics{}, fmt.Errorf("netsim: flood root %d is down", root)
+	}
+	var m Metrics
 	visited := map[planar.NodeID]int{root: 0}
 	queue := []planar.NodeID{root}
 	treeLinks := 0
@@ -109,6 +183,9 @@ func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Met
 				wasted++ // duplicate request delivery
 				continue
 			}
+			if !n.deliver(&m) {
+				continue // delivery timed out; o may be reached elsewhere
+			}
 			visited[o] = visited[v] + 1
 			if visited[o] > maxHop {
 				maxHop = visited[o]
@@ -117,11 +194,12 @@ func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Met
 			queue = append(queue, o)
 		}
 	}
-	return Metrics{
-		NodesAccessed: len(visited),
-		Messages:      2*treeLinks + wasted,
-		Hops:          maxHop,
-	}, nil
+	m.NodesAccessed = len(visited)
+	m.Messages += 2*treeLinks + wasted
+	m.Hops = maxHop
+	m.TotalHops = maxHop
+	m.FailedNodes = len(members) - len(visited)
+	return m, nil
 }
 
 // Route simulates perimeter collection: starting from the sensor of
@@ -129,10 +207,29 @@ func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Met
 // target by repeatedly routing to the nearest unvisited target over
 // usable links (a greedy travelling collector, the "one node traverses
 // and aggregates" method of §4.6). All intermediate relay sensors count
-// as accessed.
+// as accessed. Route fails when any target cannot be collected; use
+// RouteBestEffort for the degraded-tolerant variant.
 func (n *Network) Route(entry planar.NodeID, targets []planar.NodeID) (Metrics, error) {
 	if len(targets) == 0 {
 		return Metrics{}, fmt.Errorf("netsim: no route targets")
+	}
+	m, unreached := n.RouteBestEffort(entry, targets)
+	if len(unreached) > 0 {
+		return Metrics{}, fmt.Errorf("netsim: %d perimeter sensors unreachable from %d", len(unreached), entry)
+	}
+	return m, nil
+}
+
+// RouteBestEffort is Route without the all-or-nothing contract: it
+// collects every target it can and returns the targets it could not
+// reach (down, disconnected, or behind a timed-out leg). The caller
+// decides how to account the unreached set — the query engine reroutes
+// them over the full surviving graph before declaring them failed, so
+// RouteBestEffort itself leaves Metrics.FailedNodes at zero.
+func (n *Network) RouteBestEffort(entry planar.NodeID, targets []planar.NodeID) (Metrics, []planar.NodeID) {
+	var m Metrics
+	if !n.nodeUsable(entry) {
+		return m, dedup(targets)
 	}
 	remaining := 0
 	for _, t := range targets {
@@ -146,34 +243,70 @@ func (n *Network) Route(entry planar.NodeID, targets []planar.NodeID) (Metrics, 
 			n.pending[t] = false
 		}
 	}()
+	var unreached []planar.NodeID
 	accessed := map[planar.NodeID]bool{entry: true}
 	cur := entry
 	messages := 0
 	totalHops := 0
+	maxLeg := 0
 	for remaining > 0 {
 		dst, ok := n.bfsToNearest(cur)
 		if !ok {
-			return Metrics{}, fmt.Errorf("netsim: %d perimeter sensors unreachable from %d", remaining, cur)
+			// No pending target is reachable from here: the rest fail.
+			for _, t := range targets {
+				if n.pending[t] {
+					n.pending[t] = false
+					unreached = append(unreached, t)
+				}
+			}
+			break
 		}
-		// Walk the path backwards, marking relays.
 		hops := int(n.hops[dst])
-		for at := dst; ; at = n.prev[at] {
-			accessed[at] = true
-			if at == cur {
+		// Materialize the leg in forward order (prev chains backwards).
+		n.path = n.path[:0]
+		for at := dst; at != cur; at = n.prev[at] {
+			n.path = append(n.path, at)
+		}
+		legOK := true
+		for i := len(n.path) - 1; i >= 0; i-- {
+			if !n.deliver(&m) {
+				legOK = false
 				break
 			}
+			accessed[n.path[i]] = true
+			messages++ // request forwarding hop
 		}
-		messages += hops
-		totalHops += hops
-		cur = dst
-		n.pending[cur] = false
+		if legOK {
+			totalHops += hops
+			if hops > maxLeg {
+				maxLeg = hops
+			}
+			cur = dst
+		} else {
+			// The request died mid-leg; the collector stays put and the
+			// target is skipped (partial forwarding cost already counted).
+			unreached = append(unreached, dst)
+		}
+		n.pending[dst] = false
 		remaining--
 	}
-	return Metrics{
-		NodesAccessed: len(accessed),
-		Messages:      messages + totalHops, // request forwarding + aggregated reply
-		Hops:          totalHops,
-	}, nil
+	m.NodesAccessed = len(accessed)
+	m.Messages += messages + totalHops // request forwarding + aggregated reply
+	m.Hops = maxLeg
+	m.TotalHops = totalHops
+	return m, unreached
+}
+
+func dedup(ns []planar.NodeID) []planar.NodeID {
+	seen := make(map[planar.NodeID]bool, len(ns))
+	var out []planar.NodeID
+	for _, v := range ns {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // bfsToNearest runs BFS from src over usable links until the nearest

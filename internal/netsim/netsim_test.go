@@ -86,12 +86,39 @@ func TestRouteVisitsAllTargets(t *testing.T) {
 	if m.NodesAccessed < 4 {
 		t.Errorf("nodes accessed = %d, want ≥ 4", m.NodesAccessed)
 	}
-	// Lower bound: visiting 3 more corners needs ≥ 15 hops on a 6×6 grid.
-	if m.Hops < 15 {
-		t.Errorf("hops = %d, want ≥ 15", m.Hops)
+	// Lower bound: visiting 3 more corners needs ≥ 15 total hops on a
+	// 6×6 grid.
+	if m.TotalHops < 15 {
+		t.Errorf("total hops = %d, want ≥ 15", m.TotalHops)
 	}
-	if m.Messages < m.Hops {
-		t.Errorf("messages %d below hops %d", m.Messages, m.Hops)
+	if m.Messages < m.TotalHops {
+		t.Errorf("messages %d below total hops %d", m.Messages, m.TotalHops)
+	}
+}
+
+// TestRouteHopsIsWorstLeg is the regression test for the Hops semantics:
+// Route must report the deepest single collection leg in Hops (the
+// field's documented "worst-case path length from the entry sensor") and
+// the full tour length in TotalHops, not the sum in both.
+func TestRouteHopsIsWorstLeg(t *testing.T) {
+	g := grid(t, 8, 1) // path 0-1-...-7
+	n := New(g)
+	// Entry 0; targets at 2, 4, 7: greedy legs of length 2, 2, 3.
+	m, err := n.Route(0, []planar.NodeID{2, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalHops != 7 {
+		t.Errorf("total hops = %d, want 7", m.TotalHops)
+	}
+	if m.Hops != 3 {
+		t.Errorf("hops = %d, want 3 (worst single leg)", m.Hops)
+	}
+	// Add must max-merge Hops against Flood's per-tree max.
+	flood := Metrics{Hops: 5}
+	flood.Add(m)
+	if flood.Hops != 5 {
+		t.Errorf("max-merged hops = %d, want 5", flood.Hops)
 	}
 }
 
@@ -147,9 +174,106 @@ func TestRestrictedFlood(t *testing.T) {
 }
 
 func TestMetricsAdd(t *testing.T) {
-	a := Metrics{NodesAccessed: 3, Messages: 5, Hops: 2}
-	a.Add(Metrics{NodesAccessed: 1, Messages: 2, Hops: 7})
-	if a.NodesAccessed != 4 || a.Messages != 7 || a.Hops != 7 {
-		t.Errorf("Add = %+v", a)
+	a := Metrics{NodesAccessed: 3, Messages: 5, Hops: 2, TotalHops: 2, Retries: 1, Drops: 1, Backoff: 1, FailedNodes: 1}
+	a.Add(Metrics{NodesAccessed: 1, Messages: 2, Hops: 7, TotalHops: 9, Retries: 2, Drops: 3, Backoff: 4, FailedNodes: 5})
+	want := Metrics{NodesAccessed: 4, Messages: 7, Hops: 7, TotalHops: 11, Retries: 3, Drops: 4, Backoff: 5, FailedNodes: 6}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// TestRestrictedActiveNodesFloodPartition covers NewRestricted with a
+// non-nil activeNodes map: dead sensors partition the member set and the
+// far side of the partition is reported failed, not flooded.
+func TestRestrictedActiveNodesFloodPartition(t *testing.T) {
+	g := grid(t, 5, 1)                                                  // path 0-1-2-3-4
+	alive := map[planar.NodeID]bool{0: true, 1: true, 3: true, 4: true} // 2 dead
+	n := NewRestricted(g, nil, alive)
+	members := map[planar.NodeID]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	m, err := n.Flood(0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodesAccessed != 2 {
+		t.Errorf("accessed = %d, want 2 (near side of the partition)", m.NodesAccessed)
+	}
+	if m.FailedNodes != 3 {
+		t.Errorf("failed = %d, want 3 (dead sensor + far side)", m.FailedNodes)
+	}
+	if _, err := n.Flood(2, members); err == nil {
+		t.Error("flood from a dead root accepted")
+	}
+}
+
+// TestRestrictedActiveNodesRouteUnreachable covers Route's
+// unreachable-target error path under a non-nil activeNodes map, and the
+// best-effort variant's partial result.
+func TestRestrictedActiveNodesRouteUnreachable(t *testing.T) {
+	g := grid(t, 5, 1)
+	alive := map[planar.NodeID]bool{0: true, 1: true, 3: true, 4: true}
+	n := NewRestricted(g, nil, alive)
+	if _, err := n.Route(0, []planar.NodeID{1, 4}); err == nil {
+		t.Error("route across a dead sensor did not error")
+	}
+	m, unreached := n.RouteBestEffort(0, []planar.NodeID{1, 4})
+	if len(unreached) != 1 || unreached[0] != 4 {
+		t.Errorf("unreached = %v, want [4]", unreached)
+	}
+	if m.NodesAccessed != 2 || m.TotalHops != 1 {
+		t.Errorf("best-effort metrics = %+v", m)
+	}
+	// A dead entry reaches nothing.
+	if m, unreached := n.RouteBestEffort(2, []planar.NodeID{0, 4}); len(unreached) != 2 || m.NodesAccessed != 0 {
+		t.Errorf("dead entry: metrics %+v unreached %v", m, unreached)
+	}
+}
+
+// TestDeliveryDropsAndRetries exercises the lossy-link path: a
+// deterministic drop sequence must produce deterministic retry, drop,
+// and backoff accounting, and exhausting the retry budget must fail the
+// delivery (bounded timeout).
+func TestDeliveryDropsAndRetries(t *testing.T) {
+	g := grid(t, 4, 1)
+	mk := func(seq []bool, retries int) *Network {
+		n := New(g)
+		i := 0
+		n.SetDelivery(func() bool {
+			d := seq[i%len(seq)]
+			i++
+			return d
+		}, retries)
+		return n
+	}
+	// Every delivery drops once then succeeds: one retry per hop.
+	n := mk([]bool{true, false}, 2)
+	m, err := n.Route(0, []planar.NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Drops != 3 || m.Retries != 3 || m.Backoff != 3 {
+		t.Errorf("drops/retries/backoff = %d/%d/%d, want 3/3/3", m.Drops, m.Retries, m.Backoff)
+	}
+	if m.TotalHops != 3 {
+		t.Errorf("total hops = %d, want 3", m.TotalHops)
+	}
+	// Zero retry budget and always-dropping links: the leg times out.
+	n = mk([]bool{true}, 0)
+	if _, err := n.Route(0, []planar.NodeID{3}); err == nil {
+		t.Error("always-dropping link did not fail the route")
+	}
+	mbe, unreached := mk([]bool{true}, 0).RouteBestEffort(0, []planar.NodeID{3})
+	if len(unreached) != 1 {
+		t.Errorf("unreached = %v, want the timed-out target", unreached)
+	}
+	if mbe.Drops == 0 {
+		t.Error("timed-out leg accounted no drops")
+	}
+	// Identical drop sequences reproduce identical metrics.
+	m2, err := mk([]bool{true, false}, 2).Route(0, []planar.NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != m2 {
+		t.Errorf("metrics not reproducible: %+v vs %+v", m, m2)
 	}
 }

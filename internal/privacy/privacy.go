@@ -39,10 +39,18 @@ func (Laplace) Perturb(value, sensitivity, epsilon float64, rng *rand.Rand) floa
 	return value + SampleLaplace(sensitivity/epsilon, rng)
 }
 
-// SampleLaplace draws from Laplace(0, b) by inverse CDF.
+// SampleLaplace draws from Laplace(0, b) by inverse CDF. The degenerate
+// draw u = 0 (rng.Float64 returns values in [0, 1)) would make the
+// inverse CDF take log(0) = −Inf; the argument is clamped to the
+// smallest positive float instead, which caps |noise| at ≈ 745·b and
+// keeps every release finite.
 func SampleLaplace(b float64, rng *rand.Rand) float64 {
 	u := rng.Float64() - 0.5
-	return -b * sign(u) * math.Log(1-2*math.Abs(u))
+	x := 1 - 2*math.Abs(u)
+	if x < math.SmallestNonzeroFloat64 {
+		x = math.SmallestNonzeroFloat64
+	}
+	return -b * sign(u) * math.Log(x)
 }
 
 func sign(x float64) float64 {

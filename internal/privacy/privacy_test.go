@@ -26,6 +26,41 @@ func TestSampleLaplaceMoments(t *testing.T) {
 	}
 }
 
+// zeroSource is a rand.Source whose Int63 always returns 0, which makes
+// rand.Float64 return exactly 0 — the inverse-CDF edge case.
+type zeroSource struct{}
+
+func (zeroSource) Int63() int64 { return 0 }
+func (zeroSource) Seed(int64)   {}
+
+// TestSampleLaplaceFiniteOnDegenerateRNG pins the inverse-CDF edge:
+// rng.Float64() == 0 gives u = −0.5 and used to produce ±Inf noise,
+// which a CountReleaser.Release then clamped to 0 or propagated as
+// +Inf. Every draw and release must stay finite.
+func TestSampleLaplaceFiniteOnDegenerateRNG(t *testing.T) {
+	rng := rand.New(zeroSource{})
+	x := SampleLaplace(2.5, rng)
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		t.Fatalf("degenerate draw produced %v", x)
+	}
+	acct, err := NewAccountant(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := NewCountReleaser(Laplace{}, acct, 0)
+	cr.rng = rand.New(zeroSource{})
+	noisy, err := cr.Release(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(noisy, 0) || math.IsNaN(noisy) {
+		t.Fatalf("release = %v, want finite", noisy)
+	}
+	if noisy < 0 {
+		t.Fatalf("release = %v below the clamp", noisy)
+	}
+}
+
 func TestTwoSidedGeometricMoments(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	alpha := math.Exp(-0.5) // ε=0.5, Δ=1

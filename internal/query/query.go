@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/netsim"
 	"repro/internal/planar"
@@ -68,6 +69,31 @@ func (r Request) Validate() error {
 	return nil
 }
 
+// Degradation reports how a fault plan degraded one answer (DESIGN.md
+// §8). It is attached to every response of an engine with an installed
+// plan; a zero-valued Degradation with Lower == Upper == Count means the
+// faults did not touch this query's perimeter.
+type Degradation struct {
+	// DeadPerimeterSensors is the number of the region's perimeter
+	// sensors that were down at query time.
+	DeadPerimeterSensors int
+	// UnobservedCuts is the number of perimeter roads whose flanking
+	// sensors are all down — their crossing forms could not be collected.
+	UnobservedCuts int
+	// ReroutedLegs counts collection legs that failed on the sampled
+	// graph G̃ and were repaired by rerouting over the shortest surviving
+	// path in the full sensing graph G.
+	ReroutedLegs int
+	// Lower, Upper bound the fault-free count: Count is widened by the
+	// maximum possible contribution of every unobserved cut road, so the
+	// interval [Lower, Upper] always contains the count a fault-free
+	// engine would have returned.
+	Lower, Upper float64
+	// Retries, Drops, FailedNodes mirror the netsim accounting of the
+	// degraded collection (Response.Net carries the full Metrics).
+	Retries, Drops, FailedNodes int
+}
+
 // Response is the result of one query.
 type Response struct {
 	// Count is the estimated count (semantics per Request.Kind).
@@ -83,6 +109,9 @@ type Response struct {
 	Net netsim.Metrics
 	// EdgesAccessed is the number of perimeter sensing edges read.
 	EdgesAccessed int
+	// Degradation is non-nil iff a fault plan is installed; it carries
+	// the widened count interval and the failure accounting.
+	Degradation *Degradation
 }
 
 // Engine answers queries over one store and an optional sampled graph.
@@ -99,6 +128,14 @@ type Engine struct {
 	// StaticSamples is the probe count for StaticCountSampled when no
 	// EventLister is available (learned stores). Default 16.
 	StaticSamples int
+	// plan, when non-nil, degrades collection: dead sensors and links
+	// restrict communication, lossy deliveries are retried, and counts
+	// over partially unobservable perimeters are answered as widened
+	// intervals instead of errors.
+	plan *faults.Plan
+	// drops is the engine's deterministic per-delivery drop stream,
+	// shared by every network the plan touches.
+	drops func() bool
 }
 
 // NewEngine builds an engine over the full (unsampled) sensing graph.
@@ -129,6 +166,27 @@ func (e *Engine) World() *roadnet.World { return e.w }
 // Sampled reports whether the engine answers on a sampled graph.
 func (e *Engine) Sampled() bool { return e.sg != nil }
 
+// SetFaultPlan installs (or, with nil, removes) a failure plan. With a
+// plan installed every query is answered in degraded mode: dead
+// perimeter sensors no longer fail the query — the engine repairs the
+// collection route through surviving sensors and widens the answer into
+// a [Lower, Upper] interval that still contains the fault-free count
+// (Response.Degradation).
+//
+// The plan's drop stream is stateful, so an engine with a fault plan is
+// NOT safe for concurrent queries (matching netsim.Network).
+func (e *Engine) SetFaultPlan(p *faults.Plan) {
+	e.plan = p
+	if p != nil {
+		e.drops = p.NewDropStream()
+	} else {
+		e.drops = nil
+	}
+}
+
+// FaultPlan returns the installed failure plan, or nil.
+func (e *Engine) FaultPlan() *faults.Plan { return e.plan }
+
 // Query answers one request.
 func (e *Engine) Query(req Request) (*Response, error) {
 	if err := req.Validate(); err != nil {
@@ -156,6 +214,9 @@ func (e *Engine) Query(req Request) (*Response, error) {
 	if region.Empty() {
 		resp.Missed = true
 		return resp, nil
+	}
+	if e.plan != nil {
+		return e.queryDegraded(resp, region, req)
 	}
 	resp.Count = e.count(region, req)
 	// Region.CutRoads is memoized, so this reads the perimeter the count
@@ -229,6 +290,173 @@ func (e *Engine) cost(region *core.Region, req Request) netsim.Metrics {
 	if m.NodesAccessed < len(members) {
 		m.Messages += len(members) - m.NodesAccessed
 		m.NodesAccessed = len(members)
+	}
+	return m
+}
+
+// queryDegraded answers req under the installed fault plan: counts are
+// taken over the observable part of the perimeter and widened into an
+// interval covering the unobserved cuts; collection is simulated over
+// the surviving communication graph with retry/repair semantics.
+func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request) (*Response, error) {
+	t := req.T1
+	deg := &Degradation{}
+	// Partition the perimeter into observed and unobserved cuts: a cut
+	// road is unobservable when every sensor flanking it is down.
+	cuts := region.CutRoads()
+	var observed, unobserved []core.CutRoad
+	for _, cr := range cuts {
+		if e.cutObserved(cr, t) {
+			observed = append(observed, cr)
+		} else {
+			unobserved = append(unobserved, cr)
+		}
+	}
+	deg.UnobservedCuts = len(unobserved)
+	for _, s := range region.PerimeterSensors() {
+		if e.plan.NodeDown(s, t) {
+			deg.DeadPerimeterSensors++
+		}
+	}
+	obsRegion := region
+	if len(unobserved) > 0 {
+		r2, err := core.NewRegion(e.w, region.Junctions())
+		if err != nil {
+			return nil, err
+		}
+		if observed == nil {
+			observed = []core.CutRoad{}
+		}
+		r2.SetCutRoads(observed)
+		obsRegion = r2
+	}
+	resp.Count = e.count(obsRegion, req)
+	w := e.widen(req, unobserved)
+	deg.Lower, deg.Upper = resp.Count-w, resp.Count+w
+	resp.EdgesAccessed = len(observed)
+	resp.Net = e.costDegraded(region, req, deg)
+	deg.Retries, deg.Drops, deg.FailedNodes = resp.Net.Retries, resp.Net.Drops, resp.Net.FailedNodes
+	resp.Degradation = deg
+	return resp, nil
+}
+
+// cutObserved reports whether the crossing form of a cut road can still
+// be collected at time t: at least one flanking sensor is alive. Bridge
+// roads have no dual sensor pair and are handled by the world boundary.
+func (e *Engine) cutObserved(cr core.CutRoad, t float64) bool {
+	de := e.w.Dual.EdgeOf[cr.Road]
+	if de == planar.NoEdge {
+		return true
+	}
+	ed := e.w.Dual.G.Edge(de)
+	hasSensor := false
+	for _, s := range []planar.NodeID{ed.U, ed.V} {
+		if s == e.w.Dual.OuterNode {
+			continue
+		}
+		hasSensor = true
+		if !e.plan.NodeDown(s, t) {
+			return true
+		}
+	}
+	return !hasSensor
+}
+
+// widen returns the bound-widening W for the unobserved cuts: each
+// unobserved road contributes at most its total (both-direction)
+// crossing volume over the relevant horizon, so the fault-free count
+// lies within ±W of the observed count. The volume is read from the
+// counter — in a deployment this is the last aggregate the dead sensor
+// reported (or a learned rate model); the simulator reads the store,
+// which makes the interval provably sound for exact counters.
+func (e *Engine) widen(req Request, unobserved []core.CutRoad) float64 {
+	var w float64
+	for _, cr := range unobserved {
+		ed := e.w.Star.Edge(cr.Road)
+		for _, toward := range []planar.NodeID{ed.U, ed.V} {
+			switch req.Kind {
+			case Transient:
+				// Net flow over (T1,T2] is bounded by the interval volume.
+				if ic, ok := e.counter.(core.IntervalCounter); ok {
+					w += ic.RoadCrossingsIn(cr.Road, toward, req.T1, req.T2)
+				} else {
+					w += e.counter.RoadCrossings(cr.Road, toward, req.T2) -
+						e.counter.RoadCrossings(cr.Road, toward, req.T1)
+				}
+			case Snapshot:
+				w += e.counter.RoadCrossings(cr.Road, toward, req.T1)
+			case Static:
+				// Snapshot contributions at every probe ≤ T2 are bounded
+				// by the prefix volume at T2.
+				w += e.counter.RoadCrossings(cr.Road, toward, req.T2)
+			}
+		}
+	}
+	return w
+}
+
+// costDegraded simulates collection over the surviving communication
+// graph. Sampled engines route the perimeter over the surviving sampled
+// links and repair failed legs over the shortest surviving paths of the
+// full sensing graph G; the unsampled engine floods the surviving
+// members. Dead or uncollectable sensors are accounted in FailedNodes.
+func (e *Engine) costDegraded(region *core.Region, req Request, deg *Degradation) netsim.Metrics {
+	t := req.T1
+	aliveNodes, aliveLinks := e.plan.ActiveAt(t)
+	g := e.w.Dual.G
+	retries := e.plan.MaxRetries()
+	if e.sg != nil {
+		sensors := region.PerimeterSensors()
+		var targets []planar.NodeID
+		dead := 0
+		for _, s := range sensors {
+			if e.plan.NodeDown(s, t) {
+				dead++
+			} else {
+				targets = append(targets, s)
+			}
+		}
+		if len(targets) == 0 {
+			return netsim.Metrics{FailedNodes: len(sensors)}
+		}
+		primary := netsim.NewRestricted(g, e.sg.ActiveDualEdges(aliveLinks), aliveNodes)
+		primary.SetDelivery(e.drops, retries)
+		m, unreached := primary.RouteBestEffort(targets[0], targets)
+		if len(unreached) > 0 {
+			// Perimeter repair: reroute the stragglers over the shortest
+			// surviving paths in the full sensing graph G.
+			repair := netsim.NewRestricted(g, aliveLinks, aliveNodes)
+			repair.SetDelivery(e.drops, retries)
+			m2, stillUnreached := repair.RouteBestEffort(targets[0], unreached)
+			deg.ReroutedLegs = len(unreached) - len(stillUnreached)
+			m.Add(m2)
+			m.FailedNodes += len(stillUnreached)
+		}
+		m.FailedNodes += dead
+		return m
+	}
+	full := netsim.NewRestricted(g, aliveLinks, aliveNodes)
+	full.SetDelivery(e.drops, retries)
+	members := make(map[planar.NodeID]bool)
+	var root planar.NodeID = planar.NoNode
+	addMember := func(s planar.NodeID) {
+		members[s] = true
+		if root == planar.NoNode && !e.plan.NodeDown(s, t) {
+			root = s
+		}
+	}
+	for _, s := range e.w.SensorsIn(req.Rect) {
+		addMember(s)
+	}
+	for _, s := range region.PerimeterSensors() {
+		addMember(s)
+	}
+	if root == planar.NoNode {
+		return netsim.Metrics{FailedNodes: len(members)}
+	}
+	m, err := full.Flood(root, members)
+	if err != nil {
+		return netsim.Metrics{FailedNodes: len(members)}
 	}
 	return m
 }

@@ -286,6 +286,20 @@ func (g *Graph) ApproximateRegion(exact *core.Region, b Bound) (*core.Region, bo
 	return r, r.Empty(), nil
 }
 
+// ActiveDualEdges intersects G̃'s sensing edges with an alive-link
+// restriction (nil means every link is alive) — the communication graph
+// a fault plan leaves the sampled system. The query engine feeds the
+// result to netsim.NewRestricted when answering under a failure plan.
+func (g *Graph) ActiveDualEdges(alive map[planar.EdgeID]bool) map[planar.EdgeID]bool {
+	out := make(map[planar.EdgeID]bool, len(g.DualEdges))
+	for e := range g.DualEdges {
+		if alive == nil || alive[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
 // Monitors reports whether the sampled system stores the tracking form of
 // the given road.
 func (g *Graph) Monitors(road planar.EdgeID) bool {

@@ -41,6 +41,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/learned"
 	"repro/internal/mobility"
@@ -82,6 +83,12 @@ type (
 	SampledOptions = sampled.Options
 	// Event is one identifier-free crossing event for batch ingestion.
 	Event = core.Event
+	// FaultSpec declares a deterministic failure model (see ApplyFaults).
+	FaultSpec = faults.Spec
+	// FaultWindow schedules a transient outage inside a FaultSpec.
+	FaultWindow = faults.Window
+	// Degradation reports how faults degraded one answer.
+	Degradation = query.Degradation
 )
 
 // Batch event kinds and constructors (see RecordBatch).
@@ -209,12 +216,20 @@ type Response struct {
 	// RegionFaces is the number of sensing faces actually counted.
 	RegionFaces int
 	// NodesAccessed, Messages, Hops are the simulated in-network
-	// communication costs.
+	// communication costs. Hops is the worst single collection leg;
+	// TotalHops is the collector's full tour length.
 	NodesAccessed int
 	Messages      int
 	Hops          int
+	TotalHops     int
 	// EdgesAccessed is the number of perimeter sensing edges read.
 	EdgesAccessed int
+	// Degradation is non-nil iff a fault plan is applied (ApplyFaults):
+	// it carries the widened [Lower, Upper] count interval and the
+	// failure accounting (dead perimeter sensors, retries, drops). The
+	// interval bounds the fault-free framework count before any privacy
+	// noise is added.
+	Degradation *Degradation
 }
 
 // System is a complete in-network query system: a world, its tracking-
@@ -235,6 +250,8 @@ type System struct {
 	// perQueryEpsilon is spent on every private query.
 	perQueryEpsilon float64
 	acct            *privacy.Accountant
+	// plan, when non-nil, degrades every query (ApplyFaults).
+	plan *faults.Plan
 }
 
 // NewSystem wraps an existing world.
@@ -421,6 +438,43 @@ func (s *System) rebuild() {
 	} else {
 		s.engine = query.NewEngine(s.world, counter, lister)
 	}
+	s.engine.SetFaultPlan(s.plan)
+}
+
+// ApplyFaults compiles a deterministic failure plan against the sensing
+// graph and answers every subsequent query in degraded mode: dead
+// perimeter sensors no longer fail the query — collection is rerouted
+// through surviving sensors and the count is widened into the
+// [Lower, Upper] interval of Response.Degradation, which always contains
+// the fault-free count. Identical specs reproduce identical plans and
+// identical degraded metrics.
+//
+// With a fault plan applied, queries are not safe for concurrent use
+// (the deterministic drop stream is stateful).
+func (s *System) ApplyFaults(spec FaultSpec) error {
+	d := s.world.Dual.G
+	plan, err := faults.Compile(spec, d.NumNodes(), d.NumEdges(), s.world.Dual.OuterNode)
+	if err != nil {
+		return err
+	}
+	s.plan = plan
+	s.engine.SetFaultPlan(plan)
+	return nil
+}
+
+// ClearFaults removes the failure plan; queries answer exactly again.
+func (s *System) ClearFaults() {
+	s.plan = nil
+	s.engine.SetFaultPlan(nil)
+}
+
+// NumFailedSensors returns the number of sensors down at time t under
+// the applied fault plan (0 without a plan).
+func (s *System) NumFailedSensors(t float64) int {
+	if s.plan == nil {
+		return 0
+	}
+	return s.plan.DeadNodesAt(t)
 }
 
 // EnablePrivacy turns on ε-differentially private count releases: every
@@ -477,7 +531,9 @@ func (s *System) Query(q Query) (*Response, error) {
 		NodesAccessed: resp.Net.NodesAccessed,
 		Messages:      resp.Net.Messages,
 		Hops:          resp.Net.Hops,
+		TotalHops:     resp.Net.TotalHops,
 		EdgesAccessed: resp.EdgesAccessed,
+		Degradation:   resp.Degradation,
 	}, nil
 }
 
