@@ -144,15 +144,30 @@ func (p *Plan) Spec() Spec { return p.spec }
 // NodeDown reports whether sensor v is down at time t: crashed-stop, or
 // inside a scheduled window that sampled it.
 func (p *Plan) NodeDown(v planar.NodeID, t float64) bool {
+	return p.NodeDownIn(v, t, t)
+}
+
+// NodeDownIn reports whether sensor v is down at any point of the
+// closed horizon [t1, t2]: crash-stop, or sampled into a scheduled
+// window overlapping the horizon. Interval queries use this so that an
+// outage anywhere inside [T1, T2] marks the sensor's data unobservable;
+// NodeDownIn(v, t, t) == NodeDown(v, t).
+func (p *Plan) NodeDownIn(v planar.NodeID, t1, t2 float64) bool {
 	if p.crashed[v] {
 		return true
 	}
 	for i, w := range p.spec.Windows {
-		if t >= w.Start && t < w.End && p.windowDown[i][v] {
+		if w.overlaps(t1, t2) && p.windowDown[i][v] {
 			return true
 		}
 	}
 	return false
+}
+
+// overlaps reports whether the half-open window [Start, End) intersects
+// the closed horizon [t1, t2].
+func (w Window) overlaps(t1, t2 float64) bool {
+	return w.Start <= t2 && w.End > t1
 }
 
 // LinkDown reports whether link e is permanently dead.
@@ -161,15 +176,21 @@ func (p *Plan) LinkDown(e planar.EdgeID) bool { return p.deadLink[e] }
 // NumCrashed returns the number of crash-stop sensors.
 func (p *Plan) NumCrashed() int { return len(p.crashed) }
 
-// DeadNodesAt counts the sensors down at time t.
+// DeadNodesAt counts the distinct sensors down at time t. A sensor
+// independently sampled into several overlapping windows counts once.
 func (p *Plan) DeadNodesAt(t float64) int {
 	n := len(p.crashed)
+	var seen map[planar.NodeID]bool
 	for i, w := range p.spec.Windows {
 		if t < w.Start || t >= w.End {
 			continue
 		}
+		if seen == nil {
+			seen = make(map[planar.NodeID]bool)
+		}
 		for v := range p.windowDown[i] {
-			if !p.crashed[v] {
+			if !p.crashed[v] && !seen[v] {
+				seen[v] = true
 				n++
 			}
 		}
@@ -180,9 +201,16 @@ func (p *Plan) DeadNodesAt(t float64) int {
 // ActiveAt materializes the surviving communication graph at time t as
 // the active-node/edge restriction maps netsim.NewRestricted consumes.
 func (p *Plan) ActiveAt(t float64) (nodes map[planar.NodeID]bool, links map[planar.EdgeID]bool) {
+	return p.ActiveIn(t, t)
+}
+
+// ActiveIn materializes the pessimistic surviving communication graph
+// over the closed horizon [t1, t2]: a sensor down at any point of the
+// horizon is excluded (see NodeDownIn). ActiveIn(t, t) == ActiveAt(t).
+func (p *Plan) ActiveIn(t1, t2 float64) (nodes map[planar.NodeID]bool, links map[planar.EdgeID]bool) {
 	nodes = make(map[planar.NodeID]bool, p.numNodes)
 	for v := 0; v < p.numNodes; v++ {
-		if !p.NodeDown(planar.NodeID(v), t) {
+		if !p.NodeDownIn(planar.NodeID(v), t1, t2) {
 			nodes[planar.NodeID(v)] = true
 		}
 	}

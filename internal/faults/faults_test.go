@@ -134,6 +134,75 @@ func TestWindowsAndImmortal(t *testing.T) {
 	}
 }
 
+// TestDeadNodesAtOverlappingWindows: a sensor independently sampled
+// into two overlapping windows must count once, not once per window.
+func TestDeadNodesAtOverlappingWindows(t *testing.T) {
+	const n = 50
+	plan, err := Compile(Spec{Seed: 11, Windows: []Window{
+		{Start: 0, End: 100, Frac: 1},
+		{Start: 50, End: 150, Frac: 1},
+	}}, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.DeadNodesAt(75); got != n {
+		t.Errorf("DeadNodesAt(75) = %d, want %d (every node down exactly once)", got, n)
+	}
+	// A crashed node inside both windows also counts once.
+	plan, err = Compile(Spec{Seed: 11, SensorCrash: 1, Windows: []Window{
+		{Start: 0, End: 100, Frac: 1},
+		{Start: 50, End: 150, Frac: 1},
+	}}, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.DeadNodesAt(75); got != n {
+		t.Errorf("DeadNodesAt(75) with full crash = %d, want %d", got, n)
+	}
+}
+
+// TestNodeDownInHorizon: interval fault evaluation must see a window
+// anywhere inside the closed horizon, with NodeDownIn(v, t, t)
+// degenerating to NodeDown(v, t).
+func TestNodeDownInHorizon(t *testing.T) {
+	const n = 20
+	plan, err := Compile(Spec{Seed: 13, Windows: []Window{{Start: 100, End: 200, Frac: 1}}}, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := planar.NodeID(3)
+	cases := []struct {
+		t1, t2 float64
+		down   bool
+	}{
+		{0, 50, false},    // wholly before the window
+		{0, 100, true},    // horizon end touches window start
+		{0, 300, true},    // horizon spans the window
+		{150, 160, true},  // horizon inside the window
+		{199, 250, true},  // horizon starts inside the window
+		{200, 300, false}, // window is half-open: t=200 is up again
+	}
+	for _, c := range cases {
+		if got := plan.NodeDownIn(v, c.t1, c.t2); got != c.down {
+			t.Errorf("NodeDownIn(v, %v, %v) = %v, want %v", c.t1, c.t2, got, c.down)
+		}
+	}
+	for _, tm := range []float64{0, 99, 100, 150, 199, 200, 300} {
+		if plan.NodeDownIn(v, tm, tm) != plan.NodeDown(v, tm) {
+			t.Errorf("NodeDownIn(v, %v, %v) disagrees with NodeDown", tm, tm)
+		}
+	}
+	// ActiveIn excludes every sensor down anywhere in the horizon.
+	nodes, _ := plan.ActiveIn(50, 150)
+	if len(nodes) != 0 {
+		t.Errorf("ActiveIn(50, 150) kept %d nodes, want 0", len(nodes))
+	}
+	nodes, _ = plan.ActiveIn(200, 300)
+	if len(nodes) != n {
+		t.Errorf("ActiveIn(200, 300) kept %d nodes, want %d", len(nodes), n)
+	}
+}
+
 func TestNoDropStreamWithoutDropProb(t *testing.T) {
 	plan, err := Compile(Spec{Seed: 1}, 10, 10)
 	if err != nil {

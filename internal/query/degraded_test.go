@@ -189,6 +189,74 @@ func TestDegradedPerimeterRepair(t *testing.T) {
 	}
 }
 
+// TestDegradedWindowInsideInterval: a scheduled outage window that
+// overlaps (T1, T2] but not T1 must still degrade interval queries —
+// fault state is evaluated over the whole query horizon, not sampled at
+// T1 only (the sensors' data during the outage is unobservable even
+// though they are alive when the query starts).
+func TestDegradedWindowInsideInterval(t *testing.T) {
+	fx := newFixture(t, 101)
+	e := fx.sampledEngine(t, 60, 102)
+	clean := fx.sampledEngine(t, 60, 102)
+	// Every sensor is down during [6000, 7000) and alive otherwise.
+	plan := compilePlan(t, fx, faults.Spec{Seed: 103,
+		Windows: []faults.Window{{Start: 6000, End: 7000, Frac: 1}}})
+	e.SetFaultPlan(plan)
+
+	rect := centerRect(fx.w, 0.6)
+	for _, kind := range []Kind{Static, Transient} {
+		req := Request{Rect: rect, T1: 4000, T2: 8000, Kind: kind, Bound: sampled.Upper}
+		want, err := clean.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Missed {
+			t.Fatalf("%v query missed", kind)
+		}
+		deg := got.Degradation
+		if deg == nil {
+			t.Fatalf("%v: no Degradation under a fault plan", kind)
+		}
+		if deg.DeadPerimeterSensors == 0 {
+			t.Errorf("%v: outage window inside (T1, T2] killed no perimeter sensors", kind)
+		}
+		if deg.UnobservedCuts == 0 {
+			t.Errorf("%v: full outage inside the interval left every cut observed", kind)
+		}
+		if deg.Lower > want.Count || want.Count > deg.Upper {
+			t.Errorf("%v: fault-free count %v outside degraded interval [%v, %v]",
+				kind, want.Count, deg.Lower, deg.Upper)
+		}
+	}
+
+	// A Snapshot at T1 (before the window opens) is untouched: the
+	// horizon [T1, T1] does not meet the window.
+	req := Request{Rect: rect, T1: 4000, Kind: Snapshot, Bound: sampled.Upper}
+	want, err := clean.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := got.Degradation
+	if deg == nil {
+		t.Fatal("snapshot: no Degradation under a fault plan")
+	}
+	if deg.DeadPerimeterSensors != 0 || deg.UnobservedCuts != 0 {
+		t.Errorf("snapshot before the window degraded: %+v", deg)
+	}
+	if got.Count != want.Count || deg.Lower != deg.Upper {
+		t.Errorf("snapshot before the window: count %v (interval [%v, %v]), want exact %v",
+			got.Count, deg.Lower, deg.Upper, want.Count)
+	}
+}
+
 // TestDegradedObservedPerimeterStillMonitored: the observed sub-perimeter
 // the degraded count integrates must stay a subset of the real perimeter
 // (no cut road invented by the partition).

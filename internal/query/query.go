@@ -75,10 +75,12 @@ func (r Request) Validate() error {
 // faults did not touch this query's perimeter.
 type Degradation struct {
 	// DeadPerimeterSensors is the number of the region's perimeter
-	// sensors that were down at query time.
+	// sensors down at some point of the query horizon ([T1, T2] for
+	// interval queries, T1 for snapshots).
 	DeadPerimeterSensors int
 	// UnobservedCuts is the number of perimeter roads whose flanking
-	// sensors are all down — their crossing forms could not be collected.
+	// sensors are all down during the horizon — their crossing forms
+	// could not be collected.
 	UnobservedCuts int
 	// ReroutedLegs counts collection legs that failed on the sampled
 	// graph G̃ and were repaired by rerouting over the shortest surviving
@@ -109,8 +111,10 @@ type Response struct {
 	Net netsim.Metrics
 	// EdgesAccessed is the number of perimeter sensing edges read.
 	EdgesAccessed int
-	// Degradation is non-nil iff a fault plan is installed; it carries
-	// the widened count interval and the failure accounting.
+	// Degradation is non-nil iff a fault plan is installed AND the query
+	// was answered; Missed responses carry no degradation report (there
+	// is no count to widen). It holds the widened count interval and the
+	// failure accounting.
 	Degradation *Degradation
 }
 
@@ -294,19 +298,33 @@ func (e *Engine) cost(region *core.Region, req Request) netsim.Metrics {
 	return m
 }
 
+// faultHorizon returns the closed time horizon over which fault state
+// is evaluated for req: [T1, T1] for Snapshot, [T1, T2] otherwise. A
+// sensor down at any point of the horizon may have missed crossings the
+// query depends on, so interval queries treat it as down throughout —
+// scheduled outage windows overlapping (T1, T2] degrade Static and
+// Transient answers even when every sensor is alive at T1.
+func faultHorizon(req Request) (t1, t2 float64) {
+	if req.Kind == Snapshot {
+		return req.T1, req.T1
+	}
+	return req.T1, req.T2
+}
+
 // queryDegraded answers req under the installed fault plan: counts are
 // taken over the observable part of the perimeter and widened into an
 // interval covering the unobserved cuts; collection is simulated over
 // the surviving communication graph with retry/repair semantics.
 func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request) (*Response, error) {
-	t := req.T1
+	t1, t2 := faultHorizon(req)
 	deg := &Degradation{}
 	// Partition the perimeter into observed and unobserved cuts: a cut
-	// road is unobservable when every sensor flanking it is down.
+	// road is unobservable when every sensor flanking it is down at some
+	// point of the query horizon.
 	cuts := region.CutRoads()
 	var observed, unobserved []core.CutRoad
 	for _, cr := range cuts {
-		if e.cutObserved(cr, t) {
+		if e.cutObserved(cr, t1, t2) {
 			observed = append(observed, cr)
 		} else {
 			unobserved = append(unobserved, cr)
@@ -314,7 +332,7 @@ func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request)
 	}
 	deg.UnobservedCuts = len(unobserved)
 	for _, s := range region.PerimeterSensors() {
-		if e.plan.NodeDown(s, t) {
+		if e.plan.NodeDownIn(s, t1, t2) {
 			deg.DeadPerimeterSensors++
 		}
 	}
@@ -340,10 +358,11 @@ func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request)
 	return resp, nil
 }
 
-// cutObserved reports whether the crossing form of a cut road can still
-// be collected at time t: at least one flanking sensor is alive. Bridge
-// roads have no dual sensor pair and are handled by the world boundary.
-func (e *Engine) cutObserved(cr core.CutRoad, t float64) bool {
+// cutObserved reports whether the crossing form of a cut road can be
+// collected over the whole horizon [t1, t2]: at least one flanking
+// sensor stays alive throughout. Bridge roads have no dual sensor pair
+// and are handled by the world boundary.
+func (e *Engine) cutObserved(cr core.CutRoad, t1, t2 float64) bool {
 	de := e.w.Dual.EdgeOf[cr.Road]
 	if de == planar.NoEdge {
 		return true
@@ -355,7 +374,7 @@ func (e *Engine) cutObserved(cr core.CutRoad, t float64) bool {
 			continue
 		}
 		hasSensor = true
-		if !e.plan.NodeDown(s, t) {
+		if !e.plan.NodeDownIn(s, t1, t2) {
 			return true
 		}
 	}
@@ -401,8 +420,8 @@ func (e *Engine) widen(req Request, unobserved []core.CutRoad) float64 {
 // full sensing graph G; the unsampled engine floods the surviving
 // members. Dead or uncollectable sensors are accounted in FailedNodes.
 func (e *Engine) costDegraded(region *core.Region, req Request, deg *Degradation) netsim.Metrics {
-	t := req.T1
-	aliveNodes, aliveLinks := e.plan.ActiveAt(t)
+	t1, t2 := faultHorizon(req)
+	aliveNodes, aliveLinks := e.plan.ActiveIn(t1, t2)
 	g := e.w.Dual.G
 	retries := e.plan.MaxRetries()
 	if e.sg != nil {
@@ -410,7 +429,7 @@ func (e *Engine) costDegraded(region *core.Region, req Request, deg *Degradation
 		var targets []planar.NodeID
 		dead := 0
 		for _, s := range sensors {
-			if e.plan.NodeDown(s, t) {
+			if e.plan.NodeDownIn(s, t1, t2) {
 				dead++
 			} else {
 				targets = append(targets, s)
@@ -441,7 +460,7 @@ func (e *Engine) costDegraded(region *core.Region, req Request, deg *Degradation
 	var root planar.NodeID = planar.NoNode
 	addMember := func(s planar.NodeID) {
 		members[s] = true
-		if root == planar.NoNode && !e.plan.NodeDown(s, t) {
+		if root == planar.NoNode && !e.plan.NodeDownIn(s, t1, t2) {
 			root = s
 		}
 	}

@@ -224,11 +224,15 @@ type Response struct {
 	TotalHops     int
 	// EdgesAccessed is the number of perimeter sensing edges read.
 	EdgesAccessed int
-	// Degradation is non-nil iff a fault plan is applied (ApplyFaults):
-	// it carries the widened [Lower, Upper] count interval and the
-	// failure accounting (dead perimeter sensors, retries, drops). The
-	// interval bounds the fault-free framework count before any privacy
-	// noise is added.
+	// Degradation is non-nil iff a fault plan is applied (ApplyFaults)
+	// and the query produced an answer — Missed responses carry no
+	// degradation report. It holds the widened [Lower, Upper] count
+	// interval and the failure accounting (dead perimeter sensors,
+	// retries, drops). Without privacy the interval is guaranteed to
+	// contain the fault-free framework count. With EnablePrivacy active
+	// the interval is recentered on the noised Count — the un-noised
+	// count is not recoverable from the bounds — so it contains the
+	// fault-free count only up to the added Laplace noise.
 	Degradation *Degradation
 }
 
@@ -521,6 +525,18 @@ func (s *System) Query(q Query) (*Response, error) {
 		noisy, err := s.releaser.Release(resp.Count, s.perQueryEpsilon)
 		if err != nil {
 			return nil, err
+		}
+		if resp.Degradation != nil {
+			// The engine's degraded bounds are centered on the raw count
+			// (count ± W); releasing them beside the noised count would
+			// hand back the exact count as (Lower+Upper)/2. Keep the
+			// width — it depends only on the unobserved crossing volume,
+			// not on the released count — and recenter it on the noised
+			// value, the only count this response discloses.
+			deg := *resp.Degradation
+			half := (deg.Upper - deg.Lower) / 2
+			deg.Lower, deg.Upper = noisy-half, noisy+half
+			resp.Degradation = &deg
 		}
 		resp.Count = noisy
 	}

@@ -403,6 +403,63 @@ func TestSystemFaultTolerance(t *testing.T) {
 	}
 }
 
+// TestPrivateDegradedRelease: with privacy AND a fault plan active, the
+// released Degradation interval must be centered on the noised count —
+// releasing the raw count±W bounds beside the noisy count would reveal
+// the exact count as (Lower+Upper)/2, defeating the Laplace mechanism.
+func TestPrivateDegradedRelease(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	if err := sys.PlaceSensors(PlacementQuadTree, 48, 9); err != nil {
+		t.Fatal(err)
+	}
+	spec := FaultSpec{Seed: 21, SensorCrash: 0.15}
+	q := Query{Rect: centered(sys, 0.6), T1: 5000, T2: 9000, Kind: Transient, Bound: Upper}
+
+	if err := sys.ApplyFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Missed || raw.Degradation == nil {
+		t.Fatal("fixture query produced no degraded answer")
+	}
+
+	// Re-apply the same spec to reset the deterministic fault state,
+	// then query privately: same degraded count, now noised.
+	if err := sys.ApplyFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnablePrivacy(100, 1.0, 31); err != nil {
+		t.Fatal(err)
+	}
+	priv, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := priv.Degradation
+	if deg == nil {
+		t.Fatal("no Degradation on the private degraded response")
+	}
+	if priv.Count == raw.Count {
+		t.Fatal("Laplace noise left the count unchanged; recentering untestable")
+	}
+	mid := (deg.Lower + deg.Upper) / 2
+	if diff := mid - priv.Count; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("private interval midpoint %v != released count %v — leaks the raw count", mid, priv.Count)
+	}
+	rawWidth := raw.Degradation.Upper - raw.Degradation.Lower
+	privWidth := deg.Upper - deg.Lower
+	if diff := privWidth - rawWidth; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("recentering changed the interval width: %v != %v", privWidth, rawWidth)
+	}
+	// The raw midpoint must no longer be recoverable from the bounds.
+	if (raw.Degradation.Lower+raw.Degradation.Upper)/2 == mid {
+		t.Error("private bounds still centered on the un-noised count")
+	}
+}
+
 // TestApplyFaultsValidation: invalid specs are rejected up front.
 func TestApplyFaultsValidation(t *testing.T) {
 	sys, _ := newTestSystem(t)
