@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs experiments examples fmt vet clean
 
 all: build test
 
@@ -17,6 +17,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) run ./cmd/stqbench -faults -quick -faults-out ""
+	$(GO) run ./cmd/stqbench -obs -quick -obs-out ""
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,6 +32,11 @@ bench-json:
 # determinism under seeded crash/drop plans.
 bench-faults:
 	$(GO) run ./cmd/stqbench -faults -faults-out BENCH_faults.json
+
+# Observability overhead gate: end-to-end query path with instrumentation
+# disabled vs enabled; fails above a 2% enabled overhead.
+bench-obs:
+	$(GO) run ./cmd/stqbench -obs -obs-out BENCH_obs.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

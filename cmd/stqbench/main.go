@@ -8,6 +8,8 @@
 //	stqbench -exp headline -reps 20  # more repetitions
 //	stqbench -quick                  # small smoke configuration
 //	stqbench -faults                 # fault-injection sweep → BENCH_faults.json
+//	stqbench -obs                    # observability overhead gate → BENCH_obs.json
+//	stqbench -serve :8080 -exp all   # live /metrics + /debug/pprof while running
 //
 // Experiment IDs: fig11a fig11b fig11c fig11d fig11e fig12a fig12b
 // fig13ab fig13cd fig14a fig14b fig14cd headline ablation-greedy
@@ -33,8 +35,21 @@ func main() {
 		quick     = flag.Bool("quick", false, "small smoke configuration")
 		faults    = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
 		faultsOut = flag.String("faults-out", "BENCH_faults.json", "output path for the fault sweep (empty = stdout only)")
+		obsGate   = flag.Bool("obs", false, "run the observability overhead gate instead of the figures")
+		obsOut    = flag.String("obs-out", "BENCH_obs.json", "output path for the obs gate (empty = stdout only)")
+		serve     = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+	if *serve != "" {
+		startMetricsServer(*serve)
+	}
+	if *obsGate {
+		if err := runObsBench(*seed, *queries, *quick, *obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *faults {
 		if err := runFaultSweep(*seed, *queries, *quick, *faultsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sampled"
 	"repro/internal/sampling"
@@ -42,8 +43,17 @@ func main() {
 		bound     = flag.String("bound", "lower", "lower | upper")
 		seed      = flag.Int64("seed", 1, "placement seed")
 		repl      = flag.Bool("repl", false, "read queries from stdin")
+		metrics   = flag.Bool("metrics", false, "dump observability metrics (Prometheus text) to stderr on exit")
 	)
 	flag.Parse()
+	if *metrics {
+		obs.Enable()
+		defer func() {
+			if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "stqquery: metrics:", err)
+			}
+		}()
+	}
 	if err := run(*in, *kind, *rectSpec, *t1, *t2, *sensors, *placement, *bound, *seed, *repl); err != nil {
 		fmt.Fprintln(os.Stderr, "stqquery:", err)
 		os.Exit(1)

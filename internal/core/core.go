@@ -21,8 +21,20 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/planar"
 	"repro/internal/roadnet"
+)
+
+// Observability counters (internal/obs): memo effectiveness of the two
+// query-path caches. The hit rate is 1 − scans/calls (respectively
+// 1 − rebuilds/calls); a healthy steady state scans each perimeter once
+// and rebuilds the world-junction set only on new gateways.
+var (
+	mCutCalls = obs.Default.Counter("core.cutroads_calls")
+	mCutScans = obs.Default.Counter("core.cutroads_scans")
+	mWJCalls  = obs.Default.Counter("core.worldjunctions_calls")
+	mWJBuilds = obs.Default.Counter("core.worldjunctions_rebuilds")
 )
 
 // Region is a query region expressed as a union of sensing-graph faces,
@@ -107,11 +119,13 @@ func (r *Region) SetCutRoads(cuts []CutRoad) { r.cutCache = cuts }
 // query engine and the counting theorems share a single perimeter
 // computation. Callers must not modify the returned slice.
 func (r *Region) CutRoads() []CutRoad {
+	mCutCalls.Inc()
 	r.cutOnce.Do(func() {
 		if r.cutCache != nil {
 			return // installed by SetCutRoads
 		}
 		r.scans++
+		mCutScans.Inc()
 		var out []CutRoad
 		for _, j := range r.junctions {
 			for _, e := range r.w.Star.Incident(j) {

@@ -190,6 +190,7 @@ func (s *Store) WorldCrossings(g planar.NodeID, entering bool, t float64) float6
 // slice load instead of rebuilding and sorting from the maps. Callers
 // must not modify the returned slice.
 func (s *Store) WorldJunctions() []planar.NodeID {
+	mWJCalls.Inc()
 	s.mu.RLock()
 	if js := s.worldJs; js != nil {
 		s.mu.RUnlock()
@@ -199,6 +200,7 @@ func (s *Store) WorldJunctions() []planar.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.worldJs == nil {
+		mWJBuilds.Inc()
 		s.worldJs = s.rebuildWorldJunctions()
 	}
 	return s.worldJs

@@ -17,8 +17,22 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/planar"
+)
+
+// Observability metrics (internal/obs). Rerouted collection legs are
+// counted here, in the fault namespace, by the query engine's repair
+// path; crashed sensors are set when a plan is compiled.
+var (
+	mPlans   = obs.Default.Counter("faults.plans_compiled")
+	mCrashed = obs.Default.Gauge("faults.crashed_sensors")
+
+	// Reroutes counts perimeter legs repaired over the full surviving
+	// sensing graph after failing on the sampled graph.
+	Reroutes = obs.Default.Counter("faults.rerouted_legs")
 )
 
 // Window schedules a transient outage: during [Start, End) an additional
@@ -135,6 +149,8 @@ func Compile(spec Spec, numNodes, numEdges int, immortal ...planar.NodeID) (*Pla
 		}
 		p.windowDown = append(p.windowDown, down)
 	}
+	mPlans.Inc()
+	mCrashed.Set(float64(len(p.crashed)))
 	return p, nil
 }
 
@@ -228,7 +244,11 @@ func (p *Plan) MaxRetries() int { return p.spec.MaxRetries }
 
 // NewDropStream returns a deterministic per-delivery drop decider seeded
 // from the plan, or nil when the spec has no drop probability. Each call
-// starts a fresh stream; a stream is not safe for concurrent use.
+// starts a fresh stream. The stream is internally synchronized, so
+// calling it from concurrent collections is memory-safe; the *sequence*
+// each caller observes then depends on the interleaving, so degraded
+// metrics are only reproducible when deliveries are drawn from a single
+// goroutine at a time.
 func (p *Plan) NewDropStream() func() bool {
 	if p.spec.DropProb <= 0 {
 		return nil
@@ -236,5 +256,10 @@ func (p *Plan) NewDropStream() func() bool {
 	// Decorrelate from the compile-time stream with a fixed offset.
 	rng := rand.New(rand.NewSource(p.spec.Seed ^ 0x5eed0fa))
 	prob := p.spec.DropProb
-	return func() bool { return rng.Float64() < prob }
+	var mu sync.Mutex
+	return func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < prob
+	}
 }

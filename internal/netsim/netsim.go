@@ -16,9 +16,37 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/planar"
 )
+
+// Observability counters (internal/obs): accumulated across every
+// simulated collection, attributed to the netsim namespace.
+var (
+	mFloods   = obs.Default.Counter("netsim.floods")
+	mRoutes   = obs.Default.Counter("netsim.routes")
+	mMessages = obs.Default.Counter("netsim.messages")
+	mHops     = obs.Default.Counter("netsim.hops")
+	mRetries  = obs.Default.Counter("netsim.retries")
+	mDrops    = obs.Default.Counter("netsim.drops")
+	mFailed   = obs.Default.Counter("netsim.failed_nodes")
+)
+
+// record accumulates one collection's metrics into the obs counters.
+// Counter updates are gated on the global obs flag, so this is free
+// while instrumentation is disabled.
+func record(m Metrics) {
+	if !obs.Enabled() {
+		return
+	}
+	mMessages.AddInt(m.Messages)
+	mHops.AddInt(m.TotalHops)
+	mRetries.AddInt(m.Retries)
+	mDrops.AddInt(m.Drops)
+	mFailed.AddInt(m.FailedNodes)
+}
 
 // Metrics aggregates the communication cost of one query.
 type Metrics struct {
@@ -65,11 +93,16 @@ func (m *Metrics) Add(other Metrics) {
 // Network is a static communication graph: sensors connected by the
 // sensing-graph links (or a sampled subset of them).
 //
-// The search scratch arrays are epoch-stamped so repeated queries do not
-// reallocate; a Network is therefore NOT safe for concurrent use. Create
-// one per goroutine (construction is O(V)).
+// The search scratch arrays are epoch-stamped so repeated queries do
+// not reallocate; Flood and Route* serialize on an internal mutex, so
+// one Network is safe for concurrent use. Note that with a stateful
+// drop decider installed (SetDelivery) concurrent collections are
+// memory-safe but consume the drop stream in interleaving order, so
+// their individual metrics are only deterministic when collections run
+// one at a time.
 type Network struct {
-	g *planar.Graph
+	mu sync.Mutex
+	g  *planar.Graph
 	// active restricts communication to a subset of links; nil means all.
 	activeEdges map[planar.EdgeID]bool
 	activeNodes map[planar.NodeID]bool
@@ -162,6 +195,9 @@ func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Met
 	if !n.nodeUsable(root) {
 		return Metrics{}, fmt.Errorf("netsim: flood root %d is down", root)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mFloods.Inc()
 	var m Metrics
 	visited := map[planar.NodeID]int{root: 0}
 	queue := []planar.NodeID{root}
@@ -199,6 +235,7 @@ func (n *Network) Flood(root planar.NodeID, members map[planar.NodeID]bool) (Met
 	m.Hops = maxHop
 	m.TotalHops = maxHop
 	m.FailedNodes = len(members) - len(visited)
+	record(m)
 	return m, nil
 }
 
@@ -231,6 +268,9 @@ func (n *Network) RouteBestEffort(entry planar.NodeID, targets []planar.NodeID) 
 	if !n.nodeUsable(entry) {
 		return m, dedup(targets)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mRoutes.Inc()
 	remaining := 0
 	for _, t := range targets {
 		if !n.pending[t] {
@@ -294,6 +334,7 @@ func (n *Network) RouteBestEffort(entry planar.NodeID, targets []planar.NodeID) 
 	m.Messages += messages + totalHops // request forwarding + aggregated reply
 	m.Hops = maxLeg
 	m.TotalHops = totalHops
+	record(m)
 	return m, unreached
 }
 

@@ -12,9 +12,22 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/planar"
 	"repro/internal/roadnet"
 	"repro/internal/sampled"
+)
+
+// Observability metrics (internal/obs): query outcomes and perimeter
+// volume. Per-phase latencies are recorded by the obs.Trace span
+// context carried through Request.Trace (or opened here when the
+// caller did not supply one).
+var (
+	mServed   = obs.Default.Counter("query.served")
+	mMissed   = obs.Default.Counter("query.missed")
+	mDegraded = obs.Default.Counter("query.degraded")
+	mErrors   = obs.Default.Counter("query.errors")
+	mCuts     = obs.Default.Counter("query.cut_roads_integrated")
 )
 
 // Kind selects the query semantics of §3.3.
@@ -56,6 +69,13 @@ type Request struct {
 	// Bound selects lower or upper approximation on sampled graphs;
 	// ignored on the unsampled engine.
 	Bound sampled.Bound
+	// Trace, when non-nil, is the span context the engine records its
+	// phase latencies into (region build, perimeter integration,
+	// network collection). Callers that wrap the engine — stq.System
+	// adds the privacy-release phase — open the trace themselves and
+	// Finish it after their own phases; when Trace is nil and
+	// instrumentation is enabled, the engine opens and finishes one.
+	Trace *obs.Trace
 }
 
 // Validate reports structural problems with the request.
@@ -193,11 +213,40 @@ func (e *Engine) FaultPlan() *faults.Plan { return e.plan }
 
 // Query answers one request.
 func (e *Engine) Query(req Request) (*Response, error) {
+	tr := req.Trace
+	if tr == nil {
+		// Standalone use (no wrapping System): own the trace. StartTrace
+		// returns nil while instrumentation is disabled, and a nil Trace
+		// no-ops everywhere, so the disabled path registers no defer work
+		// beyond two nil calls.
+		tr = obs.Default.StartTrace(req.Kind.String())
+		req.Trace = tr
+		defer tr.Finish()
+	}
+	resp, err := e.query(req, tr)
+	switch {
+	case err != nil:
+		mErrors.Inc()
+	case resp.Missed:
+		mMissed.Inc()
+	default:
+		mServed.Inc()
+		mCuts.AddInt(resp.EdgesAccessed)
+		if resp.Degradation != nil {
+			mDegraded.Inc()
+		}
+	}
+	return resp, err
+}
+
+func (e *Engine) query(req Request, tr *obs.Trace) (*Response, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	tr.Begin(obs.PhaseRegionBuild)
 	exact, err := core.NewRegion(e.w, e.w.JunctionsIn(req.Rect))
 	if err != nil {
+		tr.End(obs.PhaseRegionBuild)
 		return nil, err
 	}
 	resp := &Response{ExactRegionSize: exact.Size()}
@@ -205,29 +254,36 @@ func (e *Engine) Query(req Request) (*Response, error) {
 	if e.sg != nil {
 		approx, missed, err := e.sg.ApproximateRegion(exact, req.Bound)
 		if err != nil {
+			tr.End(obs.PhaseRegionBuild)
 			return nil, err
 		}
 		if missed && req.Bound == sampled.Lower {
+			tr.End(obs.PhaseRegionBuild)
 			resp.Missed = true
 			resp.Region = approx
 			return resp, nil
 		}
 		region = approx
 	}
+	tr.End(obs.PhaseRegionBuild)
 	resp.Region = region
 	if region.Empty() {
 		resp.Missed = true
 		return resp, nil
 	}
 	if e.plan != nil {
-		return e.queryDegraded(resp, region, req)
+		return e.queryDegraded(resp, region, req, tr)
 	}
+	tr.Begin(obs.PhasePerimeter)
 	resp.Count = e.count(region, req)
 	// Region.CutRoads is memoized, so this reads the perimeter the count
 	// above already materialized instead of rescanning the region (the
 	// query tests assert the single-scan behaviour).
 	resp.EdgesAccessed = len(region.CutRoads())
+	tr.End(obs.PhasePerimeter)
+	tr.Begin(obs.PhaseNetwork)
 	resp.Net = e.cost(region, req)
+	tr.End(obs.PhaseNetwork)
 	return resp, nil
 }
 
@@ -315,9 +371,10 @@ func faultHorizon(req Request) (t1, t2 float64) {
 // taken over the observable part of the perimeter and widened into an
 // interval covering the unobserved cuts; collection is simulated over
 // the surviving communication graph with retry/repair semantics.
-func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request) (*Response, error) {
+func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request, tr *obs.Trace) (*Response, error) {
 	t1, t2 := faultHorizon(req)
 	deg := &Degradation{}
+	tr.Begin(obs.PhasePerimeter)
 	// Partition the perimeter into observed and unobserved cuts: a cut
 	// road is unobservable when every sensor flanking it is down at some
 	// point of the query horizon.
@@ -340,6 +397,7 @@ func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request)
 	if len(unobserved) > 0 {
 		r2, err := core.NewRegion(e.w, region.Junctions())
 		if err != nil {
+			tr.End(obs.PhasePerimeter)
 			return nil, err
 		}
 		if observed == nil {
@@ -352,8 +410,12 @@ func (e *Engine) queryDegraded(resp *Response, region *core.Region, req Request)
 	w := e.widen(req, unobserved)
 	deg.Lower, deg.Upper = resp.Count-w, resp.Count+w
 	resp.EdgesAccessed = len(observed)
+	tr.End(obs.PhasePerimeter)
+	tr.Begin(obs.PhaseNetwork)
 	resp.Net = e.costDegraded(region, req, deg)
+	tr.End(obs.PhaseNetwork)
 	deg.Retries, deg.Drops, deg.FailedNodes = resp.Net.Retries, resp.Net.Drops, resp.Net.FailedNodes
+	faults.Reroutes.AddInt(deg.ReroutedLegs)
 	resp.Degradation = deg
 	return resp, nil
 }

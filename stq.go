@@ -37,14 +37,19 @@ package stq
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/learned"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/planar"
 	"repro/internal/privacy"
 	"repro/internal/query"
@@ -89,6 +94,25 @@ type (
 	FaultWindow = faults.Window
 	// Degradation reports how faults degraded one answer.
 	Degradation = query.Degradation
+	// ObsSnapshot is a point-in-time copy of the observability registry
+	// (System.Snapshot).
+	ObsSnapshot = obs.Snapshot
+	// SlowQuery is one slow-query log entry (SlowQueries).
+	SlowQuery = obs.SlowQuery
+)
+
+// Trace phases: indices into SlowQuery.Phases and the per-phase latency
+// histograms (query.phase.*).
+const (
+	// PhaseRegionBuild is region construction (junction range query,
+	// cluster approximation).
+	PhaseRegionBuild = obs.PhaseRegionBuild
+	// PhasePerimeter is perimeter integration over the cut roads.
+	PhasePerimeter = obs.PhasePerimeter
+	// PhaseNetwork is in-network collection (flood / perimeter routing).
+	PhaseNetwork = obs.PhaseNetwork
+	// PhasePrivacy is the differentially private release.
+	PhasePrivacy = obs.PhasePrivacy
 )
 
 // Batch event kinds and constructors (see RecordBatch).
@@ -236,26 +260,98 @@ type Response struct {
 	Degradation *Degradation
 }
 
+// Observability metrics of the serving layer (internal/obs).
+var (
+	sysQueries       = obs.Default.Counter("stq.queries")
+	sysMisses        = obs.Default.Counter("stq.misses")
+	sysDegraded      = obs.Default.Counter("stq.degraded_queries")
+	sysPrivateOK     = obs.Default.Counter("stq.private_releases")
+	sysPrivateDenied = obs.Default.Counter("stq.privacy_denied")
+	sysEpsSpent      = obs.Default.Gauge("stq.privacy_epsilon_spent")
+	sysEvents        = obs.Default.Counter("stq.events_ingested")
+	sysRebuilds      = obs.Default.Counter("stq.engine_rebuilds")
+)
+
+// EnableObservability turns on the process-wide instrumentation:
+// counters, per-query trace spans, and the slow-query log (internal/obs,
+// DESIGN.md §9). Disabled (the default), every instrumentation point is
+// a single atomic flag load with no allocation; enabled, the overhead
+// on the query path stays under 2% (enforced by `stqbench -obs`).
+func EnableObservability() { obs.Enable() }
+
+// DisableObservability turns instrumentation back off. Recorded values
+// are kept; ResetObservability zeroes them.
+func DisableObservability() { obs.Disable() }
+
+// ObservabilityEnabled reports whether instrumentation is on.
+func ObservabilityEnabled() bool { return obs.Enabled() }
+
+// ResetObservability zeroes every metric and clears the slow-query log.
+func ResetObservability() { obs.Default.Reset() }
+
+// SetSlowQueryThreshold arms the slow-query log: queries at least d
+// slow are kept in a bounded ring, readable via SlowQueries or
+// Snapshot. d ≤ 0 disables the log.
+func SetSlowQueryThreshold(d time.Duration) { obs.Default.SetSlowQueryThreshold(d) }
+
+// SlowQueries returns the logged slow queries, oldest first.
+func SlowQueries() []SlowQuery { return obs.Default.SlowQueries() }
+
+// WriteMetrics renders every metric in the Prometheus text exposition
+// format.
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// WriteMetricsJSON writes an expvar-style JSON dump of every metric.
+func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
+
 // System is a complete in-network query system: a world, its tracking-
 // form store, and (after PlaceSensors) a sampled communication graph.
 // Construct with NewGridCitySystem / NewRadialCitySystem /
 // NewRandomCitySystem, or NewSystem over a custom road network.
 //
-// Ingest and Record* calls are safe for concurrent use with queries;
-// placement calls are not (configure placement before serving queries).
+// # Concurrency
+//
+// Query, Ingest, and the Record* ingestion calls are safe for
+// concurrent use with each other. Configuration calls — PlaceSensors*,
+// ClearPlacement, UseLearnedModels, ApplyFaults, ClearFaults,
+// EnablePrivacy — serialize among themselves and publish the new
+// configuration atomically, so a Query racing a configuration change
+// observes either the old or the new configuration in full, never a
+// torn mix. With a fault plan applied (ApplyFaults), concurrent queries
+// remain memory-safe but share the plan's stateful drop stream, so
+// per-query degraded metrics are reproducible only when queries are
+// issued one at a time.
 type System struct {
-	world    *roadnet.World
-	store    *core.Store
-	learnt   *learned.Store
-	sg       *sampled.Graph
-	engine   *query.Engine
-	trainer  learned.Trainer
-	releaser *privacy.CountReleaser
-	// perQueryEpsilon is spent on every private query.
+	world *roadnet.World
+	store *core.Store
+
+	// serving is the atomically published query-path state: Query loads
+	// it once and never touches the mutable configuration below, which
+	// is what makes Ingest/UseLearnedModels-triggered rebuilds safe
+	// against in-flight queries.
+	serving atomic.Pointer[servingState]
+
+	// mu serializes every configuration mutation (and rebuild/publish).
+	mu      sync.Mutex
+	learnt  *learned.Store
+	sg      *sampled.Graph
+	trainer learned.Trainer
+	// releaser and acct implement EnablePrivacy; perQueryEpsilon is
+	// spent on every private query.
+	releaser        *privacy.CountReleaser
 	perQueryEpsilon float64
 	acct            *privacy.Accountant
 	// plan, when non-nil, degrades every query (ApplyFaults).
 	plan *faults.Plan
+}
+
+// servingState is the immutable snapshot of everything Query reads. A
+// fresh value is published for every configuration change; the engine
+// is never mutated after publication.
+type servingState struct {
+	engine          *query.Engine
+	releaser        *privacy.CountReleaser
+	perQueryEpsilon float64
 }
 
 // NewSystem wraps an existing world.
@@ -318,11 +414,16 @@ func (s *System) GenerateWorkload(opts MobilityOpts, seed int64) (*Workload, err
 
 // Ingest replays a workload into the tracking forms. The store ingests
 // in batches — one lock acquisition per chunk of events rather than one
-// per event (mobility.BatchRecorder).
+// per event (mobility.BatchRecorder). When learned models are active
+// they are retrained and the engine republished; in-flight queries keep
+// answering on the previous engine until the swap.
 func (s *System) Ingest(wl *Workload) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := wl.Feed(s.store); err != nil {
 		return err
 	}
+	sysEvents.AddInt(len(wl.Events))
 	if s.trainer != nil {
 		s.learnt = learned.FromExact(s.store, s.trainer)
 	}
@@ -335,7 +436,11 @@ func (s *System) Ingest(wl *Workload) error {
 // RecordMove / RecordEnter / RecordLeave. The batch is atomic: it is
 // fully validated before anything is applied.
 func (s *System) RecordBatch(events []Event) error {
-	return s.store.RecordBatch(events)
+	if err := s.store.RecordBatch(events); err != nil {
+		return err
+	}
+	sysEvents.AddInt(len(events))
+	return nil
 }
 
 // RecordMove ingests a single road crossing: the object traverses road
@@ -376,6 +481,8 @@ func (s *System) PlaceSensorsConnect(p Placement, budget int, seed int64, opts s
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sg = sg
 	s.rebuild()
 	return nil
@@ -402,6 +509,8 @@ func (s *System) PlaceSensorsForQueries(rects []Rect, budget int) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sg = sg
 	s.rebuild()
 	return nil
@@ -410,6 +519,8 @@ func (s *System) PlaceSensorsForQueries(rects []Rect, budget int) error {
 // ClearPlacement reverts the system to the full (unsampled) sensing
 // graph.
 func (s *System) ClearPlacement() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sg = nil
 	s.rebuild()
 }
@@ -420,6 +531,8 @@ func (s *System) ClearPlacement() {
 // exact forms. Models are (re)trained from the currently ingested events
 // and after every subsequent Ingest.
 func (s *System) UseLearnedModels(tr learned.Trainer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.trainer = tr
 	if tr == nil {
 		s.learnt = nil
@@ -429,7 +542,10 @@ func (s *System) UseLearnedModels(tr learned.Trainer) {
 	s.rebuild()
 }
 
-// rebuild reconstructs the engine after configuration changes.
+// rebuild constructs a fresh engine from the current configuration and
+// publishes it atomically. The previous engine is never mutated, so
+// queries loaded onto it finish undisturbed. Callers hold s.mu
+// (NewSystem calls it before the System escapes its constructor).
 func (s *System) rebuild() {
 	var counter core.Counter = s.store
 	var lister core.EventLister = s.store
@@ -437,12 +553,25 @@ func (s *System) rebuild() {
 		counter = s.learnt
 		lister = nil
 	}
+	var engine *query.Engine
 	if s.sg != nil {
-		s.engine = query.NewSampledEngine(s.sg, counter, lister)
+		engine = query.NewSampledEngine(s.sg, counter, lister)
 	} else {
-		s.engine = query.NewEngine(s.world, counter, lister)
+		engine = query.NewEngine(s.world, counter, lister)
 	}
-	s.engine.SetFaultPlan(s.plan)
+	engine.SetFaultPlan(s.plan)
+	sysRebuilds.Inc()
+	s.publish(engine)
+}
+
+// publish stores a new serving snapshot pairing engine with the current
+// privacy configuration. Callers hold s.mu.
+func (s *System) publish(engine *query.Engine) {
+	s.serving.Store(&servingState{
+		engine:          engine,
+		releaser:        s.releaser,
+		perQueryEpsilon: s.perQueryEpsilon,
+	})
 }
 
 // ApplyFaults compiles a deterministic failure plan against the sensing
@@ -453,28 +582,36 @@ func (s *System) rebuild() {
 // the fault-free count. Identical specs reproduce identical plans and
 // identical degraded metrics.
 //
-// With a fault plan applied, queries are not safe for concurrent use
-// (the deterministic drop stream is stateful).
+// With a fault plan applied, concurrent queries stay memory-safe but
+// consume the plan's deterministic drop stream in interleaving order;
+// reproducible degraded metrics require queries issued one at a time.
+// Re-applying a spec (even the same one) restarts the drop stream.
 func (s *System) ApplyFaults(spec FaultSpec) error {
 	d := s.world.Dual.G
 	plan, err := faults.Compile(spec, d.NumNodes(), d.NumEdges(), s.world.Dual.OuterNode)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.plan = plan
-	s.engine.SetFaultPlan(plan)
+	s.rebuild()
 	return nil
 }
 
 // ClearFaults removes the failure plan; queries answer exactly again.
 func (s *System) ClearFaults() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.plan = nil
-	s.engine.SetFaultPlan(nil)
+	s.rebuild()
 }
 
 // NumFailedSensors returns the number of sensors down at time t under
 // the applied fault plan (0 without a plan).
 func (s *System) NumFailedSensors(t float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.plan == nil {
 		return 0
 	}
@@ -485,11 +622,25 @@ func (s *System) NumFailedSensors(t float64) int {
 // subsequent Query perturbs its count with the Laplace mechanism at
 // perQueryEpsilon and draws from a total budget of totalEpsilon; queries
 // beyond the budget fail. Pass totalEpsilon ≤ 0 to disable.
+//
+// Re-enabling while an accountant is live is an error: silently
+// replacing it would re-arm an exhausted budget with a fresh one,
+// voiding the sequential-composition guarantee the total ε stands for.
+// To deliberately start a new budget, disable first
+// (EnablePrivacy(0, 0, 0)) — an explicit, auditable reset.
 func (s *System) EnablePrivacy(totalEpsilon, perQueryEpsilon float64, seed int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if totalEpsilon <= 0 {
 		s.releaser = nil
 		s.acct = nil
+		s.perQueryEpsilon = 0
+		s.publish(s.serving.Load().engine)
 		return nil
+	}
+	if s.acct != nil {
+		return fmt.Errorf("stq: privacy already enabled with %.4g of %.4g ε spent; disable first (EnablePrivacy(0, 0, 0)) to start a new budget",
+			s.acct.Spent(), s.acct.Spent()+s.acct.Remaining())
 	}
 	if perQueryEpsilon <= 0 || perQueryEpsilon > totalEpsilon {
 		return fmt.Errorf("stq: per-query epsilon %v out of (0, %v]", perQueryEpsilon, totalEpsilon)
@@ -501,12 +652,15 @@ func (s *System) EnablePrivacy(totalEpsilon, perQueryEpsilon float64, seed int64
 	s.acct = acct
 	s.perQueryEpsilon = perQueryEpsilon
 	s.releaser = privacy.NewCountReleaser(privacy.Laplace{}, acct, seed)
+	s.publish(s.serving.Load().engine)
 	return nil
 }
 
 // PrivacyBudgetRemaining returns the unspent ε, or +Inf when privacy is
 // disabled.
 func (s *System) PrivacyBudgetRemaining() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.acct == nil {
 		return math.Inf(1)
 	}
@@ -515,17 +669,35 @@ func (s *System) PrivacyBudgetRemaining() float64 {
 
 // Query answers one spatiotemporal range count query.
 func (s *System) Query(q Query) (*Response, error) {
-	resp, err := s.engine.Query(query.Request{
-		Rect: q.Rect, T1: q.T1, T2: q.T2, Kind: q.Kind, Bound: q.Bound,
+	// One atomic load pins the entire query-path configuration: engine,
+	// releaser, and per-query ε stay mutually consistent even while a
+	// concurrent Ingest / UseLearnedModels / ApplyFaults republishes.
+	sv := s.serving.Load()
+	tr := obs.Default.StartTrace(q.Kind.String())
+	defer tr.Finish()
+	sysQueries.Inc()
+	resp, err := sv.engine.Query(query.Request{
+		Rect: q.Rect, T1: q.T1, T2: q.T2, Kind: q.Kind, Bound: q.Bound, Trace: tr,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if s.releaser != nil && !resp.Missed {
-		noisy, err := s.releaser.Release(resp.Count, s.perQueryEpsilon)
+	if resp.Missed {
+		sysMisses.Inc()
+	}
+	if resp.Degradation != nil {
+		sysDegraded.Inc()
+	}
+	if sv.releaser != nil && !resp.Missed {
+		tr.Begin(obs.PhasePrivacy)
+		noisy, err := sv.releaser.Release(resp.Count, sv.perQueryEpsilon)
+		tr.End(obs.PhasePrivacy)
 		if err != nil {
+			sysPrivateDenied.Inc()
 			return nil, err
 		}
+		sysPrivateOK.Inc()
+		sysEpsSpent.Add(sv.perQueryEpsilon)
 		if resp.Degradation != nil {
 			// The engine's degraded bounds are centered on the raw count
 			// (count ± W); releasing them beside the noised count would
@@ -558,6 +730,8 @@ func (s *System) Query(q Query) (*Response, error) {
 // learned models are active (and a sampled graph restricts monitoring),
 // raw timestamp bytes otherwise.
 func (s *System) StorageBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.learnt != nil {
 		if s.sg != nil {
 			return s.learnt.Storage(s.sg.MonitoredRoads)
@@ -566,6 +740,12 @@ func (s *System) StorageBytes() int {
 	}
 	return s.store.Storage().Bytes
 }
+
+// Snapshot returns a point-in-time copy of the observability registry:
+// every counter, gauge, histogram, and the slow-query log. Values are
+// only recorded while EnableObservability is on; the snapshot is cheap
+// and safe to take while queries are being served.
+func (s *System) Snapshot() ObsSnapshot { return obs.Default.Snapshot() }
 
 // Gateways returns the world-boundary junctions through which objects
 // enter and leave.

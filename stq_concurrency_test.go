@@ -1,0 +1,174 @@
+package stq
+
+// Regression tests for the serving-path concurrency contract, meant to
+// run under the race detector (`go test -race`, wired into make check
+// and CI). The headline regression: System.Ingest / UseLearnedModels
+// used to reassign s.engine and s.learnt unsynchronized while
+// concurrent Query calls read s.engine — a data race the atomic
+// servingState publication fixes. These tests fail under -race on the
+// pre-fix code.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/learned"
+	"repro/internal/mobility"
+)
+
+// queryWorkers runs n goroutines issuing queries until stop is closed,
+// failing the test on unexpected errors.
+func queryWorkers(t *testing.T, sys *System, horizon float64, n int, stop chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	rect := centered(sys, 0.5)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(kind Kind) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sys.Query(Query{
+					Rect: rect, T1: horizon * 0.3, T2: horizon * 0.7, Kind: kind,
+				}); err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+			}
+		}(Kind(w % 3))
+	}
+}
+
+// TestConcurrentQueryIngest is the engine-swap regression: queries race
+// Ingest-triggered rebuilds (which retrain learned models and republish
+// the engine) and UseLearnedModels toggles. Before the fix, rebuild()
+// wrote s.engine/s.learnt while Query read s.engine — detected by -race.
+func TestConcurrentQueryIngest(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	if err := sys.PlaceSensors(PlacementQuadTree, 32, 5); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var qwg, mwg sync.WaitGroup
+	queryWorkers(t, sys, wl.Horizon, 4, stop, &qwg)
+
+	// Rebuild-trigger workers: empty-workload Ingest (republishes the
+	// engine without advancing the store clock) and learned-model
+	// toggling (swaps the counter implementation under the queries).
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for i := 0; i < 40; i++ {
+			if err := sys.Ingest(&mobility.Workload{W: sys.World()}); err != nil {
+				t.Errorf("concurrent ingest: %v", err)
+				return
+			}
+		}
+	}()
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for i := 0; i < 20; i++ {
+			sys.UseLearnedModels(learned.PiecewiseTrainer{Segments: 4})
+			sys.UseLearnedModels(nil)
+		}
+	}()
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for i := 0; i < 40; i++ {
+			_ = sys.StorageBytes()
+			_ = sys.PrivacyBudgetRemaining()
+		}
+	}()
+
+	// Query workers spin for the whole mutation phase, then wind down.
+	mwg.Wait()
+	close(stop)
+	qwg.Wait()
+}
+
+// TestConcurrentQueryRecordBatchClearFaults stresses Query against
+// high-throughput batch ingestion and fault-plan swaps: RecordBatch
+// advances the store while ApplyFaults/ClearFaults republish engines
+// whose fault plans carry stateful drop streams.
+func TestConcurrentQueryRecordBatchClearFaults(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	if err := sys.PlaceSensors(PlacementQuadTree, 32, 5); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var qwg, mwg sync.WaitGroup
+	queryWorkers(t, sys, wl.Horizon, 2, stop, &qwg)
+
+	// Batch-ingestion worker: time-ordered batches strictly after the
+	// generated horizon, so the store clock only advances.
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		road := EdgeID(0)
+		from := sys.World().Star.Edge(road).U
+		var clock atomic.Uint64
+		for i := 0; i < 30; i++ {
+			base := wl.Horizon + float64(clock.Add(16))
+			events := make([]Event, 0, 16)
+			for j := 0; j < 16; j++ {
+				events = append(events, MoveEvent(road, from, base+float64(j)/16))
+			}
+			if err := sys.RecordBatch(events); err != nil {
+				t.Errorf("concurrent RecordBatch: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Fault-plan toggling worker: every Apply/Clear republishes a fresh
+	// engine; in-flight queries keep their loaded engine.
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		spec := FaultSpec{Seed: 11, SensorCrash: 0.1, DropProb: 0.05, MaxRetries: 2}
+		for i := 0; i < 25; i++ {
+			if err := sys.ApplyFaults(spec); err != nil {
+				t.Errorf("concurrent ApplyFaults: %v", err)
+				return
+			}
+			_ = sys.NumFailedSensors(wl.Horizon / 2)
+			sys.ClearFaults()
+		}
+	}()
+
+	mwg.Wait()
+	close(stop)
+	qwg.Wait()
+}
+
+// TestIngestVisibleToSubsequentQueries checks publication semantics:
+// events ingested concurrently become visible to queries after
+// RecordBatch returns (the store is shared; no engine republish is
+// needed for exact counters).
+func TestIngestVisibleToSubsequentQueries(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	rect := sys.Bounds() // whole world
+	before, err := sys.Query(Query{Rect: rect, T1: wl.Horizon, T2: wl.Horizon + 1000, Kind: Transient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push a crossing over a perimeter road of the whole-world region:
+	// use a world entry at a gateway, which changes the transient count.
+	g := sys.Gateways()[0]
+	if err := sys.RecordBatch([]Event{EnterEvent(g, wl.Horizon+500)}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.Query(Query{Rect: rect, T1: wl.Horizon, T2: wl.Horizon + 1000, Kind: Transient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != before.Count+1 {
+		t.Errorf("transient count after gateway entry = %v, want %v", after.Count, before.Count+1)
+	}
+}
