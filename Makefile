@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent experiments examples fmt vet clean
 
 all: build test
 
@@ -18,6 +18,7 @@ check:
 	$(GO) test -race ./...
 	$(GO) run ./cmd/stqbench -faults -quick -faults-out ""
 	$(GO) run ./cmd/stqbench -obs -quick -obs-out ""
+	$(GO) run ./cmd/stqbench -concurrent -quick -concurrent-out ""
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +38,12 @@ bench-faults:
 # disabled vs enabled; fails above a 2% enabled overhead.
 bench-obs:
 	$(GO) run ./cmd/stqbench -obs -obs-out BENCH_obs.json
+
+# Mixed ingest+query concurrency scaling: sharded store + plan cache vs
+# the emulated global-lock baseline at 1/2/4/8 goroutines; fails below a
+# 2x speedup at 8.
+bench-concurrent:
+	$(GO) run ./cmd/stqbench -concurrent -concurrent-out BENCH_concurrent.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/mobility"
+)
+
+// This file implements `stqbench -concurrent`: the mixed ingest+query
+// throughput benchmark of the sharded store and the query-plan cache
+// (BENCH_concurrent.json).
+//
+// Each level runs W worker goroutines; every worker interleaves queries
+// from a fixed pool with RecordBatch calls over its own partition of a
+// live event stream (events are partitioned by road/gateway ID, the
+// in-network model: one sensor's crossings always arrive on one
+// stream, so per-edge time order holds within every partition). Two
+// configurations answer the identical op schedule:
+//
+//   - baseline: the pre-sharding serving discipline — every store
+//     operation behind one process-global RWMutex (writers exclusive,
+//     readers shared) and the query-plan cache disabled;
+//   - sharded: lock-striped writers, lock-free epoch-snapshot readers,
+//     plan cache enabled (the defaults).
+//
+// The gate fails the run when the sharded configuration is not at least
+// concurrentSpeedupGate× the baseline's mixed throughput at 8 workers.
+
+const concurrentSpeedupGate = 2.0
+
+// concurrentLevel is the measurement at one worker count.
+type concurrentLevel struct {
+	Goroutines int `json:"goroutines"`
+	// Baseline and Sharded are ops/sec over the identical schedule.
+	Baseline concurrentMode `json:"baseline"`
+	Sharded  concurrentMode `json:"sharded"`
+	// Speedup is Sharded.QPS / Baseline.QPS.
+	Speedup float64 `json:"speedup"`
+}
+
+// concurrentMode is one configuration's measurement at one level.
+type concurrentMode struct {
+	// QPS is queries answered per second of wall time (all workers).
+	QPS float64 `json:"qps"`
+	// EventsPerSec is the concurrent ingestion rate sustained alongside.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// P50Us / P99Us are query-latency percentiles in microseconds.
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+	// PlanHits / PlanMisses are the plan-cache counters after the run
+	// (both zero for the baseline, which disables the cache).
+	PlanHits   uint64 `json:"plan_hits"`
+	PlanMisses uint64 `json:"plan_misses"`
+}
+
+// concurrentResult is the machine-readable output (BENCH_concurrent.json).
+type concurrentResult struct {
+	Seed                int64             `json:"seed"`
+	Grid                string            `json:"grid"`
+	GOMAXPROCS          int               `json:"gomaxprocs"`
+	QueriesPerGoroutine int               `json:"queries_per_goroutine"`
+	IngestEvery         int               `json:"ingest_every"`
+	QueryPool           int               `json:"query_pool"`
+	Levels              []concurrentLevel `json:"levels"`
+	SpeedupAt8          float64           `json:"speedup_at_8"`
+	Threshold           float64           `json:"threshold"`
+	Pass                bool              `json:"pass"`
+}
+
+// concurrentEnv is the shared, immutable input of every measurement:
+// the base (pre-ingested) workload prefix, the live tail partitioned
+// per worker count, and the query pool.
+type concurrentEnv struct {
+	seed    int64
+	base    []stq.Event
+	live    []stq.Event
+	queries []stq.Query
+	horizon float64
+}
+
+// globalLocker emulates the pre-sharding store discipline on top of the
+// current one: one process-global RWMutex over the whole serving path —
+// a batch apply excludes every reader, readers run shared. A nil
+// globalLocker is the sharded (lock-free read) configuration.
+type globalLocker struct{ mu sync.RWMutex }
+
+func (gl *globalLocker) query(sys *stq.System, q stq.Query) (*stq.Response, error) {
+	if gl == nil {
+		return sys.Query(q)
+	}
+	gl.mu.RLock()
+	defer gl.mu.RUnlock()
+	return sys.Query(q)
+}
+
+func (gl *globalLocker) ingest(sys *stq.System, events []stq.Event) error {
+	if gl == nil {
+		return sys.RecordBatch(events)
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return sys.RecordBatch(events)
+}
+
+// runConcurrentBench measures both configurations at 1/2/4/8 workers and
+// writes BENCH_concurrent.json. The run fails (non-zero exit) when the
+// sharded configuration misses the speedup gate at 8 workers.
+func runConcurrentBench(seed int64, queries int, quick bool, outPath string) error {
+	queriesPerG, ingestEvery, poolSize, objects := 1500, 16, 48, 200
+	if quick {
+		queriesPerG, objects = 300, 80
+	}
+	if queries > 0 {
+		queriesPerG = queries
+	}
+	env, err := buildConcurrentEnv(seed, objects, poolSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("concurrent bench: 16x16 grid, GOMAXPROCS=%d, %d queries/goroutine (pool %d), ingest every %d ops (%d base + %d live events)\n",
+		runtime.GOMAXPROCS(0), queriesPerG, poolSize, ingestEvery, len(env.base), len(env.live))
+
+	res := concurrentResult{
+		Seed:                seed,
+		Grid:                "16x16",
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		QueriesPerGoroutine: queriesPerG,
+		IngestEvery:         ingestEvery,
+		QueryPool:           poolSize,
+		Threshold:           concurrentSpeedupGate,
+	}
+	for _, g := range []int{1, 2, 4, 8} {
+		baseline, err := runConcurrentMode(env, g, queriesPerG, ingestEvery, false)
+		if err != nil {
+			return fmt.Errorf("baseline x%d: %w", g, err)
+		}
+		sharded, err := runConcurrentMode(env, g, queriesPerG, ingestEvery, true)
+		if err != nil {
+			return fmt.Errorf("sharded x%d: %w", g, err)
+		}
+		lvl := concurrentLevel{Goroutines: g, Baseline: baseline, Sharded: sharded}
+		if baseline.QPS > 0 {
+			lvl.Speedup = sharded.QPS / baseline.QPS
+		}
+		res.Levels = append(res.Levels, lvl)
+		fmt.Printf("x%d  baseline %8.0f q/s (p99 %6.0fµs)   sharded %8.0f q/s (p99 %6.0fµs)   speedup %.2fx\n",
+			g, baseline.QPS, baseline.P99Us, sharded.QPS, sharded.P99Us, lvl.Speedup)
+		if g == 8 {
+			res.SpeedupAt8 = lvl.Speedup
+		}
+	}
+	res.Pass = res.SpeedupAt8 >= concurrentSpeedupGate
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !res.Pass {
+		return fmt.Errorf("mixed throughput speedup %.2fx at 8 goroutines below the %.1fx gate", res.SpeedupAt8, concurrentSpeedupGate)
+	}
+	return nil
+}
+
+// buildConcurrentEnv generates the shared workload and query pool. The
+// first 70% of the event stream (a globally time-ordered prefix) is the
+// pre-ingested base; the rest is the live tail the workers ingest.
+func buildConcurrentEnv(seed int64, objects, poolSize int) (*concurrentEnv, error) {
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 16, NY: 16, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, seed)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: objects, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, seed)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]stq.Event, 0, len(wl.Events))
+	for _, ev := range wl.Events {
+		events = append(events, convertEvent(ev))
+	}
+	split := len(events) * 7 / 10
+	env := &concurrentEnv{
+		seed:    seed,
+		base:    events[:split],
+		live:    events[split:],
+		horizon: wl.Horizon,
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := sys.Bounds()
+	for i := 0; i < poolSize; i++ {
+		frac := 0.2 + rng.Float64()*0.5
+		w, h := b.Width()*frac, b.Height()*frac
+		x := b.Min.X + rng.Float64()*(b.Width()-w)
+		y := b.Min.Y + rng.Float64()*(b.Height()-h)
+		t1 := rng.Float64() * wl.Horizon * 0.6
+		env.queries = append(env.queries, stq.Query{
+			Rect: stq.Rect{Min: stq.Point{X: x, Y: y}, Max: stq.Point{X: x + w, Y: y + h}},
+			T1:   t1, T2: t1 + 0.15*wl.Horizon, Kind: stq.Kind(i % 3),
+		})
+	}
+	return env, nil
+}
+
+// runConcurrentMode runs one (worker count, configuration) measurement
+// on a freshly built system so ingested state never leaks between
+// measurements.
+func runConcurrentMode(env *concurrentEnv, workers, queriesPerG, ingestEvery int, sharded bool) (concurrentMode, error) {
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 16, NY: 16, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, env.seed)
+	if err != nil {
+		return concurrentMode{}, err
+	}
+	// Per-edge ordering in both configurations: the live tail is
+	// partitioned by edge, so each worker's stream is an independently
+	// clocked per-sensor feed.
+	sys.SetIngestOrdering(stq.OrderPerEdge)
+	if !sharded {
+		sys.SetPlanCacheCapacity(0)
+	}
+	if err := sys.RecordBatch(env.base); err != nil {
+		return concurrentMode{}, err
+	}
+	if err := sys.PlaceSensors(stq.PlacementQuadTree, 64, env.seed); err != nil {
+		return concurrentMode{}, err
+	}
+
+	// Partition the live tail: worker w owns every road (or gateway)
+	// whose ID ≡ w (mod workers), then ingests its stream in batches of
+	// up to 64 events, spread evenly over its query schedule.
+	parts := make([][]stq.Event, workers)
+	for _, ev := range env.live {
+		var owner int
+		if ev.Kind == stq.EventMove {
+			owner = int(ev.Road) % workers
+		} else {
+			owner = int(ev.Gateway) % workers
+		}
+		parts[owner] = append(parts[owner], ev)
+	}
+
+	var gl *globalLocker
+	if !sharded {
+		gl = &globalLocker{}
+	}
+	latencies := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	eventsIngested := make([]int, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, queriesPerG)
+			part := parts[w]
+			const batchLen = 64
+			for i := 0; i < queriesPerG; i++ {
+				if i%ingestEvery == 0 && len(part) > 0 {
+					n := batchLen
+					if n > len(part) {
+						n = len(part)
+					}
+					if err := gl.ingest(sys, part[:n]); err != nil {
+						errs[w] = err
+						return
+					}
+					eventsIngested[w] += n
+					part = part[n:]
+				}
+				q := env.queries[(w*7+i)%len(env.queries)]
+				t0 := time.Now()
+				if _, err := gl.query(sys, q); err != nil {
+					errs[w] = err
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return concurrentMode{}, err
+		}
+	}
+
+	var all []time.Duration
+	totalEvents := 0
+	for w := 0; w < workers; w++ {
+		all = append(all, latencies[w]...)
+		totalEvents += eventsIngested[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx].Nanoseconds()) / 1e3
+	}
+	stats := sys.PlanCacheStats()
+	return concurrentMode{
+		QPS:          float64(len(all)) / wall.Seconds(),
+		EventsPerSec: float64(totalEvents) / wall.Seconds(),
+		P50Us:        pct(0.50),
+		P99Us:        pct(0.99),
+		PlanHits:     stats.Hits,
+		PlanMisses:   stats.Misses,
+	}, nil
+}
+
+// convertEvent maps a mobility ground-truth event to the identifier-free
+// store event.
+func convertEvent(ev mobility.Event) stq.Event {
+	switch ev.Kind {
+	case mobility.Enter:
+		return stq.EnterEvent(ev.At, ev.T)
+	case mobility.Leave:
+		return stq.LeaveEvent(ev.At, ev.T)
+	default:
+		return stq.MoveEvent(ev.Road, ev.From, ev.T)
+	}
+}

@@ -9,6 +9,7 @@
 //	stqbench -quick                  # small smoke configuration
 //	stqbench -faults                 # fault-injection sweep → BENCH_faults.json
 //	stqbench -obs                    # observability overhead gate → BENCH_obs.json
+//	stqbench -concurrent             # mixed ingest+query scaling → BENCH_concurrent.json
 //	stqbench -serve :8080 -exp all   # live /metrics + /debug/pprof while running
 //
 // Experiment IDs: fig11a fig11b fig11c fig11d fig11e fig12a fig12b
@@ -37,6 +38,8 @@ func main() {
 		faultsOut = flag.String("faults-out", "BENCH_faults.json", "output path for the fault sweep (empty = stdout only)")
 		obsGate   = flag.Bool("obs", false, "run the observability overhead gate instead of the figures")
 		obsOut    = flag.String("obs-out", "BENCH_obs.json", "output path for the obs gate (empty = stdout only)")
+		conc      = flag.Bool("concurrent", false, "run the mixed ingest+query concurrency benchmark instead of the figures")
+		concOut   = flag.String("concurrent-out", "BENCH_concurrent.json", "output path for the concurrency benchmark (empty = stdout only)")
 		serve     = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	)
 	flag.Parse()
@@ -45,6 +48,13 @@ func main() {
 	}
 	if *obsGate {
 		if err := runObsBench(*seed, *queries, *quick, *obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *conc {
+		if err := runConcurrentBench(*seed, *queries, *quick, *concOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)
 			os.Exit(1)
 		}

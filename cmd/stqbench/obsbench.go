@@ -17,21 +17,36 @@ import (
 // obsBenchResult is the machine-readable output of the observability
 // overhead gate (BENCH_obs.json). The gate times the full System.Query
 // path over a fixed query set with instrumentation disabled and enabled,
-// interleaved, and fails when the enabled overhead exceeds the budget.
+// interleaved, on two serving configurations: the plan-compiling path
+// (cache off — every query builds its region and simulates collection)
+// gated on a relative budget, and the plan-cached path (repeat rects
+// served from compiled plans) gated on an absolute per-query budget,
+// since a ~4µs cached query would turn a pure ratio gate into a gate on
+// clock-read noise.
 type obsBenchResult struct {
-	Seed           int64   `json:"seed"`
-	Grid           string  `json:"grid"`
-	Queries        int     `json:"queries"`
-	Reps           int     `json:"reps"`
-	DisabledNsOp   float64 `json:"disabled_ns_per_query"`
-	EnabledNsOp    float64 `json:"enabled_ns_per_query"`
-	OverheadPct    float64 `json:"overhead_pct"`
-	ThresholdPct   float64 `json:"threshold_pct"`
-	Pass           bool    `json:"pass"`
-	MetricsEmitted int     `json:"metrics_emitted"`
+	Seed               int64   `json:"seed"`
+	Grid               string  `json:"grid"`
+	Queries            int     `json:"queries"`
+	Reps               int     `json:"reps"`
+	DisabledNsOp       float64 `json:"disabled_ns_per_query"`
+	EnabledNsOp        float64 `json:"enabled_ns_per_query"`
+	OverheadPct        float64 `json:"overhead_pct"`
+	ThresholdPct       float64 `json:"threshold_pct"`
+	CachedDisabledNsOp float64 `json:"cached_disabled_ns_per_query"`
+	CachedEnabledNsOp  float64 `json:"cached_enabled_ns_per_query"`
+	CachedOverheadNs   float64 `json:"cached_overhead_ns_per_query"`
+	CachedBudgetNs     float64 `json:"cached_budget_ns_per_query"`
+	Pass               bool    `json:"pass"`
+	MetricsEmitted     int     `json:"metrics_emitted"`
 }
 
-const obsOverheadBudgetPct = 2.0
+const (
+	obsOverheadBudgetPct = 2.0
+	// obsCachedBudgetNs bounds the absolute instrumentation cost on a
+	// plan-cache hit: trace allocation, ~8 monotonic clock reads, and
+	// the counter/histogram updates.
+	obsCachedBudgetNs = 1000.0
+)
 
 // runObsBench measures the enabled-vs-disabled observability overhead on
 // the end-to-end query path and writes BENCH_obs.json. Modes are
@@ -85,98 +100,139 @@ func runObsBench(seed int64, queries int, quick bool, outPath string) error {
 		})
 	}
 
-	// Each timed measurement runs the whole query set `passes` times so
-	// the window is a few milliseconds — long enough that scheduler
-	// jitter stops dominating the per-query delta being measured.
-	runSet := func() (time.Duration, error) {
-		t0 := time.Now()
-		for p := 0; p < passes; p++ {
-			for _, q := range reqs {
-				if _, err := sys.Query(q); err != nil {
-					return 0, err
+	// gauge times the query set in both modes over the current serving
+	// configuration. Each timed window runs the whole set enough times to
+	// span a few milliseconds — long enough that scheduler jitter stops
+	// dominating the per-query delta — with the pass count sized from a
+	// warm measurement, since per-query cost differs ~10x between the
+	// compiling and cached configurations. Modes are interleaved rep by
+	// rep keeping the fastest window of each (a GC cycle before every
+	// window keeps collector pauses out of the comparison), and the
+	// attempt with the smallest overhead wins: scheduler noise only ever
+	// inflates a window, never deflates it. `good` early-exits the
+	// attempt loop once the overhead is inside its budget.
+	gauge := func(basePasses int, good func(dNs, eNs float64) bool) (disabledNs, enabledNs float64, err error) {
+		passes := basePasses
+		runSet := func() (time.Duration, error) {
+			t0 := time.Now()
+			for p := 0; p < passes; p++ {
+				for _, q := range reqs {
+					if _, err := sys.Query(q); err != nil {
+						return 0, err
+					}
 				}
 			}
+			return time.Since(t0), nil
 		}
-		return time.Since(t0), nil
-	}
 
-	// Warm both modes once (memoized regions, learned caches, branch
-	// predictors) before any timed pass.
-	stq.DisableObservability()
-	if _, err := runSet(); err != nil {
-		return err
-	}
-	stq.EnableObservability()
-	if _, err := runSet(); err != nil {
-		return err
-	}
-
-	// One measurement attempt: interleave the modes rep by rep and keep
-	// the fastest window of each. A GC cycle before every timed window
-	// keeps collector pauses out of the comparison.
-	measure := func() (minDisabled, minEnabled time.Duration, err error) {
-		minDisabled, minEnabled = 1<<62, 1<<62
-		for r := 0; r < reps; r++ {
-			stq.DisableObservability()
-			runtime.GC()
-			d, err := runSet()
-			if err != nil {
-				return 0, 0, err
-			}
-			if d < minDisabled {
-				minDisabled = d
-			}
-			stq.EnableObservability()
-			runtime.GC()
-			e, err := runSet()
-			if err != nil {
-				return 0, 0, err
-			}
-			if e < minEnabled {
-				minEnabled = e
-			}
+		// Warm both modes once (memoized regions, plan cache, learned
+		// caches, branch predictors) before any timed pass.
+		stq.DisableObservability()
+		if _, err := runSet(); err != nil {
+			return 0, 0, err
 		}
-		return minDisabled, minEnabled, nil
-	}
-
-	// Scheduler noise only ever inflates a window, never deflates it, so
-	// the attempt with the smallest measured overhead is the closest to
-	// the intrinsic cost: retry a few times and keep the best.
-	const attempts = 5
-	minDisabled, minEnabled := time.Duration(1<<62), time.Duration(1<<62)
-	bestOverhead := math.Inf(1)
-	for a := 0; a < attempts; a++ {
-		d, e, err := measure()
+		stq.EnableObservability()
+		warm, err := runSet()
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
-		ov := float64(e-d) / float64(d)
-		if ov < bestOverhead {
-			bestOverhead = ov
-			minDisabled, minEnabled = d, e
+		const minWindow = 4 * time.Millisecond
+		for warm < minWindow && passes < 1<<12 {
+			passes *= 2
+			warm *= 2
 		}
-		if bestOverhead <= obsOverheadBudgetPct/100 {
-			break
+
+		measure := func() (minDisabled, minEnabled time.Duration, err error) {
+			minDisabled, minEnabled = 1<<62, 1<<62
+			for r := 0; r < reps; r++ {
+				stq.DisableObservability()
+				runtime.GC()
+				d, err := runSet()
+				if err != nil {
+					return 0, 0, err
+				}
+				if d < minDisabled {
+					minDisabled = d
+				}
+				stq.EnableObservability()
+				runtime.GC()
+				e, err := runSet()
+				if err != nil {
+					return 0, 0, err
+				}
+				if e < minEnabled {
+					minEnabled = e
+				}
+			}
+			return minDisabled, minEnabled, nil
 		}
+
+		const attempts = 5
+		perQuery := func(w time.Duration) float64 {
+			return float64(w.Nanoseconds()) / float64(queries*passes)
+		}
+		bestOverhead := math.Inf(1)
+		for a := 0; a < attempts; a++ {
+			d, e, err := measure()
+			if err != nil {
+				return 0, 0, err
+			}
+			if ov := float64(e-d) / float64(d); ov < bestOverhead {
+				bestOverhead = ov
+				disabledNs, enabledNs = perQuery(d), perQuery(e)
+			}
+			if good(disabledNs, enabledNs) {
+				break
+			}
+		}
+		return disabledNs, enabledNs, nil
 	}
+
+	// Plan-compiling path: cache off, every query pays region build and
+	// collection simulation — the historical meaning of this gate, on a
+	// relative budget.
+	sys.SetPlanCacheCapacity(0)
+	coldD, coldE, err := gauge(passes, func(d, e float64) bool {
+		return (e-d)/d <= obsOverheadBudgetPct/100
+	})
+	if err != nil {
+		return err
+	}
+
+	// Plan-cached path: repeat rects served from compiled plans, gated on
+	// the absolute per-query instrumentation cost.
+	sys.SetPlanCacheCapacity(stq.DefaultPlanCacheCapacity)
+	hitD, hitE, err := gauge(passes, func(d, e float64) bool {
+		return e-d <= obsCachedBudgetNs
+	})
+	if err != nil {
+		return err
+	}
+
 	snap := sys.Snapshot()
 	stq.DisableObservability()
 
 	res := obsBenchResult{
-		Seed:           seed,
-		Grid:           "16x16",
-		Queries:        queries,
-		Reps:           reps,
-		DisabledNsOp:   float64(minDisabled.Nanoseconds()) / float64(queries*passes),
-		EnabledNsOp:    float64(minEnabled.Nanoseconds()) / float64(queries*passes),
-		ThresholdPct:   obsOverheadBudgetPct,
-		MetricsEmitted: len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms),
+		Seed:               seed,
+		Grid:               "16x16",
+		Queries:            queries,
+		Reps:               reps,
+		DisabledNsOp:       coldD,
+		EnabledNsOp:        coldE,
+		ThresholdPct:       obsOverheadBudgetPct,
+		CachedDisabledNsOp: hitD,
+		CachedEnabledNsOp:  hitE,
+		CachedOverheadNs:   hitE - hitD,
+		CachedBudgetNs:     obsCachedBudgetNs,
+		MetricsEmitted:     len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms),
 	}
 	res.OverheadPct = 100 * (res.EnabledNsOp - res.DisabledNsOp) / res.DisabledNsOp
-	res.Pass = res.OverheadPct <= obsOverheadBudgetPct
+	res.Pass = res.OverheadPct <= obsOverheadBudgetPct && res.CachedOverheadNs <= obsCachedBudgetNs
 
-	fmt.Printf("disabled: %.0f ns/query   enabled: %.0f ns/query   overhead: %+.2f%% (budget %.1f%%)   metrics: %d\n",
-		res.DisabledNsOp, res.EnabledNsOp, res.OverheadPct, res.ThresholdPct, res.MetricsEmitted)
+	fmt.Printf("compiling path: disabled %.0f ns/query   enabled %.0f ns/query   overhead %+.2f%% (budget %.1f%%)\n",
+		res.DisabledNsOp, res.EnabledNsOp, res.OverheadPct, res.ThresholdPct)
+	fmt.Printf("cached path:    disabled %.0f ns/query   enabled %.0f ns/query   overhead %+.0f ns (budget %.0f ns)   metrics: %d\n",
+		res.CachedDisabledNsOp, res.CachedEnabledNsOp, res.CachedOverheadNs, res.CachedBudgetNs, res.MetricsEmitted)
 
 	if outPath != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -188,8 +244,11 @@ func runObsBench(seed int64, queries int, quick bool, outPath string) error {
 		}
 		fmt.Printf("wrote %s\n", outPath)
 	}
-	if !res.Pass {
+	if res.OverheadPct > obsOverheadBudgetPct {
 		return fmt.Errorf("observability overhead %.2f%% exceeds %.1f%% budget", res.OverheadPct, res.ThresholdPct)
+	}
+	if res.CachedOverheadNs > obsCachedBudgetNs {
+		return fmt.Errorf("observability overhead on the cached path %.0f ns exceeds %.0f ns budget", res.CachedOverheadNs, res.CachedBudgetNs)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/planar"
 )
@@ -47,27 +48,73 @@ func LeaveEvent(gateway planar.NodeID, t float64) Event {
 	return Event{T: t, Kind: EventLeave, Gateway: gateway}
 }
 
-// RecordBatch ingests a time-ordered batch of events under a single
-// write-lock acquisition — the batch counterpart of RecordMove /
-// RecordEnter / RecordLeave for high-throughput ingestion.
+// batchScratch is the reusable working set of one RecordBatch call,
+// pooled so steady-state ingestion allocates only the tracking forms it
+// republishes. The per-road tables are flat slices indexed by EdgeID —
+// a batch of n events costs two array lookups per event instead of two
+// map probes — and are reset sparsely via the touched-road list, so
+// reuse is O(roads touched), not O(roads in the world).
+type batchScratch struct {
+	// adds counts appends per road: [fwd, rev], indexed by EdgeID.
+	adds [][2]int32
+	// clones holds each touched road's private working clone, indexed by
+	// EdgeID.
+	clones []*Tracker
+	// roads lists the distinct touched roads in first-touch order.
+	roads []planar.EdgeID
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// reset sparsely clears the per-road tables (only the entries this
+// batch touched) and grows them when the store has more roads than the
+// pooled scratch has seen.
+func (sc *batchScratch) reset(nRoads int) {
+	for _, r := range sc.roads {
+		sc.adds[r] = [2]int32{}
+		sc.clones[r] = nil
+	}
+	sc.roads = sc.roads[:0]
+	if len(sc.adds) < nRoads {
+		sc.adds = make([][2]int32, nRoads)
+		sc.clones = make([]*Tracker, nRoads)
+	}
+}
+
+// RecordBatch ingests a batch of events — the batch counterpart of
+// RecordMove / RecordEnter / RecordLeave for high-throughput ingestion.
+// Only the lock stripes of the edges the batch touches are held, so
+// concurrent batches over disjoint stripes apply in parallel.
 //
 // The batch is atomic: every event is validated (kind, road range,
-// endpoint membership, global time ordering against both the store
-// clock and earlier events of the batch) before anything is applied, so
-// a failed call leaves the store unchanged.
+// endpoint membership, time ordering per the store's Ordering — under
+// OrderGlobal against both the store clock and earlier events of the
+// batch) before anything is published, so a failed call leaves the
+// store observably unchanged.
 func (s *Store) RecordBatch(events []Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Pass 1: validate against the store and the batch's own ordering.
-	clock := s.clock
+	sc := batchPool.Get().(*batchScratch)
+	sc.reset(len(s.roads))
+	defer batchPool.Put(sc)
+
+	// Pass 1 (lock-free): structural validation, global-order validation
+	// when configured, touched-stripe mask, per-road append counts.
+	global := s.GetOrdering() == OrderGlobal
+	clock := s.Clock()
+	maxT := events[0].T
+	var mask uint32
 	for i, ev := range events {
-		if ev.T < clock {
-			return fmt.Errorf("core: batch event %d at %v precedes time %v (events must be time ordered)", i, ev.T, clock)
+		if global {
+			if ev.T < clock {
+				return fmt.Errorf("core: batch event %d at %v precedes time %v (events must be time ordered)", i, ev.T, clock)
+			}
+			clock = ev.T
 		}
-		clock = ev.T
+		if ev.T > maxT {
+			maxT = ev.T
+		}
 		switch ev.Kind {
 		case EventMove:
 			if ev.Road < 0 || int(ev.Road) >= len(s.roads) {
@@ -77,32 +124,107 @@ func (s *Store) RecordBatch(events []Event) error {
 			if ev.From != e.U && ev.From != e.V {
 				return fmt.Errorf("core: batch event %d: node %d is not an endpoint of road %d", i, ev.From, ev.Road)
 			}
+			c := &sc.adds[ev.Road]
+			if c[0] == 0 && c[1] == 0 {
+				sc.roads = append(sc.roads, ev.Road)
+			}
+			if ev.From == e.U {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			mask |= 1 << shardOfRoad(ev.Road)
 		case EventEnter, EventLeave:
 			// Any junction may carry world edges (map-matched real traces
 			// appear and vanish anywhere), as with RecordEnter/RecordLeave.
+			mask |= 1 << shardOfNode(ev.Gateway)
 		default:
 			return fmt.Errorf("core: batch event %d: unknown kind %d", i, ev.Kind)
 		}
 	}
-	// Pass 2: apply.
-	for _, ev := range events {
-		switch ev.Kind {
-		case EventMove:
-			e := s.w.Star.Edge(ev.Road)
-			s.roads[ev.Road].Record(ev.From == e.U, ev.T)
-		case EventEnter:
-			if len(s.worldIn[ev.Gateway]) == 0 && len(s.worldOut[ev.Gateway]) == 0 {
-				s.worldJs = nil
-			}
-			s.worldIn[ev.Gateway] = append(s.worldIn[ev.Gateway], ev.T)
-		case EventLeave:
-			if len(s.worldIn[ev.Gateway]) == 0 && len(s.worldOut[ev.Gateway]) == 0 {
-				s.worldJs = nil
-			}
-			s.worldOut[ev.Gateway] = append(s.worldOut[ev.Gateway], ev.T)
+
+	// Lock every touched stripe in ascending index order (deadlock-free
+	// against concurrent batches locking overlapping stripe sets).
+	for i := 0; i < numShards; i++ {
+		if mask&(1<<i) != 0 {
+			s.shards[i].lock()
 		}
 	}
-	s.clock = clock
-	s.events += len(events)
+	unlock := func() {
+		for i := 0; i < numShards; i++ {
+			if mask&(1<<i) != 0 {
+				s.shards[i].mu.Unlock()
+			}
+		}
+	}
+
+	// Pass 2 (under stripe locks): apply into private clones. Tracker
+	// clones live in one arena allocation and are presized from the
+	// pass-1 counts, so a batch republishing k roads costs O(1) + at
+	// most one timestamp-array growth per saturated direction. Clones
+	// stay private until publication, so a per-edge order violation
+	// discovered here still aborts with the store unchanged.
+	arena := make([]Tracker, 0, len(sc.roads))
+	var worldNext [numShards]*worldView
+	newGateway := false
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventMove:
+			tr := sc.clones[ev.Road]
+			if tr == nil {
+				var next Tracker
+				if old := s.roads[ev.Road].Load(); old != nil {
+					next = *old
+				}
+				c := sc.adds[ev.Road]
+				next.fwd = growFor(next.fwd, int(c[0]))
+				next.rev = growFor(next.rev, int(c[1]))
+				arena = append(arena, next)
+				tr = &arena[len(arena)-1]
+				sc.clones[ev.Road] = tr
+			}
+			fwd := ev.From == s.w.Star.Edge(ev.Road).U
+			if last, ok := tr.last(fwd); ok && ev.T < last {
+				unlock()
+				return fmt.Errorf("core: batch event %d at %v precedes last crossing %v on road %d (per-edge order)", i, ev.T, last, ev.Road)
+			}
+			tr.Record(fwd, ev.T)
+		case EventEnter, EventLeave:
+			si := shardOfNode(ev.Gateway)
+			wv := worldNext[si]
+			if wv == nil {
+				cur := s.shards[si].world.Load()
+				wv = &worldView{in: cloneWorldMap(cur.in), out: cloneWorldMap(cur.out)}
+				worldNext[si] = wv
+			}
+			side := wv.in
+			if ev.Kind == EventLeave {
+				side = wv.out
+			}
+			if ts := side[ev.Gateway]; len(ts) > 0 && ev.T < ts[len(ts)-1] {
+				unlock()
+				return fmt.Errorf("core: batch event %d at %v precedes last world event %v at gateway %d (per-edge order)", i, ev.T, ts[len(ts)-1], ev.Gateway)
+			}
+			if len(wv.in[ev.Gateway]) == 0 && len(wv.out[ev.Gateway]) == 0 {
+				newGateway = true
+			}
+			side[ev.Gateway] = append(side[ev.Gateway], ev.T)
+		}
+	}
+
+	// Publish: every touched road and stripe view, then release stripes.
+	for _, road := range sc.roads {
+		s.roads[road].Store(sc.clones[road])
+	}
+	for i := range worldNext {
+		if worldNext[i] != nil {
+			s.shards[i].world.Store(worldNext[i])
+		}
+	}
+	unlock()
+	if newGateway {
+		s.gatewayGen.Add(1)
+	}
+	s.commit(maxT, len(events))
 	return nil
 }

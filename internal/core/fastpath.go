@@ -9,9 +9,9 @@ import (
 
 // This file implements the Store side of the fast-path query kernel:
 // the IntervalCounter and BatchCounter extensions that let the counting
-// theorems integrate a whole region perimeter under a single read-lock
-// acquisition, with one tracker fetch per cut road. Large perimeters
-// are integrated in parallel across worker goroutines.
+// theorems integrate a whole region perimeter in one pass with one
+// tracker-snapshot load per cut road and zero lock acquisitions. Large
+// perimeters are integrated in parallel across worker goroutines.
 
 // parallelCutThreshold is the perimeter size above which CountCuts and
 // CutFlow split the cut set across workers. Below it, goroutine startup
@@ -19,32 +19,31 @@ import (
 const parallelCutThreshold = 1024
 
 // RoadCrossingsIn implements IntervalCounter: the number of crossings of
-// road toward the given endpoint in (t1, t2], via two binary searches
-// fused under one lock acquisition.
+// road toward the given endpoint in (t1, t2], via two binary searches on
+// one published snapshot.
 func (s *Store) RoadCrossingsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	tr := s.loadTracker(road)
+	if tr == nil {
+		return 0
+	}
 	e := s.w.Star.Edge(road)
-	return float64(countIn(s.roads[road].Events(toward == e.V), t1, t2))
+	return float64(countIn(tr.Events(toward == e.V), t1, t2))
 }
 
 // WorldCrossingsIn implements IntervalCounter for gateway world edges.
 func (s *Store) WorldCrossingsIn(g planar.NodeID, entering bool, t1, t2 float64) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	wv := s.worldViewOf(g)
 	if entering {
-		return float64(countIn(s.worldIn[g], t1, t2))
+		return float64(countIn(wv.in[g], t1, t2))
 	}
-	return float64(countIn(s.worldOut[g], t1, t2))
+	return float64(countIn(wv.out[g], t1, t2))
 }
 
 // CountCuts implements BatchCounter: the boundary integral at time t in
-// one perimeter pass under a single read lock. Counts are integers, so
-// the integer accumulation is exactly the float accumulation of the
+// one perimeter pass over the published snapshots. Counts are integers,
+// so the integer accumulation is exactly the float accumulation of the
 // reference kernel.
 func (s *Store) CountCuts(cuts []CutRoad, worldJs []planar.NodeID, t float64) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total int
 	if len(cuts) < parallelCutThreshold {
 		// Inline loop: keeping the closure out of the common case keeps
@@ -56,7 +55,8 @@ func (s *Store) CountCuts(cuts []CutRoad, worldJs []planar.NodeID, t float64) fl
 		total = s.parallelSum(cuts, func(cr CutRoad) int { return s.cutNetCount(cr, t) })
 	}
 	for _, g := range worldJs {
-		total += countLE(s.worldIn[g], t) - countLE(s.worldOut[g], t)
+		wv := s.worldViewOf(g)
+		total += countLE(wv.in[g], t) - countLE(wv.out[g], t)
 	}
 	return float64(total)
 }
@@ -64,17 +64,19 @@ func (s *Store) CountCuts(cuts []CutRoad, worldJs []planar.NodeID, t float64) fl
 // cutNetCount is one perimeter element of the boundary integral at t:
 // crossings into the region minus crossings out, on one cut road.
 func (s *Store) cutNetCount(cr CutRoad, t float64) int {
-	tr := &s.roads[cr.Road]
+	tr := s.loadTracker(cr.Road)
+	if tr == nil {
+		return 0
+	}
 	fwd := cr.Inside == s.w.Star.Edge(cr.Road).V
 	return countLE(tr.Events(fwd), t) - countLE(tr.Events(!fwd), t)
 }
 
 // CutFlow implements BatchCounter: the fused transient integral over
-// (t1, t2] — one perimeter pass, two binary searches per direction,
-// a single lock acquisition. Equals CountCuts(t2) − CountCuts(t1).
+// (t1, t2] — one perimeter pass, two binary searches per direction, no
+// lock acquisitions. Equals CountCuts(t2) − CountCuts(t1) on a
+// quiescent store.
 func (s *Store) CutFlow(cuts []CutRoad, worldJs []planar.NodeID, t1, t2 float64) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total int
 	if len(cuts) < parallelCutThreshold {
 		for _, cr := range cuts {
@@ -84,7 +86,8 @@ func (s *Store) CutFlow(cuts []CutRoad, worldJs []planar.NodeID, t1, t2 float64)
 		total = s.parallelSum(cuts, func(cr CutRoad) int { return s.cutNetFlow(cr, t1, t2) })
 	}
 	for _, g := range worldJs {
-		total += countIn(s.worldIn[g], t1, t2) - countIn(s.worldOut[g], t1, t2)
+		wv := s.worldViewOf(g)
+		total += countIn(wv.in[g], t1, t2) - countIn(wv.out[g], t1, t2)
 	}
 	return float64(total)
 }
@@ -92,20 +95,24 @@ func (s *Store) CutFlow(cuts []CutRoad, worldJs []planar.NodeID, t1, t2 float64)
 // cutNetFlow is one perimeter element of the interval integral over
 // (t1, t2] on one cut road.
 func (s *Store) cutNetFlow(cr CutRoad, t1, t2 float64) int {
-	tr := &s.roads[cr.Road]
+	tr := s.loadTracker(cr.Road)
+	if tr == nil {
+		return 0
+	}
 	fwd := cr.Inside == s.w.Star.Edge(cr.Road).V
 	return countIn(tr.Events(fwd), t1, t2) - countIn(tr.Events(!fwd), t1, t2)
 }
 
 // CountCutsTimes implements BatchCounter: the boundary integral at every
-// probe time, fetching each cut road's tracker once instead of
+// probe time, loading each cut road's snapshot once instead of
 // re-walking the perimeter per probe.
 func (s *Store) CountCutsTimes(cuts []CutRoad, worldJs []planar.NodeID, ts []float64, dst []float64) []float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	totals := make([]int, len(ts))
 	for _, cr := range cuts {
-		tr := &s.roads[cr.Road]
+		tr := s.loadTracker(cr.Road)
+		if tr == nil {
+			continue
+		}
 		fwd := cr.Inside == s.w.Star.Edge(cr.Road).V
 		in, out := tr.Events(fwd), tr.Events(!fwd)
 		for i, t := range ts {
@@ -113,7 +120,8 @@ func (s *Store) CountCutsTimes(cuts []CutRoad, worldJs []planar.NodeID, ts []flo
 		}
 	}
 	for _, g := range worldJs {
-		in, out := s.worldIn[g], s.worldOut[g]
+		wv := s.worldViewOf(g)
+		in, out := wv.in[g], wv.out[g]
 		for i, t := range ts {
 			totals[i] += countLE(in, t) - countLE(out, t)
 		}
@@ -127,9 +135,9 @@ func (s *Store) CountCutsTimes(cuts []CutRoad, worldJs []planar.NodeID, ts []flo
 // parallelSum sums per-cut contributions, splitting the cut set across
 // min(GOMAXPROCS, 8) workers when it exceeds parallelCutThreshold.
 // Integer partial sums make the split order-insensitive, so parallel
-// and serial results are identical. Callers must hold the read lock;
-// workers inherit its protection because they are spawned after the
-// acquisition and joined before the release.
+// and serial results are identical. Workers read the same immutable
+// published snapshots any serial reader would, so no synchronization
+// with writers is needed.
 func (s *Store) parallelSum(cuts []CutRoad, f func(CutRoad) int) int {
 	if len(cuts) < parallelCutThreshold {
 		total := 0

@@ -1,0 +1,325 @@
+package core_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mobility"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// shardWorld builds a small grid world plus a generated workload for the
+// sharded-store tests.
+func shardWorld(t *testing.T, seed int64) (*roadnet.World, *mobility.Workload) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 8, NY: 8, Spacing: 50, Jitter: 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := mobility.Generate(w, mobility.Opts{
+		Objects: 60, Horizon: 8000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 200, LeaveProb: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, wl
+}
+
+// toCoreEvents converts workload ground truth to store events.
+func toCoreEvents(t *testing.T, wl *mobility.Workload) []core.Event {
+	t.Helper()
+	out := make([]core.Event, 0, len(wl.Events))
+	for _, ev := range wl.Events {
+		switch ev.Kind {
+		case mobility.Enter:
+			out = append(out, core.EnterEvent(ev.At, ev.T))
+		case mobility.Leave:
+			out = append(out, core.LeaveEvent(ev.At, ev.T))
+		case mobility.Move:
+			out = append(out, core.MoveEvent(ev.Road, ev.From, ev.T))
+		default:
+			t.Fatalf("unknown workload event kind %d", ev.Kind)
+		}
+	}
+	return out
+}
+
+// eventOwner partitions events by sensing edge: every road's (and every
+// gateway's) events always land in the same partition, so each
+// partition is a per-edge-monotone stream — the in-network model.
+func eventOwner(ev core.Event, workers int) int {
+	if ev.Kind == core.EventMove {
+		return int(ev.Road) % workers
+	}
+	return int(ev.Gateway) % workers
+}
+
+// TestConcurrentShardedWritersBitIdentical is the sharded-store
+// correctness anchor: W concurrent writers ingesting disjoint edge
+// partitions under OrderPerEdge must leave the store bit-identical —
+// every tracking form, every world-event list, the world-junction set,
+// the clock, and the event count — to a single writer feeding the same
+// globally ordered stream under OrderGlobal.
+func TestConcurrentShardedWritersBitIdentical(t *testing.T) {
+	w, wl := shardWorld(t, 7)
+	events := toCoreEvents(t, wl)
+
+	ref := core.NewStore(w)
+	if err := ref.RecordBatch(events); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	parts := make([][]core.Event, workers)
+	for _, ev := range events {
+		o := eventOwner(ev, workers)
+		parts[o] = append(parts[o], ev)
+	}
+	st := core.NewStore(w)
+	st.SetOrdering(core.OrderPerEdge)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(part []core.Event) {
+			defer wg.Done()
+			const chunk = 97 // deliberately odd so batches straddle shards unevenly
+			for lo := 0; lo < len(part); lo += chunk {
+				hi := lo + chunk
+				if hi > len(part) {
+					hi = len(part)
+				}
+				if err := st.RecordBatch(part[lo:hi]); err != nil {
+					t.Errorf("concurrent partition ingest: %v", err)
+					return
+				}
+			}
+		}(parts[wk])
+	}
+	wg.Wait()
+
+	if st.NumEvents() != ref.NumEvents() {
+		t.Fatalf("NumEvents = %d, want %d", st.NumEvents(), ref.NumEvents())
+	}
+	if st.Clock() != ref.Clock() {
+		t.Fatalf("Clock = %v, want %v", st.Clock(), ref.Clock())
+	}
+	for road := 0; road < w.Star.NumEdges(); road++ {
+		got, want := st.RoadTracker(planar.EdgeID(road)), ref.RoadTracker(planar.EdgeID(road))
+		for _, fwd := range []bool{true, false} {
+			g, r := got.Events(fwd), want.Events(fwd)
+			if len(g) != len(r) {
+				t.Fatalf("road %d fwd=%v: %d events, want %d", road, fwd, len(g), len(r))
+			}
+			for i := range g {
+				if g[i] != r[i] {
+					t.Fatalf("road %d fwd=%v event %d: %v != %v", road, fwd, i, g[i], r[i])
+				}
+			}
+		}
+	}
+	gj, rj := st.WorldJunctions(), ref.WorldJunctions()
+	if !sort.SliceIsSorted(gj, func(i, j int) bool { return gj[i] < gj[j] }) {
+		t.Error("WorldJunctions not sorted")
+	}
+	if len(gj) != len(rj) {
+		t.Fatalf("WorldJunctions: %d, want %d", len(gj), len(rj))
+	}
+	for i := range gj {
+		if gj[i] != rj[i] {
+			t.Fatalf("WorldJunctions[%d] = %d, want %d", i, gj[i], rj[i])
+		}
+		in1, out1 := st.WorldEvents(gj[i])
+		in2, out2 := ref.WorldEvents(gj[i])
+		if len(in1) != len(in2) || len(out1) != len(out2) {
+			t.Fatalf("world events at %d differ in length", gj[i])
+		}
+		for k := range in1 {
+			if in1[k] != in2[k] {
+				t.Fatalf("world entry %d at %d: %v != %v", k, gj[i], in1[k], in2[k])
+			}
+		}
+		for k := range out1 {
+			if out1[k] != out2[k] {
+				t.Fatalf("world exit %d at %d: %v != %v", k, gj[i], out1[k], out2[k])
+			}
+		}
+	}
+}
+
+// TestOrderPerEdgeValidation pins the OrderPerEdge contract: time may
+// regress across different sensing edges, but never within one tracking
+// form direction or one world-edge direction.
+func TestOrderPerEdgeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 4, NY: 4, Spacing: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewStore(w)
+	st.SetOrdering(core.OrderPerEdge)
+	if got := st.GetOrdering(); got != core.OrderPerEdge {
+		t.Fatalf("GetOrdering = %v", got)
+	}
+	gw := w.Gateways[0]
+	roadA := w.Star.Incident(gw)[0]
+	fromA := gw
+	var roadB planar.EdgeID
+	for e := planar.EdgeID(0); int(e) < w.Star.NumEdges(); e++ {
+		if e != roadA {
+			roadB = e
+			break
+		}
+	}
+	fromB := w.Star.Edge(roadB).U
+
+	if err := st.RecordMove(roadA, fromA, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-edge regression: allowed (independent sensor clocks).
+	if err := st.RecordMove(roadB, fromB, 5); err != nil {
+		t.Errorf("cross-edge time regression rejected under OrderPerEdge: %v", err)
+	}
+	// Same-form regression: rejected.
+	if err := st.RecordMove(roadA, fromA, 99); err == nil {
+		t.Error("same-direction regression accepted")
+	}
+	// Opposite direction of the same road is an independent form.
+	other := w.Star.Edge(roadA).Other(fromA)
+	if err := st.RecordMove(roadA, other, 1); err != nil {
+		t.Errorf("opposite-direction crossing rejected: %v", err)
+	}
+	// World edges: per-direction monotone per gateway.
+	if err := st.RecordEnter(gw, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RecordEnter(gw, 49); err == nil {
+		t.Error("world-entry regression accepted")
+	}
+	if err := st.RecordLeave(gw, 1); err != nil {
+		t.Errorf("world-exit with earlier clock rejected (independent direction): %v", err)
+	}
+	// Batches: cross-edge disorder fine, same-form disorder rejected.
+	if err := st.RecordBatch([]core.Event{
+		core.MoveEvent(roadB, fromB, 200),
+		core.MoveEvent(roadA, fromA, 150),
+	}); err != nil {
+		t.Errorf("cross-edge disorder in batch rejected: %v", err)
+	}
+	if err := st.RecordBatch([]core.Event{
+		core.MoveEvent(roadA, fromA, 300),
+		core.MoveEvent(roadA, fromA, 250),
+	}); err == nil {
+		t.Error("same-form disorder in batch accepted")
+	}
+}
+
+// TestRecordBatchMultiShardAtomic extends the batch-atomicity contract
+// to batches spanning many lock stripes: a per-edge order violation at
+// the end of a wide batch must leave every stripe's published state —
+// trackers, world views, clock, event count — untouched.
+func TestRecordBatchMultiShardAtomic(t *testing.T) {
+	w, wl := shardWorld(t, 11)
+	events := toCoreEvents(t, wl)
+	st := core.NewStore(w)
+	st.SetOrdering(core.OrderPerEdge)
+	if err := st.RecordBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	beforeEvents, beforeClock := st.NumEvents(), st.Clock()
+	beforeStorage := st.Storage()
+
+	// A wide batch touching > numShards distinct roads, ending with an
+	// event that regresses one already-populated tracking form.
+	var bad core.Event
+	var badRoad planar.EdgeID
+	for road := 0; road < w.Star.NumEdges(); road++ {
+		tr := st.RoadTracker(planar.EdgeID(road))
+		if ts := tr.Events(true); len(ts) > 0 && ts[0] > 1 {
+			badRoad = planar.EdgeID(road)
+			bad = core.MoveEvent(badRoad, w.Star.Edge(badRoad).U, ts[0]-1)
+			break
+		}
+	}
+	if bad.Kind != core.EventMove {
+		t.Fatal("workload produced no populated forward tracking form")
+	}
+	batch := make([]core.Event, 0, w.Star.NumEdges()+1)
+	for road := 0; road < w.Star.NumEdges(); road++ {
+		batch = append(batch, core.MoveEvent(planar.EdgeID(road), w.Star.Edge(planar.EdgeID(road)).U, beforeClock+float64(road)))
+	}
+	batch = append(batch, bad)
+	if err := st.RecordBatch(batch); err == nil {
+		t.Fatal("batch with trailing per-edge violation accepted")
+	}
+	if st.NumEvents() != beforeEvents {
+		t.Errorf("NumEvents changed: %d -> %d", beforeEvents, st.NumEvents())
+	}
+	if st.Clock() != beforeClock {
+		t.Errorf("Clock changed: %v -> %v", beforeClock, st.Clock())
+	}
+	afterStorage := st.Storage()
+	if afterStorage.TotalTimestamps != beforeStorage.TotalTimestamps {
+		t.Errorf("timestamps changed: %d -> %d", beforeStorage.TotalTimestamps, afterStorage.TotalTimestamps)
+	}
+	for i, n := range beforeStorage.TimestampsPerRoad {
+		if afterStorage.TimestampsPerRoad[i] != n {
+			t.Errorf("road %d storage changed: %d -> %d", i, n, afterStorage.TimestampsPerRoad[i])
+		}
+	}
+}
+
+// TestWorldJunctionsInvalidatedByConcurrentGateway checks the
+// generation-stamped WorldJunctions memo: a gateway first seen while
+// other writers run must appear once ingestion quiesces.
+func TestWorldJunctionsInvalidatedByConcurrentGateway(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 6, NY: 6, Spacing: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Gateways) < 2 {
+		t.Skip("need two gateways")
+	}
+	st := core.NewStore(w)
+	st.SetOrdering(core.OrderPerEdge)
+	if err := st.RecordEnter(w.Gateways[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.WorldJunctions()); n != 1 {
+		t.Fatalf("memoized world junctions = %d, want 1", n)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				js := st.WorldJunctions()
+				if len(js) < 1 || len(js) > 2 {
+					t.Errorf("world junctions = %d, want 1 or 2", len(js))
+					return
+				}
+			}
+		}()
+	}
+	if err := st.RecordEnter(w.Gateways[1], 2); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	readers.Wait()
+	js := st.WorldJunctions()
+	if len(js) != 2 {
+		t.Fatalf("world junctions after new gateway = %d, want 2", len(js))
+	}
+}

@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/planar"
 	"repro/internal/roadnet"
@@ -19,7 +20,7 @@ type Tracker struct {
 
 // Record appends a crossing at time t in the given direction. Timestamps
 // must be appended in non-decreasing order per direction; Store enforces
-// global ordering for all trackers.
+// ordering for all trackers.
 func (tr *Tracker) Record(forward bool, t float64) {
 	if forward {
 		tr.fwd = append(tr.fwd, t)
@@ -49,6 +50,19 @@ func (tr *Tracker) Events(forward bool) []float64 {
 // Len returns the total number of stored crossings.
 func (tr *Tracker) Len() int { return len(tr.fwd) + len(tr.rev) }
 
+// last returns the most recent timestamp of one direction; ok is false
+// for an empty direction.
+func (tr *Tracker) last(forward bool) (t float64, ok bool) {
+	ts := tr.fwd
+	if !forward {
+		ts = tr.rev
+	}
+	if len(ts) == 0 {
+		return 0, false
+	}
+	return ts[len(ts)-1], true
+}
+
 // countLE returns the number of elements of sorted ts that are ≤ t.
 func countLE(ts []float64, t float64) int {
 	return sort.Search(len(ts), func(i int) bool { return ts[i] > t })
@@ -63,57 +77,90 @@ func countIn(ts []float64, t1, t2 float64) int {
 // Tracker per road plus world-edge event lists per gateway. It is the
 // reference Counter and EventLister implementation, and additionally
 // implements the IntervalCounter and BatchCounter fast paths: a whole
-// perimeter integral runs under a single read-lock acquisition.
+// perimeter integral runs in one pass with no lock acquisitions.
 //
-// Store is safe for concurrent use: ingestion takes the write lock,
-// queries the read lock.
+// # Concurrency
+//
+// The store is sharded: writers serialize on numShards lock stripes
+// keyed by edge ID (world edges by junction ID), so ingestion streams
+// touching disjoint stripes run in parallel. Reads are lock-free: every
+// road's tracking form and every stripe's world-edge maps are published
+// as immutable snapshots behind atomic pointers; a reader sees, per
+// road, an atomically consistent (γ⁺, γ⁻) pair as of the snapshot it
+// loads. A query concurrent with ingestion may observe different roads
+// at slightly different ingestion frontiers (per-snapshot consistency,
+// not a global cut); once ingestion quiesces — or for any probe time at
+// or before the already-ingested horizon — counts are exact. Writes
+// that return have been published: a subsequent query on any goroutine
+// sees them.
+//
+// Time ordering is validated per the configured Ordering: OrderGlobal
+// (default, one globally monotone stream) or OrderPerEdge (per-form
+// monotonicity, for concurrent multi-writer ingestion). In both modes
+// an append that would break a tracking form's sort order is rejected,
+// never applied.
 type Store struct {
-	mu    sync.RWMutex
-	w     *roadnet.World
-	roads []Tracker
-	// worldIn/worldOut[g] hold entry/exit timestamps at gateway g.
-	worldIn, worldOut map[planar.NodeID][]float64
-	clock             float64
-	events            int
-	// worldJs memoizes WorldJunctions (guarded by mu); nil means stale.
-	// Ingesting the first event of a previously unseen gateway
-	// invalidates it.
-	worldJs []planar.NodeID
+	w *roadnet.World
+	// roads[e] is the atomically published tracking form of road e; nil
+	// until the road's first event.
+	roads  []atomic.Pointer[Tracker]
+	shards [numShards]shard
+	// ordering holds the Ordering (atomic so it can be toggled without
+	// racing writers; see SetOrdering).
+	ordering atomic.Uint32
+	// clockBits is math.Float64bits of the max ingested timestamp.
+	clockBits atomic.Uint64
+	events    atomic.Int64
+	// gatewayGen counts gateway-set changes; worldJs memoizes
+	// WorldJunctions for the generation it was built at.
+	gatewayGen atomic.Uint64
+	worldJs    atomic.Pointer[wjMemo]
 }
 
-// NewStore returns an empty store over w.
+// NewStore returns an empty store over w with OrderGlobal validation.
 func NewStore(w *roadnet.World) *Store {
-	return &Store{
-		w:        w,
-		roads:    make([]Tracker, w.Star.NumEdges()),
-		worldIn:  make(map[planar.NodeID][]float64),
-		worldOut: make(map[planar.NodeID][]float64),
+	s := &Store{
+		w:     w,
+		roads: make([]atomic.Pointer[Tracker], w.Star.NumEdges()),
 	}
+	for i := range s.shards {
+		s.shards[i].world.Store(&worldView{
+			in:  map[planar.NodeID][]float64{},
+			out: map[planar.NodeID][]float64{},
+		})
+	}
+	return s
 }
+
+// SetOrdering selects the time-ordering contract for subsequent writes:
+// OrderGlobal for one globally monotone event stream (the default),
+// OrderPerEdge for concurrent writers feeding independently clocked
+// per-edge streams. Per-form monotonicity — the invariant binary search
+// depends on — is enforced in both modes.
+func (s *Store) SetOrdering(o Ordering) { s.ordering.Store(uint32(o)) }
+
+// GetOrdering returns the current time-ordering contract.
+func (s *Store) GetOrdering() Ordering { return Ordering(s.ordering.Load()) }
 
 // World returns the world the store tracks.
 func (s *Store) World() *roadnet.World { return s.w }
 
 // NumEvents returns the total number of ingested crossing events.
-func (s *Store) NumEvents() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.events
-}
+func (s *Store) NumEvents() int { return int(s.events.Load()) }
 
 // Clock returns the timestamp of the most recent event.
-func (s *Store) Clock() float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.clock
-}
+func (s *Store) Clock() float64 { return math.Float64frombits(s.clockBits.Load()) }
 
-func (s *Store) advance(t float64) error {
-	if t < s.clock {
-		return fmt.Errorf("core: event at %v precedes store clock %v (events must be time ordered)", t, s.clock)
+// checkOrder validates t against the store clock under OrderGlobal; in
+// OrderPerEdge only per-form monotonicity (checked at apply time under
+// the stripe lock) constrains t.
+func (s *Store) checkOrder(t float64) error {
+	if s.GetOrdering() != OrderGlobal {
+		return nil
 	}
-	s.clock = t
-	s.events++
+	if clock := s.Clock(); t < clock {
+		return fmt.Errorf("core: event at %v precedes store clock %v (events must be time ordered)", t, clock)
+	}
 	return nil
 }
 
@@ -127,124 +174,125 @@ func (s *Store) RecordMove(road planar.EdgeID, from planar.NodeID, t float64) er
 	if from != e.U && from != e.V {
 		return fmt.Errorf("core: node %d is not an endpoint of road %d", from, road)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.advance(t); err != nil {
+	if err := s.checkOrder(t); err != nil {
 		return err
 	}
-	s.roads[road].Record(from == e.U, t)
+	fwd := from == e.U
+	sh := &s.shards[shardOfRoad(road)]
+	sh.lock()
+	old := s.roads[road].Load()
+	var next Tracker
+	if old != nil {
+		if last, ok := old.last(fwd); ok && t < last {
+			sh.mu.Unlock()
+			return fmt.Errorf("core: event at %v precedes last crossing %v on road %d (per-edge order)", t, last, road)
+		}
+		next = *old
+	}
+	next.Record(fwd, t)
+	s.roads[road].Store(&next)
+	sh.mu.Unlock()
+	s.commit(t, 1)
 	return nil
 }
 
 // RecordEnter ingests a world-entry at gateway g at time t (an object
 // appearing from ★v_ext).
 func (s *Store) RecordEnter(g planar.NodeID, t float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.advance(t); err != nil {
-		return err
-	}
-	if len(s.worldIn[g]) == 0 && len(s.worldOut[g]) == 0 {
-		s.worldJs = nil
-	}
-	s.worldIn[g] = append(s.worldIn[g], t)
-	return nil
+	return s.recordWorld(g, t, true)
 }
 
 // RecordLeave ingests a world-exit at gateway g at time t.
 func (s *Store) RecordLeave(g planar.NodeID, t float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.advance(t); err != nil {
+	return s.recordWorld(g, t, false)
+}
+
+func (s *Store) recordWorld(g planar.NodeID, t float64, entering bool) error {
+	if err := s.checkOrder(t); err != nil {
 		return err
 	}
-	if len(s.worldIn[g]) == 0 && len(s.worldOut[g]) == 0 {
-		s.worldJs = nil
+	sh := &s.shards[shardOfNode(g)]
+	sh.lock()
+	cur := sh.world.Load()
+	side := cur.in
+	if !entering {
+		side = cur.out
 	}
-	s.worldOut[g] = append(s.worldOut[g], t)
+	if ts := side[g]; len(ts) > 0 && t < ts[len(ts)-1] {
+		sh.mu.Unlock()
+		return fmt.Errorf("core: event at %v precedes last world event %v at gateway %d (per-edge order)", t, ts[len(ts)-1], g)
+	}
+	newGateway := len(cur.in[g]) == 0 && len(cur.out[g]) == 0
+	next := &worldView{in: cur.in, out: cur.out}
+	if entering {
+		next.in = cloneWorldMap(cur.in)
+		next.in[g] = append(next.in[g], t)
+	} else {
+		next.out = cloneWorldMap(cur.out)
+		next.out[g] = append(next.out[g], t)
+	}
+	sh.world.Store(next)
+	sh.mu.Unlock()
+	if newGateway {
+		s.gatewayGen.Add(1)
+	}
+	s.commit(t, 1)
 	return nil
 }
 
 // RoadCrossings implements Counter.
 func (s *Store) RoadCrossings(road planar.EdgeID, toward planar.NodeID, t float64) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	tr := s.loadTracker(road)
+	if tr == nil {
+		return 0
+	}
 	e := s.w.Star.Edge(road)
-	return float64(s.roads[road].Count(toward == e.V, t))
+	return float64(tr.Count(toward == e.V, t))
 }
 
 // WorldCrossings implements Counter.
 func (s *Store) WorldCrossings(g planar.NodeID, entering bool, t float64) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	wv := s.worldViewOf(g)
 	if entering {
-		return float64(countLE(s.worldIn[g], t))
+		return float64(countLE(wv.in[g], t))
 	}
-	return float64(countLE(s.worldOut[g], t))
+	return float64(countLE(wv.out[g], t))
 }
 
 // WorldJunctions implements Counter: the junctions with any world-edge
 // events, in ascending order for determinism. The sorted set is
-// memoized and invalidated only when a previously unseen gateway
-// ingests its first event, so the steady-state cost is one read-locked
-// slice load instead of rebuilding and sorting from the maps. Callers
-// must not modify the returned slice.
+// memoized per gateway generation and rebuilt only after an event of a
+// previously unseen gateway, so the steady-state cost is one atomic
+// load. Callers must not modify the returned slice.
 func (s *Store) WorldJunctions() []planar.NodeID {
 	mWJCalls.Inc()
-	s.mu.RLock()
-	if js := s.worldJs; js != nil {
-		s.mu.RUnlock()
-		return js
+	gen := s.gatewayGen.Load()
+	if m := s.worldJs.Load(); m != nil && m.gen == gen {
+		return m.js
 	}
-	s.mu.RUnlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.worldJs == nil {
-		mWJBuilds.Inc()
-		s.worldJs = s.rebuildWorldJunctions()
-	}
-	return s.worldJs
-}
-
-// rebuildWorldJunctions recomputes the sorted world-junction set.
-// Callers must hold the write lock.
-func (s *Store) rebuildWorldJunctions() []planar.NodeID {
-	out := make([]planar.NodeID, 0, len(s.worldIn)+len(s.worldOut))
-	seen := make(map[planar.NodeID]bool, len(s.worldIn)+len(s.worldOut))
-	for g := range s.worldIn {
-		if !seen[g] {
-			seen[g] = true
-			out = append(out, g)
-		}
-	}
-	for g := range s.worldOut {
-		if !seen[g] {
-			seen[g] = true
-			out = append(out, g)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	mWJBuilds.Inc()
+	js := s.rebuildWorldJunctions()
+	s.worldJs.Store(&wjMemo{gen: gen, js: js})
+	return js
 }
 
 // RoadEventsIn implements EventLister.
 func (s *Store) RoadEventsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	tr := s.loadTracker(road)
+	if tr == nil {
+		return dst
+	}
 	e := s.w.Star.Edge(road)
-	in := s.roads[road].Events(toward == e.V)
-	out := s.roads[road].Events(toward != e.V)
-	dst = appendSigned(dst, in, +1, t1, t2)
-	dst = appendSigned(dst, out, -1, t1, t2)
+	dst = appendSigned(dst, tr.Events(toward == e.V), +1, t1, t2)
+	dst = appendSigned(dst, tr.Events(toward != e.V), -1, t1, t2)
 	return dst
 }
 
 // WorldEventsIn implements EventLister.
 func (s *Store) WorldEventsIn(g planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	dst = appendSigned(dst, s.worldIn[g], +1, t1, t2)
-	dst = appendSigned(dst, s.worldOut[g], -1, t1, t2)
+	wv := s.worldViewOf(g)
+	dst = appendSigned(dst, wv.in[g], +1, t1, t2)
+	dst = appendSigned(dst, wv.out[g], -1, t1, t2)
 	return dst
 }
 
@@ -260,26 +308,24 @@ func appendSigned(dst []SignedEvent, ts []float64, delta int, t1, t2 float64) []
 // RoadTracker returns a snapshot of the tracker of one road for storage
 // accounting and for training learned models.
 //
-// Aliasing contract: the snapshot is taken under the read lock and
-// shares its timestamp arrays with the live tracker. This is race-free
-// because ingestion only ever appends — stored timestamps are never
-// mutated in place, and the snapshot's length was captured under the
-// lock, so concurrent appends land beyond every index the snapshot can
-// read. Callers must treat the snapshot as read-only (in particular,
-// must not call Record on it) and see events ingested up to the call,
-// not later ones.
+// The snapshot is the atomically published tracking form: both
+// directions are captured together, and concurrent ingestion republishes
+// a fresh form instead of mutating this one (stored timestamps are
+// append-only), so reading the snapshot without locking is race-free.
+// Callers must treat it as read-only (in particular, must not call
+// Record on it) and see events published up to the call, not later ones.
 func (s *Store) RoadTracker(road planar.EdgeID) Tracker {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.roads[road]
+	if tr := s.loadTracker(road); tr != nil {
+		return *tr
+	}
+	return Tracker{}
 }
 
 // WorldEvents returns the gateway entry/exit timestamp sequences. Callers
 // must not mutate them.
 func (s *Store) WorldEvents(g planar.NodeID) (in, out []float64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.worldIn[g], s.worldOut[g]
+	wv := s.worldViewOf(g)
+	return wv.in[g], wv.out[g]
 }
 
 // StorageStats summarizes per-edge storage of the exact store.
@@ -296,13 +342,13 @@ type StorageStats struct {
 // trackers only; world edges are identical across all compared systems
 // and excluded, matching the paper's per-edge CDF in Fig. 11e).
 func (s *Store) Storage() StorageStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	st := StorageStats{TimestampsPerRoad: make([]int, len(s.roads))}
 	for i := range s.roads {
-		n := s.roads[i].Len()
-		st.TimestampsPerRoad[i] = n
-		st.TotalTimestamps += n
+		if tr := s.roads[i].Load(); tr != nil {
+			n := tr.Len()
+			st.TimestampsPerRoad[i] = n
+			st.TotalTimestamps += n
+		}
 	}
 	st.Bytes = st.TotalTimestamps * 8
 	return st

@@ -1,0 +1,194 @@
+package query
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sampled"
+)
+
+// This file implements the query-plan cache: compiled plans — the
+// region with its memoized perimeter cut list, the missed verdict, and
+// (for non-degraded engines) the deterministic collection cost — are
+// memoized per canonicalized request region so repeated queries skip
+// region construction, perimeter extraction, and network simulation
+// entirely. Invalidation is epoch-based: the cache lives exactly as
+// long as its engine, and stq.System rebuilds engines only on
+// placement, fault, or model (topology) changes — never on Ingest — so
+// ingestion alone never evicts a plan. DESIGN.md §10 has the contract.
+
+// DefaultPlanCacheCapacity is the plan-cache entry budget of a new
+// engine. SetPlanCacheCapacity overrides it; 0 disables caching.
+const DefaultPlanCacheCapacity = 256
+
+// Plan-cache observability metrics (internal/obs).
+var (
+	mPlanHits      = obs.Default.Counter("query.plan_hits")
+	mPlanMisses    = obs.Default.Counter("query.plan_misses")
+	mPlanEvictions = obs.Default.Counter("query.plan_evictions")
+)
+
+// planKey canonicalizes the plan-relevant part of a Request. The exact
+// rectangle bits participate (not just the junction set it selects)
+// because the unsampled collection cost floods SensorsIn(rect); Bound
+// participates because sampled engines approximate per bound. Times and
+// Kind deliberately do not: the compiled plan is purely spatial, and
+// counts are always evaluated fresh against the live store.
+type planKey struct {
+	x0, y0, x1, y1 uint64
+	bound          sampled.Bound
+}
+
+func planKeyOf(req Request) planKey {
+	return planKey{
+		x0:    math.Float64bits(req.Rect.Min.X),
+		y0:    math.Float64bits(req.Rect.Min.Y),
+		x1:    math.Float64bits(req.Rect.Max.X),
+		y1:    math.Float64bits(req.Rect.Max.Y),
+		bound: req.Bound,
+	}
+}
+
+// cachedPlan is one compiled plan. Entries are immutable once published
+// to the cache: a plan is fully built — including its cost metrics when
+// cacheable — before insertion, so concurrent readers share it without
+// synchronization. The region's cut list memoizes internally behind a
+// sync.Once, which is the only (safe) post-publication mutation.
+type cachedPlan struct {
+	region    *core.Region
+	missed    bool
+	exactSize int
+	// net is the memoized collection cost; hasNet is false when the plan
+	// was compiled under a fault plan or for a missed region, in which
+	// case cost is simulated per query.
+	net    netsim.Metrics
+	hasNet bool
+}
+
+// planCache memoizes compiled plans behind an atomically published
+// copy-on-write map: lookups take zero locks, inserts serialize on a
+// mutex and republish. Eviction is FIFO over insertion order — the
+// workloads this serves re-ask a stable set of regions, so recency
+// tracking is not worth making hits write anything.
+type planCache struct {
+	capacity int
+	plans    atomic.Pointer[map[planKey]*cachedPlan]
+	mu       sync.Mutex
+	order    []planKey
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	evicted  atomic.Uint64
+	epoch    atomic.Uint64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	c := &planCache{capacity: capacity}
+	m := make(map[planKey]*cachedPlan)
+	c.plans.Store(&m)
+	return c
+}
+
+// get returns the cached plan for k, or nil.
+func (c *planCache) get(k planKey) *cachedPlan {
+	if p := (*c.plans.Load())[k]; p != nil {
+		c.hits.Add(1)
+		mPlanHits.Inc()
+		return p
+	}
+	c.misses.Add(1)
+	mPlanMisses.Inc()
+	return nil
+}
+
+// put publishes a fully built plan. Concurrent builders of the same key
+// may both insert; the last published map wins and the entries are
+// interchangeable.
+func (c *planCache) put(k planKey, p *cachedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.plans.Load()
+	next := make(map[planKey]*cachedPlan, len(old)+1)
+	for ok, ov := range old {
+		next[ok] = ov
+	}
+	if _, exists := next[k]; !exists {
+		// Make room first so the FIFO victim can never be the new key.
+		for len(next) >= c.capacity && len(c.order) > 0 {
+			victim := c.order[0]
+			c.order = c.order[1:]
+			if _, ok := next[victim]; ok {
+				delete(next, victim)
+				c.evicted.Add(1)
+				mPlanEvictions.Inc()
+			}
+		}
+		c.order = append(c.order, k)
+	}
+	next[k] = p
+	c.plans.Store(&next)
+}
+
+// clear drops every entry and bumps the cache epoch.
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[planKey]*cachedPlan)
+	c.order = c.order[:0]
+	c.plans.Store(&m)
+	c.epoch.Add(1)
+}
+
+// PlanCacheStats is a point-in-time snapshot of one engine's plan cache.
+type PlanCacheStats struct {
+	// Enabled is false when the engine caches nothing (capacity 0).
+	Enabled bool
+	// Capacity and Entries size the cache.
+	Capacity, Entries int
+	// Hits, Misses, Evictions count lookups since engine construction.
+	Hits, Misses, Evictions uint64
+	// Epoch counts in-place invalidations (SetFaultPlan /
+	// InvalidatePlanCache); engine rebuilds reset it with everything else.
+	Epoch uint64
+}
+
+// PlanCacheStats reports the engine's plan-cache counters.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	c := e.cache
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	return PlanCacheStats{
+		Enabled:   true,
+		Capacity:  c.capacity,
+		Entries:   len(*c.plans.Load()),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicted.Load(),
+		Epoch:     c.epoch.Load(),
+	}
+}
+
+// SetPlanCacheCapacity resizes the plan cache: n entries, or 0 (or
+// negative) to disable caching. The cache restarts empty. Not safe to
+// call concurrently with Query — configure at engine setup, like
+// StaticSamples.
+func (e *Engine) SetPlanCacheCapacity(n int) {
+	e.cache = newPlanCache(n)
+}
+
+// InvalidatePlanCache drops every compiled plan and bumps the cache
+// epoch. stq.System never needs this — it rebuilds engines on every
+// topology-affecting change — but callers mutating the world or
+// placement under a live engine must invalidate by hand.
+func (e *Engine) InvalidatePlanCache() {
+	if e.cache != nil {
+		e.cache.clear()
+	}
+}

@@ -160,6 +160,9 @@ type Engine struct {
 	// drops is the engine's deterministic per-delivery drop stream,
 	// shared by every network the plan touches.
 	drops func() bool
+	// cache memoizes compiled plans per canonicalized request region;
+	// nil when disabled (see plancache.go).
+	cache *planCache
 }
 
 // NewEngine builds an engine over the full (unsampled) sensing graph.
@@ -172,6 +175,7 @@ func NewEngine(w *roadnet.World, counter core.Counter, lister core.EventLister) 
 		lister:        lister,
 		net:           netsim.New(w.Dual.G),
 		StaticSamples: 16,
+		cache:         newPlanCache(DefaultPlanCacheCapacity),
 	}
 }
 
@@ -206,6 +210,9 @@ func (e *Engine) SetFaultPlan(p *faults.Plan) {
 	} else {
 		e.drops = nil
 	}
+	// A fault-state change is an epoch boundary: cached collection costs
+	// were simulated over a different surviving graph.
+	e.InvalidatePlanCache()
 }
 
 // FaultPlan returns the installed failure plan, or nil.
@@ -244,36 +251,40 @@ func (e *Engine) query(req Request, tr *obs.Trace) (*Response, error) {
 		return nil, err
 	}
 	tr.Begin(obs.PhaseRegionBuild)
-	exact, err := core.NewRegion(e.w, e.w.JunctionsIn(req.Rect))
-	if err != nil {
-		tr.End(obs.PhaseRegionBuild)
-		return nil, err
+	var key planKey
+	var cp *cachedPlan
+	if e.cache != nil {
+		key = planKeyOf(req)
+		cp = e.cache.get(key)
 	}
-	resp := &Response{ExactRegionSize: exact.Size()}
-	region := exact
-	if e.sg != nil {
-		approx, missed, err := e.sg.ApproximateRegion(exact, req.Bound)
-		if err != nil {
+	// fill records whether this query compiled the plan itself and must
+	// publish it once fully built (entries are immutable after put).
+	fill := cp == nil && e.cache != nil
+	if cp == nil {
+		var err error
+		if cp, err = e.compilePlan(req); err != nil {
 			tr.End(obs.PhaseRegionBuild)
 			return nil, err
 		}
-		if missed && req.Bound == sampled.Lower {
-			tr.End(obs.PhaseRegionBuild)
-			resp.Missed = true
-			resp.Region = approx
-			return resp, nil
-		}
-		region = approx
 	}
 	tr.End(obs.PhaseRegionBuild)
-	resp.Region = region
-	if region.Empty() {
+	resp := &Response{Region: cp.region, ExactRegionSize: cp.exactSize}
+	if cp.missed {
 		resp.Missed = true
+		if fill {
+			e.cache.put(key, cp)
+		}
 		return resp, nil
 	}
 	if e.plan != nil {
-		return e.queryDegraded(resp, region, req, tr)
+		// Degraded answers never memoize cost (the drop stream is
+		// stateful), but the compiled region is still reusable.
+		if fill {
+			e.cache.put(key, cp)
+		}
+		return e.queryDegraded(resp, cp.region, req, tr)
 	}
+	region := cp.region
 	tr.Begin(obs.PhasePerimeter)
 	resp.Count = e.count(region, req)
 	// Region.CutRoads is memoized, so this reads the perimeter the count
@@ -282,9 +293,48 @@ func (e *Engine) query(req Request, tr *obs.Trace) (*Response, error) {
 	resp.EdgesAccessed = len(region.CutRoads())
 	tr.End(obs.PhasePerimeter)
 	tr.Begin(obs.PhaseNetwork)
-	resp.Net = e.cost(region, req)
+	if cp.hasNet {
+		resp.Net = cp.net
+	} else {
+		resp.Net = e.cost(region, req)
+		if fill {
+			// The cost simulation is deterministic in (rect, bound) on a
+			// fault-free engine, so it is part of the compiled plan.
+			cp.net = resp.Net
+			cp.hasNet = true
+		}
+	}
 	tr.End(obs.PhaseNetwork)
+	if fill {
+		e.cache.put(key, cp)
+	}
 	return resp, nil
+}
+
+// compilePlan builds the spatial plan of req: the (possibly
+// approximated) region and the missed verdict. Counts are never part of
+// a plan — they are evaluated against the live store on every query.
+func (e *Engine) compilePlan(req Request) (*cachedPlan, error) {
+	exact, err := core.NewRegion(e.w, e.w.JunctionsIn(req.Rect))
+	if err != nil {
+		return nil, err
+	}
+	cp := &cachedPlan{region: exact, exactSize: exact.Size()}
+	if e.sg != nil {
+		approx, missed, err := e.sg.ApproximateRegion(exact, req.Bound)
+		if err != nil {
+			return nil, err
+		}
+		cp.region = approx
+		if missed && req.Bound == sampled.Lower {
+			cp.missed = true
+			return cp, nil
+		}
+	}
+	if cp.region.Empty() {
+		cp.missed = true
+	}
+	return cp, nil
 }
 
 func (e *Engine) count(region *core.Region, req Request) float64 {

@@ -99,7 +99,28 @@ type (
 	ObsSnapshot = obs.Snapshot
 	// SlowQuery is one slow-query log entry (SlowQueries).
 	SlowQuery = obs.SlowQuery
+	// Ordering selects the store's event-time ordering contract
+	// (SetIngestOrdering).
+	Ordering = core.Ordering
+	// PlanCacheStats snapshots the serving engine's query-plan cache.
+	PlanCacheStats = query.PlanCacheStats
 )
+
+// Event-time ordering contracts (SetIngestOrdering).
+const (
+	// OrderGlobal requires one globally non-decreasing event stream (the
+	// default; suits a single ingestion goroutine).
+	OrderGlobal = core.OrderGlobal
+	// OrderPerEdge requires monotone time only per sensing-edge
+	// direction — the in-network model, where each sensor orders only its
+	// own crossings — and lets concurrent writers ingest disjoint edge
+	// stripes without coordination.
+	OrderPerEdge = core.OrderPerEdge
+)
+
+// DefaultPlanCacheCapacity is the serving engine's default compiled-plan
+// cache size (entries); SetPlanCacheCapacity overrides it, 0 disables.
+const DefaultPlanCacheCapacity = query.DefaultPlanCacheCapacity
 
 // Trace phases: indices into SlowQuery.Phases and the per-phase latency
 // histograms (query.phase.*).
@@ -270,6 +291,7 @@ var (
 	sysEpsSpent      = obs.Default.Gauge("stq.privacy_epsilon_spent")
 	sysEvents        = obs.Default.Counter("stq.events_ingested")
 	sysRebuilds      = obs.Default.Counter("stq.engine_rebuilds")
+	sysEpoch         = obs.Default.Gauge("stq.serving_epoch")
 )
 
 // EnableObservability turns on the process-wide instrumentation:
@@ -343,6 +365,12 @@ type System struct {
 	acct            *privacy.Accountant
 	// plan, when non-nil, degrades every query (ApplyFaults).
 	plan *faults.Plan
+	// planCacheCap is the plan-cache capacity applied to every rebuilt
+	// engine (SetPlanCacheCapacity; 0 disables caching).
+	planCacheCap int
+
+	// epoch counts serving-state publications (ServingEpoch).
+	epoch atomic.Uint64
 }
 
 // servingState is the immutable snapshot of everything Query reads. A
@@ -356,7 +384,11 @@ type servingState struct {
 
 // NewSystem wraps an existing world.
 func NewSystem(w *roadnet.World) *System {
-	s := &System{world: w, store: core.NewStore(w)}
+	s := &System{
+		world:        w,
+		store:        core.NewStore(w),
+		planCacheCap: query.DefaultPlanCacheCapacity,
+	}
 	s.rebuild()
 	return s
 }
@@ -413,10 +445,16 @@ func (s *System) GenerateWorkload(opts MobilityOpts, seed int64) (*Workload, err
 }
 
 // Ingest replays a workload into the tracking forms. The store ingests
-// in batches — one lock acquisition per chunk of events rather than one
-// per event (mobility.BatchRecorder). When learned models are active
-// they are retrained and the engine republished; in-flight queries keep
-// answering on the previous engine until the swap.
+// in batches — one lock-stripe acquisition set per chunk of events
+// rather than one per event (mobility.BatchRecorder).
+//
+// With exact forms (no learned models) ingestion is invisible to the
+// serving configuration: the engine reads the live store, so new events
+// are answerable immediately and the engine — including its query-plan
+// cache — survives untouched (ingestion alone never evicts a plan).
+// When learned models are active they are retrained and the engine
+// republished; in-flight queries keep answering on the previous engine
+// until the swap.
 func (s *System) Ingest(wl *Workload) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -426,8 +464,8 @@ func (s *System) Ingest(wl *Workload) error {
 	sysEvents.AddInt(len(wl.Events))
 	if s.trainer != nil {
 		s.learnt = learned.FromExact(s.store, s.trainer)
+		s.rebuild()
 	}
-	s.rebuild()
 	return nil
 }
 
@@ -458,6 +496,47 @@ func (s *System) RecordEnter(gateway NodeID, t float64) error {
 func (s *System) RecordLeave(gateway NodeID, t float64) error {
 	return s.store.RecordLeave(gateway, t)
 }
+
+// SetIngestOrdering selects the event-time ordering contract enforced by
+// ingestion: OrderGlobal (the default) validates one globally monotone
+// stream; OrderPerEdge validates per sensing-edge direction only, which
+// is what lets concurrent RecordBatch callers ingest independently
+// clocked per-sensor streams. Per-direction monotonicity — the
+// invariant the counting theorems' binary searches rest on — is
+// enforced in both modes.
+func (s *System) SetIngestOrdering(o Ordering) { s.store.SetOrdering(o) }
+
+// IngestOrdering returns the current event-time ordering contract.
+func (s *System) IngestOrdering() Ordering { return s.store.GetOrdering() }
+
+// SetPlanCacheCapacity sets the query-plan cache capacity of the serving
+// engine (and of every engine rebuilt after configuration changes).
+// n ≤ 0 disables plan caching. The default is
+// query.DefaultPlanCacheCapacity.
+func (s *System) SetPlanCacheCapacity(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.planCacheCap = n
+	s.rebuild()
+}
+
+// PlanCacheStats reports the serving engine's query-plan cache counters.
+// Counters restart at zero whenever a configuration change rebuilds the
+// engine — that rebuild is exactly the epoch boundary that invalidates
+// every compiled plan.
+func (s *System) PlanCacheStats() PlanCacheStats {
+	return s.serving.Load().engine.PlanCacheStats()
+}
+
+// ServingEpoch returns the number of serving-state publications since
+// construction. It advances on every configuration change (placement,
+// faults, learned models, privacy) and on Ingest only while learned
+// models are active — exact-form ingestion leaves the serving epoch,
+// and therefore the plan cache, untouched.
+func (s *System) ServingEpoch() uint64 { return s.epoch.Load() }
 
 // PlaceSensors selects `budget` communication sensors with a
 // query-oblivious strategy and builds the sampled graph with Delaunay
@@ -559,6 +638,7 @@ func (s *System) rebuild() {
 	} else {
 		engine = query.NewEngine(s.world, counter, lister)
 	}
+	engine.SetPlanCacheCapacity(s.planCacheCap)
 	engine.SetFaultPlan(s.plan)
 	sysRebuilds.Inc()
 	s.publish(engine)
@@ -572,6 +652,7 @@ func (s *System) publish(engine *query.Engine) {
 		releaser:        s.releaser,
 		perQueryEpsilon: s.perQueryEpsilon,
 	})
+	sysEpoch.Set(float64(s.epoch.Add(1)))
 }
 
 // ApplyFaults compiles a deterministic failure plan against the sensing

@@ -147,6 +147,100 @@ func TestConcurrentQueryRecordBatchClearFaults(t *testing.T) {
 	qwg.Wait()
 }
 
+// TestConcurrentPlanCacheChurn hammers the plan cache from every angle
+// at once: query workers cycling a small rect pool (so cache hits are
+// the common case), sharded batch ingestion advancing the store, and
+// mutators that churn placement, fault plans, and the cache capacity —
+// each an epoch boundary that swaps the engine and drops every compiled
+// plan while hits are being served from the old one.
+func TestConcurrentPlanCacheChurn(t *testing.T) {
+	sys, wl := newTestSystem(t)
+	stop := make(chan struct{})
+	var qwg, mwg sync.WaitGroup
+
+	// Query workers over a shared 3-rect pool: repeats force cache hits.
+	pool := []Rect{centered(sys, 0.3), centered(sys, 0.5), centered(sys, 0.7)}
+	for w := 0; w < 3; w++ {
+		qwg.Add(1)
+		go func(w int) {
+			defer qwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sys.Query(Query{
+					Rect: pool[(w+i)%len(pool)],
+					T1:   wl.Horizon * 0.3, T2: wl.Horizon * 0.7,
+					Kind: Kind(i % 3),
+				}); err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+				_ = sys.PlanCacheStats()
+			}
+		}(w)
+	}
+
+	// Batch-ingestion worker, post-horizon and time-ordered.
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		road := EdgeID(0)
+		from := sys.World().Star.Edge(road).U
+		for i := 0; i < 25; i++ {
+			base := wl.Horizon + float64(i+1)*16
+			events := make([]Event, 0, 16)
+			for j := 0; j < 16; j++ {
+				events = append(events, MoveEvent(road, from, base+float64(j)/16))
+			}
+			if err := sys.RecordBatch(events); err != nil {
+				t.Errorf("concurrent RecordBatch: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Placement churn: each call republishes the engine with a fresh
+	// (empty) plan cache while queries hold the old engine.
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for i := 0; i < 15; i++ {
+			if err := sys.PlaceSensors(PlacementQuadTree, 32, int64(i)); err != nil {
+				t.Errorf("concurrent PlaceSensors: %v", err)
+				return
+			}
+			sys.ClearPlacement()
+		}
+	}()
+
+	// Fault churn plus cache-capacity flips (0 disables, then re-enable).
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		spec := FaultSpec{Seed: 7, SensorCrash: 0.1, DropProb: 0.05, MaxRetries: 2}
+		for i := 0; i < 10; i++ {
+			if err := sys.ApplyFaults(spec); err != nil {
+				t.Errorf("concurrent ApplyFaults: %v", err)
+				return
+			}
+			sys.ClearFaults()
+			sys.SetPlanCacheCapacity(0)
+			sys.SetPlanCacheCapacity(64)
+		}
+	}()
+
+	mwg.Wait()
+	close(stop)
+	qwg.Wait()
+
+	if epoch := sys.ServingEpoch(); epoch == 0 {
+		t.Error("serving epoch never advanced under churn")
+	}
+}
+
 // TestIngestVisibleToSubsequentQueries checks publication semantics:
 // events ingested concurrently become visible to queries after
 // RecordBatch returns (the store is shared; no engine republish is
