@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal experiments examples fmt vet clean
 
 all: build test
 
@@ -16,9 +16,11 @@ test-race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'TestTortureCrashRecovery' ./internal/wal
 	$(GO) run ./cmd/stqbench -faults -quick -faults-out ""
 	$(GO) run ./cmd/stqbench -obs -quick -obs-out ""
 	$(GO) run ./cmd/stqbench -concurrent -quick -concurrent-out ""
+	$(GO) run ./cmd/stqbench -wal -quick -wal-out ""
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -44,6 +46,12 @@ bench-obs:
 # 2x speedup at 8.
 bench-concurrent:
 	$(GO) run ./cmd/stqbench -concurrent -concurrent-out BENCH_concurrent.json
+
+# Durability sweep: sustained durable-append rate, append-latency
+# percentiles, recovery and checkpoint time per fsync policy; fails
+# below 50k events/s with interval fsync.
+bench-wal:
+	$(GO) run ./cmd/stqbench -wal -wal-out BENCH_wal.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

@@ -6,6 +6,13 @@
 // Lines that are not benchmark results (goos/pkg headers, PASS/ok
 // trailers) are skipped. Fields bytes_per_op and allocs_per_op are -1
 // when the run did not use -benchmem.
+//
+// With -gates it instead reads stqbench gate files (BENCH_obs.json,
+// BENCH_concurrent.json, BENCH_wal.json, ...) given as arguments,
+// prints a one-line verdict per file — plus the per-policy breakdown
+// for durability (WAL) results — and exits non-zero if any gate failed:
+//
+//	go run ./cmd/benchjson -gates BENCH_wal.json BENCH_obs.json
 package main
 
 import (
@@ -27,6 +34,13 @@ type Result struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-gates" {
+		if err := runGates(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	results, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -38,6 +52,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runGates reads each stqbench gate file, prints its verdict, and
+// returns an error when any gate failed. Every gate file carries a
+// top-level "pass" bool; the durability sweep (BENCH_wal.json) also
+// carries a per-fsync-policy breakdown that is summarized here.
+func runGates(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-gates needs at least one BENCH_*.json path")
+	}
+	failed := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var gate struct {
+			Pass     *bool `json:"pass"`
+			Policies []struct {
+				Policy       string  `json:"policy"`
+				EventsPerSec float64 `json:"events_per_sec"`
+				RecoveryMs   float64 `json:"recovery_ms"`
+				Fsyncs       uint64  `json:"fsyncs"`
+				Verified     bool    `json:"verified"`
+			} `json:"policies"`
+			IntervalEventsPerSec float64 `json:"interval_events_per_sec"`
+			Threshold            float64 `json:"threshold"`
+		}
+		if err := json.Unmarshal(data, &gate); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if gate.Pass == nil {
+			return fmt.Errorf("%s: no \"pass\" field; not an stqbench gate file", path)
+		}
+		verdict := "PASS"
+		if !*gate.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s: %s", path, verdict)
+		if len(gate.Policies) > 0 {
+			fmt.Printf("  (interval %.0f events/s, gate %.0f)", gate.IntervalEventsPerSec, gate.Threshold)
+		}
+		fmt.Println()
+		for _, p := range gate.Policies {
+			fmt.Printf("  fsync=%-8s %10.0f events/s  %6d fsyncs  recovery %6.1fms  verified %v\n",
+				p.Policy, p.EventsPerSec, p.Fsyncs, p.RecoveryMs, p.Verified)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d gate(s) failed", failed)
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) ([]Result, error) {

@@ -10,6 +10,7 @@
 //	stqbench -faults                 # fault-injection sweep → BENCH_faults.json
 //	stqbench -obs                    # observability overhead gate → BENCH_obs.json
 //	stqbench -concurrent             # mixed ingest+query scaling → BENCH_concurrent.json
+//	stqbench -wal                    # WAL fsync-policy sweep → BENCH_wal.json
 //	stqbench -serve :8080 -exp all   # live /metrics + /debug/pprof while running
 //
 // Experiment IDs: fig11a fig11b fig11c fig11d fig11e fig12a fig12b
@@ -40,6 +41,8 @@ func main() {
 		obsOut    = flag.String("obs-out", "BENCH_obs.json", "output path for the obs gate (empty = stdout only)")
 		conc      = flag.Bool("concurrent", false, "run the mixed ingest+query concurrency benchmark instead of the figures")
 		concOut   = flag.String("concurrent-out", "BENCH_concurrent.json", "output path for the concurrency benchmark (empty = stdout only)")
+		walBench  = flag.Bool("wal", false, "run the durability (WAL fsync-policy) benchmark instead of the figures")
+		walOut    = flag.String("wal-out", "BENCH_wal.json", "output path for the durability benchmark (empty = stdout only)")
 		serve     = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	)
 	flag.Parse()
@@ -55,6 +58,13 @@ func main() {
 	}
 	if *conc {
 		if err := runConcurrentBench(*seed, *queries, *quick, *concOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *walBench {
+		if err := runWalBench(*seed, *quick, *walOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)
 			os.Exit(1)
 		}

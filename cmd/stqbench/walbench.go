@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+)
+
+// This file implements `stqbench -wal`: the durability benchmark of the
+// write-ahead log and checkpoint/recovery path (BENCH_wal.json).
+//
+// One identical batched event stream is appended through the full
+// durable ingestion path (store apply + WAL append) under each fsync
+// policy — always, interval, never — then the system is closed, the
+// directory recovered with OpenDurable, and the recovered store
+// verified against the writer (event count plus spot query answers).
+// The gate fails the run when the interval policy — the default — does
+// not sustain walEventsPerSecGate appended events per second.
+
+const walEventsPerSecGate = 50000.0
+
+// walPolicyResult is one fsync policy's measurement.
+type walPolicyResult struct {
+	Policy string `json:"policy"`
+	// EventsPerSec is the sustained durable ingestion rate: batches
+	// applied + appended + final sync, divided into total events.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AppendP50Us / AppendP99Us are per-batch append-latency percentiles
+	// in microseconds (apply + log, one batch per sample).
+	AppendP50Us float64 `json:"append_p50_us"`
+	AppendP99Us float64 `json:"append_p99_us"`
+	// Fsyncs is the wal.fsyncs counter delta over the append phase.
+	Fsyncs uint64 `json:"fsyncs"`
+	// LogBytes is the byte size of the log written by the append phase.
+	LogBytes uint64 `json:"log_bytes"`
+	// RecoveryMs is the wall time of OpenDurable over the closed
+	// directory (checkpoint load + full log replay + engine publish).
+	RecoveryMs float64 `json:"recovery_ms"`
+	// RecoveredEvents is the event count after recovery.
+	RecoveredEvents int `json:"recovered_events"`
+	// CheckpointMs is the wall time of Checkpoint on the recovered
+	// system (snapshot export + serialize + fsync + log truncation).
+	CheckpointMs float64 `json:"checkpoint_ms"`
+	// Verified reports that the recovered system matched the writer
+	// bit-for-bit on event count and spot queries.
+	Verified bool `json:"verified"`
+}
+
+// walResult is the machine-readable output (BENCH_wal.json).
+type walResult struct {
+	Seed      int64             `json:"seed"`
+	Grid      string            `json:"grid"`
+	Batches   int               `json:"batches"`
+	BatchLen  int               `json:"batch_len"`
+	Events    int               `json:"events"`
+	Policies  []walPolicyResult `json:"policies"`
+	Threshold float64           `json:"threshold"`
+	// IntervalEventsPerSec is the gated number: sustained events/s under
+	// the default (interval) fsync policy.
+	IntervalEventsPerSec float64 `json:"interval_events_per_sec"`
+	Pass                 bool    `json:"pass"`
+}
+
+// walBenchBatches synthesizes a batched, globally time-ordered event
+// stream cycling over every road, so the append path is measured
+// without mobility-generation noise.
+func walBenchBatches(w *roadnet.World, batches, batchLen int, seed int64) [][]stq.Event {
+	rng := rand.New(rand.NewSource(seed))
+	tm := 0.0
+	out := make([][]stq.Event, batches)
+	road := 0
+	for i := range out {
+		batch := make([]stq.Event, batchLen)
+		for j := range batch {
+			tm += 0.001 + rng.Float64()*0.01
+			e := w.Star.Edge(stq.EdgeID(road))
+			batch[j] = stq.MoveEvent(stq.EdgeID(road), e.U, tm)
+			road = (road + 1) % w.Star.NumEdges()
+		}
+		out[i] = batch
+	}
+	return out
+}
+
+// walVerify compares writer and recovered systems: event counts and a
+// grid of spot queries must match exactly.
+func walVerify(writer, recovered *stq.System, horizon float64) (bool, error) {
+	if writer.NumEvents() != recovered.NumEvents() {
+		return false, nil
+	}
+	b := writer.Bounds()
+	for _, frac := range []float64{0.4, 0.8} {
+		c := b.Center()
+		wd, ht := b.Width()*frac, b.Height()*frac
+		rect := stq.Rect{
+			Min: stq.Point{X: c.X - wd/2, Y: c.Y - ht/2},
+			Max: stq.Point{X: c.X + wd/2, Y: c.Y + ht/2},
+		}
+		for _, kind := range []stq.Kind{stq.Snapshot, stq.Transient, stq.Static} {
+			q := stq.Query{Rect: rect, T1: horizon * 0.3, T2: horizon * 0.9, Kind: kind}
+			rw, err := writer.Query(q)
+			if err != nil {
+				return false, err
+			}
+			rg, err := recovered.Query(q)
+			if err != nil {
+				return false, err
+			}
+			if rw.Count != rg.Count || rw.Missed != rg.Missed {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// runWalBench measures every fsync policy and writes BENCH_wal.json.
+// The run fails (non-zero exit) on a verification mismatch or when the
+// interval policy misses the sustained-append gate.
+func runWalBench(seed int64, quick bool, outPath string) error {
+	batches, batchLen := 2000, 100
+	grid := stq.GridOpts{NX: 12, NY: 12, Spacing: 50, Jitter: 0.2}
+	gridName := "12x12"
+	if quick {
+		batches, batchLen = 300, 50
+		grid = stq.GridOpts{NX: 8, NY: 8, Spacing: 50, Jitter: 0.2}
+		gridName = "8x8"
+	}
+	world, err := roadnet.GridCity(grid, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	stream := walBenchBatches(world, batches, batchLen, seed)
+	horizon := 0.0
+	for _, ev := range stream[len(stream)-1] {
+		if ev.T > horizon {
+			horizon = ev.T
+		}
+	}
+	fmt.Printf("wal bench: %s grid, %d batches × %d events, policies always/interval/never\n",
+		gridName, batches, batchLen)
+
+	obs.Enable()
+	defer obs.Disable()
+	fsyncs := obs.Default.Counter("wal.fsyncs")
+	appendBytes := obs.Default.Counter("wal.append_bytes")
+
+	res := walResult{
+		Seed: seed, Grid: gridName,
+		Batches: batches, BatchLen: batchLen, Events: batches * batchLen,
+		Threshold: walEventsPerSecGate,
+	}
+	for _, policy := range []stq.SyncPolicy{stq.SyncAlways, stq.SyncInterval, stq.SyncNever} {
+		dir, err := os.MkdirTemp("", "stqbench-wal-*")
+		if err != nil {
+			return err
+		}
+		pr, err := runWalPolicy(world, dir, policy, stream, horizon, fsyncs, appendBytes)
+		os.RemoveAll(dir)
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", policy, err)
+		}
+		res.Policies = append(res.Policies, pr)
+		fmt.Printf("%-9s %9.0f events/s  append p50 %6.1fµs p99 %6.1fµs  fsyncs %6d  recovery %6.1fms  checkpoint %5.1fms  verified %v\n",
+			pr.Policy, pr.EventsPerSec, pr.AppendP50Us, pr.AppendP99Us, pr.Fsyncs, pr.RecoveryMs, pr.CheckpointMs, pr.Verified)
+		if !pr.Verified {
+			return fmt.Errorf("policy %s: recovered system does not match the writer", policy)
+		}
+		if policy == stq.SyncInterval {
+			res.IntervalEventsPerSec = pr.EventsPerSec
+		}
+	}
+	res.Pass = res.IntervalEventsPerSec >= walEventsPerSecGate
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !res.Pass {
+		return fmt.Errorf("interval-fsync append rate %.0f events/s below the %.0f gate",
+			res.IntervalEventsPerSec, walEventsPerSecGate)
+	}
+	return nil
+}
+
+// runWalPolicy measures one fsync policy on a fresh directory.
+func runWalPolicy(world *roadnet.World, dir string, policy stq.SyncPolicy, stream [][]stq.Event, horizon float64, fsyncs, appendBytes *obs.Counter) (walPolicyResult, error) {
+	pr := walPolicyResult{Policy: policy.String()}
+	sys, err := stq.OpenDurable(world, stq.Durability{Dir: dir, Sync: policy})
+	if err != nil {
+		return pr, err
+	}
+	fsync0, bytes0 := fsyncs.Value(), appendBytes.Value()
+	lats := make([]time.Duration, 0, len(stream))
+	start := time.Now()
+	for _, batch := range stream {
+		t0 := time.Now()
+		if err := sys.RecordBatch(batch); err != nil {
+			return pr, err
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	if err := sys.SyncWAL(); err != nil {
+		return pr, err
+	}
+	elapsed := time.Since(start)
+	pr.Fsyncs = fsyncs.Value() - fsync0
+	pr.LogBytes = appendBytes.Value() - bytes0
+	events := 0
+	for _, b := range stream {
+		events += len(b)
+	}
+	pr.EventsPerSec = float64(events) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))].Nanoseconds()) / 1e3
+	}
+	pr.AppendP50Us, pr.AppendP99Us = pct(0.50), pct(0.99)
+	if err := sys.Close(); err != nil {
+		return pr, err
+	}
+
+	t0 := time.Now()
+	re, err := stq.OpenDurable(world, stq.Durability{Dir: dir, Sync: policy})
+	if err != nil {
+		return pr, err
+	}
+	pr.RecoveryMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	pr.RecoveredEvents = re.NumEvents()
+	ok, err := walVerify(sys, re, horizon)
+	if err != nil {
+		return pr, err
+	}
+	pr.Verified = ok
+
+	t0 = time.Now()
+	if err := re.Checkpoint(); err != nil {
+		return pr, err
+	}
+	pr.CheckpointMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	return pr, re.Close()
+}

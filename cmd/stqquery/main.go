@@ -10,6 +10,13 @@
 // REPL (one query per line: kind x1 y1 x2 y2 t1 t2):
 //
 //	stqquery -in world.json -repl
+//
+// Durable state (-state): the bundle's events are ingested once into a
+// write-ahead-logged, checkpointed store rooted at the given directory;
+// later invocations recover the counts from disk instead of re-reading
+// the bundle's event stream:
+//
+//	stqquery -in world.json -state ./qstate -kind snapshot -rect 0,0,500,500 -t1 7200
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	stq "repro"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -44,6 +52,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "placement seed")
 		repl      = flag.Bool("repl", false, "read queries from stdin")
 		metrics   = flag.Bool("metrics", false, "dump observability metrics (Prometheus text) to stderr on exit")
+		state     = flag.String("state", "", "durable state directory (WAL + checkpoints); counts persist across invocations")
 	)
 	flag.Parse()
 	if *metrics {
@@ -54,10 +63,111 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*in, *kind, *rectSpec, *t1, *t2, *sensors, *placement, *bound, *seed, *repl); err != nil {
+	var err error
+	if *state != "" {
+		err = runDurable(*state, *in, *kind, *rectSpec, *t1, *t2, *sensors, *placement, *bound, *seed, *repl)
+	} else {
+		err = run(*in, *kind, *rectSpec, *t1, *t2, *sensors, *placement, *bound, *seed, *repl)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stqquery:", err)
 		os.Exit(1)
 	}
+}
+
+// runDurable serves queries from a durable system rooted at stateDir.
+// The first invocation ingests the bundle's workload and checkpoints
+// it; every later invocation recovers the counts from the state
+// directory and skips bundle ingestion entirely.
+func runDurable(stateDir, in, kindName, rectSpec string, t1, t2 float64, sensors int, placement, boundName string, seed int64, repl bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	world, wl, err := worldio.Load(f)
+	if err != nil {
+		return err
+	}
+	sys, err := stq.OpenDurable(world, stq.Durability{Dir: stateDir})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if sys.NumEvents() == 0 {
+		if err := sys.Ingest(wl); err != nil {
+			return err
+		}
+		if err := sys.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("state %s initialized: %d events ingested and checkpointed\n", stateDir, sys.NumEvents())
+	} else {
+		fmt.Printf("state %s recovered: %d events (bundle event stream skipped)\n", stateDir, sys.NumEvents())
+	}
+	fmt.Printf("loaded %s: %d junctions, horizon %.0fs\n", in, world.NumJunctions(), wl.Horizon)
+
+	if sensors > 0 {
+		p, err := placementByName(placement)
+		if err != nil {
+			return err
+		}
+		if err := sys.PlaceSensors(p, sensors, seed); err != nil {
+			return err
+		}
+		fmt.Printf("sampled graph: %d communication sensors\n", sys.NumCommunicationSensors())
+	}
+	bound := sampled.Lower
+	if boundName == "upper" {
+		bound = sampled.Upper
+	} else if boundName != "lower" {
+		return fmt.Errorf("unknown bound %q", boundName)
+	}
+	ask := func(rect geom.Rect, k query.Kind, t1, t2 float64) error {
+		resp, err := sys.Query(stq.Query{Rect: rect, T1: t1, T2: t2, Kind: k, Bound: bound})
+		if err != nil {
+			return err
+		}
+		if resp.Missed {
+			fmt.Printf("%s: MISS (sampled graph does not cover the region)\n", k)
+			return nil
+		}
+		fmt.Printf("%s: count=%.0f  faces=%d  sensors=%d  messages=%d  hops=%d  edges=%d\n",
+			k, resp.Count, resp.RegionFaces,
+			resp.NodesAccessed, resp.Messages, resp.Hops, resp.EdgesAccessed)
+		return nil
+	}
+	if repl {
+		return replLoop(ask)
+	}
+	if rectSpec == "" {
+		return fmt.Errorf("-rect required (or use -repl)")
+	}
+	rect, err := parseRect(rectSpec)
+	if err != nil {
+		return err
+	}
+	k, err := kindByName(kindName)
+	if err != nil {
+		return err
+	}
+	return ask(rect, k, t1, t2)
+}
+
+func placementByName(s string) (stq.Placement, error) {
+	switch s {
+	case "uniform":
+		return stq.PlacementUniform, nil
+	case "systematic":
+		return stq.PlacementSystematic, nil
+	case "stratified":
+		return stq.PlacementStratified, nil
+	case "kdtree":
+		return stq.PlacementKDTree, nil
+	case "quadtree":
+		return stq.PlacementQuadTree, nil
+	}
+	return 0, fmt.Errorf("unknown placement %q", s)
 }
 
 func run(in, kindName, rectSpec string, t1, t2 float64, sensors int, placement, boundName string, seed int64, repl bool) error {
@@ -105,7 +215,9 @@ func run(in, kindName, rectSpec string, t1, t2 float64, sensors int, placement, 
 	}
 
 	if repl {
-		return runREPL(eng, bound)
+		return replLoop(func(rect geom.Rect, k query.Kind, t1, t2 float64) error {
+			return answer(eng, query.Request{Rect: rect, T1: t1, T2: t2, Kind: k, Bound: bound})
+		})
 	}
 	if rectSpec == "" {
 		return fmt.Errorf("-rect required (or use -repl)")
@@ -121,7 +233,9 @@ func run(in, kindName, rectSpec string, t1, t2 float64, sensors int, placement, 
 	return answer(eng, query.Request{Rect: rect, T1: t1, T2: t2, Kind: k, Bound: bound})
 }
 
-func runREPL(eng *query.Engine, bound sampled.Bound) error {
+// replLoop reads one query per stdin line and hands it to ask; both the
+// engine-backed and durable-system paths serve through it.
+func replLoop(ask func(rect geom.Rect, k query.Kind, t1, t2 float64) error) error {
 	fmt.Println("enter queries: <kind> <x1> <y1> <x2> <y2> <t1> <t2>   (EOF to quit)")
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
@@ -153,8 +267,7 @@ func runREPL(eng *query.Engine, bound sampled.Bound) error {
 			continue
 		}
 		rect := geom.NewRect(geom.Pt(nums[0], nums[1]), geom.Pt(nums[2], nums[3]))
-		if err := answer(eng, query.Request{
-			Rect: rect, T1: nums[4], T2: nums[5], Kind: k, Bound: bound}); err != nil {
+		if err := ask(rect, k, nums[4], nums[5]); err != nil {
 			fmt.Println(err)
 		}
 	}

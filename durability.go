@@ -1,0 +1,184 @@
+package stq
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/learned"
+	"repro/internal/roadnet"
+	"repro/internal/wal"
+)
+
+// SyncPolicy selects when durable appends reach stable storage
+// (internal/wal, DESIGN.md §11).
+type SyncPolicy = wal.SyncPolicy
+
+// Fsync policies for Durability.Sync.
+const (
+	// SyncInterval (the default) fsyncs at most once per SyncEvery.
+	SyncInterval = wal.SyncInterval
+	// SyncAlways fsyncs after every append.
+	SyncAlways = wal.SyncAlways
+	// SyncNever leaves persistence timing to the OS.
+	SyncNever = wal.SyncNever
+)
+
+// Durability configures the opt-in durability subsystem: a segmented,
+// CRC32C-framed write-ahead log plus versioned checkpoints, rooted at
+// Dir. See OpenDurable.
+type Durability struct {
+	// Dir is the directory holding the log segments and checkpoints.
+	// It is created if missing.
+	Dir string
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery bounds the fsync interval under SyncInterval
+	// (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rolls the active log segment when it would exceed
+	// this size (default 8 MiB).
+	SegmentBytes int64
+}
+
+// OpenDurable wraps a world in a durable System: every ingested batch
+// is appended to the write-ahead log in cfg.Dir, and previously logged
+// state is recovered first. Recovery loads the newest valid checkpoint,
+// replays the surviving log tail — tolerating a torn or truncated final
+// record — and produces a store whose query answers are bit-identical
+// to the pre-crash system over the recovered event prefix.
+//
+// The world must be the same world the directory's history was recorded
+// against: checkpoints and log records reference roads and gateways by
+// ID. Restoring against a world with fewer roads fails validation;
+// matching worlds is the caller's contract (persist the world alongside,
+// e.g. with worldio).
+//
+// Restore publishes a fresh serving engine and advances ServingEpoch
+// strictly past the checkpointed epoch, so no query plan cached before
+// the crash — or compiled by a previous incarnation — can be served
+// against the recovered store.
+func OpenDurable(w *roadnet.World, cfg Durability) (*System, error) {
+	l, rec, err := wal.Open(cfg.Dir, wal.Options{
+		Sync:         cfg.Sync,
+		SyncEvery:    cfg.SyncEvery,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := NewSystem(w)
+	if err := s.restoreRecovered(rec); err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.dlog = l
+	return s, nil
+}
+
+// restoreRecovered installs recovered durable state into a freshly
+// constructed system: checkpoint snapshot, then the log tail replayed
+// in LSN order, then one rebuild that republishes the serving engine.
+func (s *System) restoreRecovered(rec *wal.Recovered) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The final ordering contract is the checkpointed one advanced by any
+	// logged ordering changes. Replay itself always runs under
+	// OrderPerEdge: the log records batches in apply order, and any
+	// successfully applied sequence is per-form monotone in that order,
+	// even if part of it was ingested under the (stricter) global mode.
+	finalOrdering := core.OrderGlobal
+	if ck := rec.Checkpoint; ck != nil {
+		if err := s.store.RestoreSnapshot(ck.Snapshot); err != nil {
+			return fmt.Errorf("stq: restoring checkpoint: %w", err)
+		}
+		finalOrdering = ck.Snapshot.Ordering
+		if e := s.epoch.Load(); ck.ServingEpoch > e {
+			s.epoch.Store(ck.ServingEpoch)
+		}
+	}
+	s.store.SetOrdering(core.OrderPerEdge)
+	for _, r := range rec.Records {
+		if r.IsOrdering {
+			finalOrdering = r.Ordering
+			continue
+		}
+		if err := s.store.RecordBatch(r.Events); err != nil {
+			return fmt.Errorf("stq: replaying log record %d: %w", r.LSN, err)
+		}
+	}
+	s.store.SetOrdering(finalOrdering)
+	if s.trainer != nil {
+		// Learned-model buffers are deliberately not checkpointed: they
+		// are a deterministic function of the exact store, so recovery
+		// retrains rather than persists (DESIGN.md §11).
+		s.learnt = learned.FromExact(s.store, s.trainer)
+	}
+	// Publish a fresh engine: ServingEpoch moves strictly past the
+	// checkpointed epoch and the new engine starts with an empty query-
+	// plan cache, so stale pre-crash plans can never be served.
+	s.rebuild()
+	return nil
+}
+
+// Durable reports whether the system was opened with OpenDurable.
+func (s *System) Durable() bool { return s.dlog != nil }
+
+// NumEvents returns the number of events currently in the store
+// (recovered plus newly ingested).
+func (s *System) NumEvents() int { return s.store.NumEvents() }
+
+// recordDurable applies one atomic batch and logs it. The dmu critical
+// section covers both, so log order always equals apply order — the
+// invariant recovery's replay depends on. Apply runs first because it
+// performs all validation; if the subsequent append fails the batch is
+// live in memory but not durable, and the error says so.
+func (s *System) recordDurable(events []Event) error {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	if err := s.store.RecordBatch(events); err != nil {
+		return err
+	}
+	sysEvents.AddInt(len(events))
+	if _, err := s.dlog.AppendBatch(events); err != nil {
+		return fmt.Errorf("stq: batch applied in memory but not logged: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint serializes the full store state beside the log and
+// truncates the log prefix the checkpoint covers. The snapshot is taken
+// with ingestion paused (the dmu critical section), so it corresponds
+// exactly to the log position it is stamped with. After a successful
+// checkpoint, recovery replays only records appended afterwards.
+func (s *System) Checkpoint() error {
+	if s.dlog == nil {
+		return fmt.Errorf("stq: Checkpoint requires a durable system (OpenDurable)")
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	snap := s.store.ExportSnapshot()
+	return s.dlog.WriteCheckpoint(snap, s.epoch.Load())
+}
+
+// SyncWAL forces every acknowledged append to stable storage,
+// regardless of the configured fsync policy. No-op on non-durable
+// systems.
+func (s *System) SyncWAL() error {
+	if s.dlog == nil {
+		return nil
+	}
+	return s.dlog.Sync()
+}
+
+// Close flushes and closes the write-ahead log. The system keeps
+// serving queries, but further ingestion fails. No-op on non-durable
+// systems.
+func (s *System) Close() error {
+	if s.dlog == nil {
+		return nil
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.dlog.Close()
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/planar"
+)
+
+// This file implements the snapshot export/import hooks of the
+// durability subsystem (internal/wal, DESIGN.md §11): a consistent,
+// world-independent copy of every tracking form and world-edge event
+// list, serializable by the checkpoint writer and restorable into a
+// fresh store such that query answers are bit-identical to the store
+// the snapshot was taken from.
+
+// StoreSnapshot is a point-in-time copy of a Store's entire counting
+// state: the ordering contract, the clock, the event count, and every
+// non-empty tracking form and gateway event list. Roads and Gateways
+// are sorted ascending by ID; timestamp slices are non-decreasing.
+//
+// An exported snapshot shares its timestamp slices with the live store
+// (they are immutable up to the captured lengths), so holders must
+// treat it as read-only.
+type StoreSnapshot struct {
+	Ordering Ordering
+	Clock    float64
+	Events   int64
+	Roads    []RoadForms
+	Gateways []GatewayEvents
+}
+
+// RoadForms is the (γ⁺, γ⁻) pair of one road: crossing timestamps in
+// the road's U→V (Fwd) and V→U (Rev) directions.
+type RoadForms struct {
+	Road     planar.EdgeID
+	Fwd, Rev []float64
+}
+
+// GatewayEvents is the world-edge event history of one gateway
+// junction: entry (In) and exit (Out) timestamps.
+type GatewayEvents struct {
+	Gateway planar.NodeID
+	In, Out []float64
+}
+
+// ExportSnapshot captures a globally consistent cut of the store: all
+// write stripes are locked for the duration of the pointer capture, so
+// the snapshot corresponds to one instant of the serialized write
+// history — exactly what the checkpoint writer needs to pair the
+// snapshot with a log sequence number. The capture itself copies only
+// slice headers (published tracking forms are immutable), so the
+// stop-the-writers window is O(roads), not O(events).
+func (s *Store) ExportSnapshot() *StoreSnapshot {
+	for i := range s.shards {
+		s.shards[i].lock()
+	}
+	snap := &StoreSnapshot{
+		Ordering: s.GetOrdering(),
+		Clock:    s.Clock(),
+		Events:   s.events.Load(),
+	}
+	for road := range s.roads {
+		if tr := s.roads[road].Load(); tr != nil && tr.Len() > 0 {
+			snap.Roads = append(snap.Roads, RoadForms{
+				Road: planar.EdgeID(road), Fwd: tr.fwd, Rev: tr.rev,
+			})
+		}
+	}
+	byGateway := make(map[planar.NodeID]*GatewayEvents)
+	for i := range s.shards {
+		wv := s.shards[i].world.Load()
+		for g, ts := range wv.in {
+			gatewayEntry(byGateway, g).In = ts
+		}
+		for g, ts := range wv.out {
+			gatewayEntry(byGateway, g).Out = ts
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	for _, ge := range byGateway {
+		snap.Gateways = append(snap.Gateways, *ge)
+	}
+	sort.Slice(snap.Gateways, func(i, j int) bool {
+		return snap.Gateways[i].Gateway < snap.Gateways[j].Gateway
+	})
+	return snap
+}
+
+func gatewayEntry(m map[planar.NodeID]*GatewayEvents, g planar.NodeID) *GatewayEvents {
+	ge := m[g]
+	if ge == nil {
+		ge = &GatewayEvents{Gateway: g}
+		m[g] = ge
+	}
+	return ge
+}
+
+// RestoreSnapshot installs a snapshot into an empty store. The snapshot
+// is fully validated first — road range, ascending ID order, per-form
+// monotonicity, event-count and clock consistency — so a corrupted
+// checkpoint that slipped past its CRC is rejected, never half-applied.
+// Timestamp slices are copied, so the snapshot may alias another store.
+//
+// A restored store answers every Counter/EventLister/IntervalCounter/
+// BatchCounter call bit-identically to the store the snapshot was
+// exported from: restoration preserves the exact timestamp multiset and
+// per-direction order the counting theorems binary-search over.
+func (s *Store) RestoreSnapshot(snap *StoreSnapshot) error {
+	if n := s.NumEvents(); n != 0 {
+		return fmt.Errorf("core: RestoreSnapshot into a store with %d events (want empty)", n)
+	}
+	var total int64
+	var maxT float64
+	maxT = math.Inf(-1)
+	note := func(ts []float64) { // caller pre-validated monotonicity
+		total += int64(len(ts))
+		if len(ts) > 0 && ts[len(ts)-1] > maxT {
+			maxT = ts[len(ts)-1]
+		}
+	}
+	prevRoad := planar.EdgeID(-1)
+	for _, rf := range snap.Roads {
+		if rf.Road < 0 || int(rf.Road) >= len(s.roads) {
+			return fmt.Errorf("core: snapshot road %d out of range [0,%d)", rf.Road, len(s.roads))
+		}
+		if rf.Road <= prevRoad {
+			return fmt.Errorf("core: snapshot roads not in ascending order at road %d", rf.Road)
+		}
+		prevRoad = rf.Road
+		for _, dir := range [][]float64{rf.Fwd, rf.Rev} {
+			if !sort.Float64sAreSorted(dir) {
+				return fmt.Errorf("core: snapshot road %d has out-of-order timestamps", rf.Road)
+			}
+			note(dir)
+		}
+	}
+	prevGw := planar.NodeID(-1)
+	for _, ge := range snap.Gateways {
+		if ge.Gateway < 0 {
+			return fmt.Errorf("core: snapshot gateway %d negative", ge.Gateway)
+		}
+		if ge.Gateway <= prevGw {
+			return fmt.Errorf("core: snapshot gateways not in ascending order at gateway %d", ge.Gateway)
+		}
+		prevGw = ge.Gateway
+		for _, dir := range [][]float64{ge.In, ge.Out} {
+			if !sort.Float64sAreSorted(dir) {
+				return fmt.Errorf("core: snapshot gateway %d has out-of-order timestamps", ge.Gateway)
+			}
+			note(dir)
+		}
+	}
+	if total != snap.Events {
+		return fmt.Errorf("core: snapshot holds %d timestamps but claims %d events", total, snap.Events)
+	}
+	if total > 0 && snap.Clock < maxT {
+		return fmt.Errorf("core: snapshot clock %v behind max timestamp %v", snap.Clock, maxT)
+	}
+
+	for _, rf := range snap.Roads {
+		tr := &Tracker{fwd: copyTimes(rf.Fwd), rev: copyTimes(rf.Rev)}
+		s.roads[rf.Road].Store(tr)
+	}
+	var views [numShards]*worldView
+	for _, ge := range snap.Gateways {
+		si := shardOfNode(ge.Gateway)
+		wv := views[si]
+		if wv == nil {
+			cur := s.shards[si].world.Load()
+			wv = &worldView{in: cloneWorldMap(cur.in), out: cloneWorldMap(cur.out)}
+			views[si] = wv
+		}
+		if len(ge.In) > 0 {
+			wv.in[ge.Gateway] = copyTimes(ge.In)
+		}
+		if len(ge.Out) > 0 {
+			wv.out[ge.Gateway] = copyTimes(ge.Out)
+		}
+	}
+	for i := range views {
+		if views[i] != nil {
+			s.shards[i].world.Store(views[i])
+		}
+	}
+	s.SetOrdering(snap.Ordering)
+	s.clockBits.Store(math.Float64bits(snap.Clock))
+	s.events.Store(snap.Events)
+	s.gatewayGen.Add(1) // invalidate any memoized world-junction set
+	return nil
+}
+
+func copyTimes(ts []float64) []float64 {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]float64, len(ts))
+	copy(out, ts)
+	return out
+}

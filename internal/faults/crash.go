@@ -1,0 +1,30 @@
+package faults
+
+import "math/rand"
+
+// CrashSchedule extends the package's deterministic failure taxonomy to
+// process crashes: it maps a (seed, crash point) pair to the byte
+// offset at which the durability torture test (internal/wal) cuts the
+// write-ahead log, simulating a kill at an arbitrary instant of an
+// append. Offsets are a pure function of the schedule, so a failing
+// crash point reproduces from its seed alone — the same contract the
+// rest of this package gives the fault sweeps.
+type CrashSchedule struct {
+	// Seed drives every offset of the schedule.
+	Seed int64
+}
+
+// Offset returns the crash offset of point k against a file of the
+// given size, uniform over [0, size]. size (and offset 0) are legal
+// outcomes: a crash exactly at the end loses nothing, a crash at zero
+// loses the whole file — both must recover cleanly.
+func (c CrashSchedule) Offset(k int, size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	// Mix the point index into the seed with a 64-bit odd constant
+	// (SplitMix64's golden-ratio increment) so adjacent points do not
+	// produce correlated rand streams.
+	seed := c.Seed ^ (int64(k)+1)*-0x61c8864680b583eb
+	return rand.New(rand.NewSource(seed)).Int63n(size + 1)
+}

@@ -1,0 +1,41 @@
+package faults
+
+import "testing"
+
+func TestCrashScheduleDeterministic(t *testing.T) {
+	a := CrashSchedule{Seed: 42}
+	b := CrashSchedule{Seed: 42}
+	for k := 0; k < 200; k++ {
+		if got, want := b.Offset(k, 1<<20), a.Offset(k, 1<<20); got != want {
+			t.Fatalf("point %d: %d != %d (same seed must reproduce)", k, got, want)
+		}
+	}
+}
+
+func TestCrashScheduleBoundsAndSpread(t *testing.T) {
+	c := CrashSchedule{Seed: 7}
+	const size = int64(1000)
+	seen := make(map[int64]bool)
+	for k := 0; k < 500; k++ {
+		off := c.Offset(k, size)
+		if off < 0 || off > size {
+			t.Fatalf("point %d: offset %d outside [0,%d]", k, off, size)
+		}
+		seen[off] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("offsets badly clustered: only %d distinct values of 500 draws", len(seen))
+	}
+	if c.Offset(3, 0) != 0 || c.Offset(3, -5) != 0 {
+		t.Fatalf("empty file must crash at offset 0")
+	}
+	// Different seeds disagree somewhere early.
+	d := CrashSchedule{Seed: 8}
+	same := true
+	for k := 0; k < 20 && same; k++ {
+		same = c.Offset(k, size) == d.Offset(k, size)
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+)
+
+// This file implements the checkpoint format: a versioned binary
+// serialization of the full store snapshot, covered end to end by one
+// trailing CRC32C. Layout (all integers little-endian):
+//
+//	magic "STQCKPT1" (8) | version u32 | lsn u64 | serving_epoch u64
+//	| ordering u8 | clock f64bits | events u64
+//	| n_roads u32 | { road u32 | n_fwd u32 | fwd f64bits…
+//	                | n_rev u32 | rev f64bits… }…
+//	| n_gateways u32 | { gateway u32 | n_in u32 | in f64bits…
+//	                   | n_out u32 | out f64bits… }…
+//	| crc32c-of-everything-above u32
+//
+// Checkpoints are written beside the log as ckpt-<lsn>.stq via
+// write-temp → fsync → rename, so partially written checkpoints are
+// never visible under their final name.
+
+const (
+	ckptMagic   = "STQCKPT1"
+	ckptVersion = 1
+)
+
+// Checkpoint pairs a store snapshot with its log position and the
+// serving epoch at capture time.
+type Checkpoint struct {
+	// LSN is the last log record the snapshot includes; recovery skips
+	// logged records at or below it.
+	LSN uint64
+	// ServingEpoch is stq.System's serving epoch when the checkpoint was
+	// taken; restore resumes strictly above it.
+	ServingEpoch uint64
+	Snapshot     *core.StoreSnapshot
+}
+
+func appendTimes(dst []byte, ts []float64) []byte {
+	dst = appendU32(dst, uint32(len(ts)))
+	for _, t := range ts {
+		dst = appendU64(dst, math.Float64bits(t))
+	}
+	return dst
+}
+
+// encodeCheckpoint serializes ck, including the trailing CRC.
+func encodeCheckpoint(ck *Checkpoint) []byte {
+	snap := ck.Snapshot
+	size := 8 + 4 + 8 + 8 + 1 + 8 + 8 + 4 + 4 + 4
+	for _, rf := range snap.Roads {
+		size += 12 + 8*(len(rf.Fwd)+len(rf.Rev))
+	}
+	for _, ge := range snap.Gateways {
+		size += 12 + 8*(len(ge.In)+len(ge.Out))
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, ckptMagic...)
+	buf = appendU32(buf, ckptVersion)
+	buf = appendU64(buf, ck.LSN)
+	buf = appendU64(buf, ck.ServingEpoch)
+	buf = append(buf, byte(snap.Ordering))
+	buf = appendU64(buf, math.Float64bits(snap.Clock))
+	buf = appendU64(buf, uint64(snap.Events))
+	buf = appendU32(buf, uint32(len(snap.Roads)))
+	for _, rf := range snap.Roads {
+		buf = appendU32(buf, uint32(rf.Road))
+		buf = appendTimes(buf, rf.Fwd)
+		buf = appendTimes(buf, rf.Rev)
+	}
+	buf = appendU32(buf, uint32(len(snap.Gateways)))
+	for _, ge := range snap.Gateways {
+		buf = appendU32(buf, uint32(ge.Gateway))
+		buf = appendTimes(buf, ge.In)
+		buf = appendTimes(buf, ge.Out)
+	}
+	return appendU32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// byteReader is a bounds-checked little-endian reader; the first
+// overrun latches err and every later read returns zero.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		r.err = errCorrupt
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *byteReader) times() []float64 {
+	n := int(r.u32())
+	if r.err != nil || n > len(r.b)/8 {
+		r.err = errCorrupt
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(r.u64())
+	}
+	return out
+}
+
+// errFutureVersion distinguishes "written by a newer build" from
+// corruption: recovery must refuse it loudly, not fall back silently.
+type errFutureVersion struct{ version uint32 }
+
+func (e errFutureVersion) Error() string {
+	return fmt.Sprintf("wal: checkpoint format version %d is newer than this build supports (%d)", e.version, ckptVersion)
+}
+
+// decodeCheckpoint parses and CRC-verifies a checkpoint file image.
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic)+4+4 {
+		return nil, errCorrupt
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, errCorrupt
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, errCorrupt
+	}
+	r := &byteReader{b: body, off: len(ckptMagic)}
+	if v := r.u32(); v != ckptVersion {
+		return nil, errFutureVersion{version: v}
+	}
+	ck := &Checkpoint{Snapshot: &core.StoreSnapshot{}}
+	ck.LSN = r.u64()
+	ck.ServingEpoch = r.u64()
+	ck.Snapshot.Ordering = core.Ordering(r.u8())
+	ck.Snapshot.Clock = math.Float64frombits(r.u64())
+	ck.Snapshot.Events = int64(r.u64())
+	nRoads := int(r.u32())
+	for i := 0; i < nRoads && r.err == nil; i++ {
+		rf := core.RoadForms{Road: planar.EdgeID(r.u32())}
+		rf.Fwd = r.times()
+		rf.Rev = r.times()
+		ck.Snapshot.Roads = append(ck.Snapshot.Roads, rf)
+	}
+	nGws := int(r.u32())
+	for i := 0; i < nGws && r.err == nil; i++ {
+		ge := core.GatewayEvents{Gateway: planar.NodeID(r.u32())}
+		ge.In = r.times()
+		ge.Out = r.times()
+		ck.Snapshot.Gateways = append(ck.Snapshot.Gateways, ge)
+	}
+	if r.err != nil || r.off != len(body) {
+		return nil, errCorrupt
+	}
+	return ck, nil
+}
+
+// writeCheckpointFile durably writes ck as ckpt-<lsn>.stq in dir:
+// temp file, fsync, rename, directory fsync.
+func writeCheckpointFile(dir string, ck *Checkpoint) error {
+	data := encodeCheckpoint(ck)
+	final := filepath.Join(dir, ckptName(ck.LSN))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadLatestCheckpoint returns the newest readable checkpoint in dir,
+// or nil when none exists. Corrupt checkpoint files are skipped (with
+// the wal.checkpoints_skipped counter) in favour of older ones — a
+// valid older checkpoint plus the surviving log still recovers a
+// consistent prefix — but a future-version checkpoint is a hard error:
+// the data is present, this build just cannot read it.
+func loadLatestCheckpoint(dir string) (*Checkpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lsns []uint64
+	for _, ent := range entries {
+		if lsn, ok := parseName(ent.Name(), "ckpt-", ".stq"); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	// Newest first.
+	for i := 0; i < len(lsns); i++ {
+		for j := i + 1; j < len(lsns); j++ {
+			if lsns[j] > lsns[i] {
+				lsns[i], lsns[j] = lsns[j], lsns[i]
+			}
+		}
+	}
+	for _, lsn := range lsns {
+		data, err := os.ReadFile(filepath.Join(dir, ckptName(lsn)))
+		if err != nil {
+			mCkptSkipped.Inc()
+			continue
+		}
+		ck, err := decodeCheckpoint(data)
+		if err != nil {
+			var fv errFutureVersion
+			if asFuture(err, &fv) {
+				return nil, err
+			}
+			mCkptSkipped.Inc()
+			continue
+		}
+		return ck, nil
+	}
+	return nil, nil
+}
+
+func asFuture(err error, target *errFutureVersion) bool {
+	fv, ok := err.(errFutureVersion)
+	if ok {
+		*target = fv
+	}
+	return ok
+}

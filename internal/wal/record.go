@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+)
+
+// This file defines the on-disk record format of the log. Every record
+// is framed as
+//
+//	| length uint32 LE | crc32c(payload) uint32 LE | payload |
+//
+// and a payload starts with a one-byte record type followed by the
+// record's 8-byte LSN. CRC32C (Castagnoli) plus the length prefix is
+// what recovery uses to detect torn or truncated tail records: a frame
+// whose declared length overruns the file, or whose checksum does not
+// match, ends the replay at the last valid record (DESIGN.md §11).
+
+// Record types.
+const (
+	// recBatch is an atomic batch of ingestion events.
+	recBatch byte = 1
+	// recOrdering is an ingestion-ordering change (Store.SetOrdering).
+	recOrdering byte = 2
+)
+
+const (
+	frameHeaderSize = 8
+	recHeaderSize   = 1 + 8 // type + LSN
+	// maxRecordBytes bounds a single payload; a larger declared length
+	// is treated as corruption, not an allocation request.
+	maxRecordBytes = 64 << 20
+)
+
+// Wire event kinds are pinned independently of core.EventKind so the
+// log format cannot drift if the in-memory enum is renumbered.
+const (
+	wireEnter byte = 0
+	wireMove  byte = 1
+	wireLeave byte = 2
+)
+
+// Per-event wire sizes: kind byte + 8-byte timestamp + operands.
+const (
+	moveWireBytes  = 1 + 8 + 4 + 4
+	worldWireBytes = 1 + 8 + 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps payload in a length+CRC frame and appends it to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// appendBatchPayload encodes one batch record.
+func appendBatchPayload(dst []byte, lsn uint64, events []core.Event) ([]byte, error) {
+	dst = append(dst, recBatch)
+	dst = appendU64(dst, lsn)
+	dst = appendU32(dst, uint32(len(events)))
+	for i, ev := range events {
+		switch ev.Kind {
+		case core.EventMove:
+			dst = append(dst, wireMove)
+			dst = appendU64(dst, math.Float64bits(ev.T))
+			dst = appendU32(dst, uint32(ev.Road))
+			dst = appendU32(dst, uint32(ev.From))
+		case core.EventEnter, core.EventLeave:
+			k := wireEnter
+			if ev.Kind == core.EventLeave {
+				k = wireLeave
+			}
+			dst = append(dst, k)
+			dst = appendU64(dst, math.Float64bits(ev.T))
+			dst = appendU32(dst, uint32(ev.Gateway))
+		default:
+			return nil, fmt.Errorf("wal: batch event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// appendOrderingPayload encodes one ordering-change record.
+func appendOrderingPayload(dst []byte, lsn uint64, o core.Ordering) []byte {
+	dst = append(dst, recOrdering)
+	dst = appendU64(dst, lsn)
+	return append(dst, byte(o))
+}
+
+// Record is one decoded log record, ready for replay.
+type Record struct {
+	LSN uint64
+	// IsOrdering distinguishes an ordering change from an event batch.
+	IsOrdering bool
+	Ordering   core.Ordering
+	Events     []core.Event
+}
+
+// errCorrupt marks a structurally invalid payload; recovery treats it
+// like a CRC failure (stop at the previous record).
+var errCorrupt = fmt.Errorf("wal: corrupt record payload")
+
+// decodePayload parses a checksummed payload into a Record.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < recHeaderSize {
+		return Record{}, errCorrupt
+	}
+	typ := p[0]
+	lsn := binary.LittleEndian.Uint64(p[1:9])
+	body := p[recHeaderSize:]
+	switch typ {
+	case recOrdering:
+		if len(body) != 1 {
+			return Record{}, errCorrupt
+		}
+		return Record{LSN: lsn, IsOrdering: true, Ordering: core.Ordering(body[0])}, nil
+	case recBatch:
+		if len(body) < 4 {
+			return Record{}, errCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(body[:4]))
+		body = body[4:]
+		if n < 0 || n > maxRecordBytes/worldWireBytes {
+			return Record{}, errCorrupt
+		}
+		events := make([]core.Event, 0, n)
+		for i := 0; i < n; i++ {
+			if len(body) < 1 {
+				return Record{}, errCorrupt
+			}
+			kind := body[0]
+			switch kind {
+			case wireMove:
+				if len(body) < moveWireBytes {
+					return Record{}, errCorrupt
+				}
+				events = append(events, core.MoveEvent(
+					planar.EdgeID(binary.LittleEndian.Uint32(body[9:13])),
+					planar.NodeID(binary.LittleEndian.Uint32(body[13:17])),
+					math.Float64frombits(binary.LittleEndian.Uint64(body[1:9])),
+				))
+				body = body[moveWireBytes:]
+			case wireEnter, wireLeave:
+				if len(body) < worldWireBytes {
+					return Record{}, errCorrupt
+				}
+				t := math.Float64frombits(binary.LittleEndian.Uint64(body[1:9]))
+				g := planar.NodeID(binary.LittleEndian.Uint32(body[9:13]))
+				if kind == wireEnter {
+					events = append(events, core.EnterEvent(g, t))
+				} else {
+					events = append(events, core.LeaveEvent(g, t))
+				}
+				body = body[worldWireBytes:]
+			default:
+				return Record{}, errCorrupt
+			}
+		}
+		if len(body) != 0 {
+			return Record{}, errCorrupt
+		}
+		return Record{LSN: lsn, Events: events}, nil
+	}
+	return Record{}, errCorrupt
+}

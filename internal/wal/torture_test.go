@@ -1,0 +1,238 @@
+package wal_test
+
+// Crash-injection torture test of the durability subsystem: write a
+// batched event stream through the WAL exactly as stq's durable
+// ingestion does ({apply, append} pairs in one serialized order),
+// checkpoint at a seeded position, kill the process at a seeded byte
+// offset (simulated by truncating the active segment), and require the
+// recovered system (stq.OpenDurable) to answer bit-identically to a
+// reference system fed exactly the surviving event prefix. Offsets come
+// from faults.CrashSchedule, so every failing point reproduces from its
+// seed alone. Runs under -race in CI (make check).
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	stq "repro"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/roadnet"
+	"repro/internal/wal"
+)
+
+const (
+	tortureBatches  = 24
+	torturePerBatch = 5
+	// Crash points per ordering mode; both modes together must clear the
+	// ≥100-point acceptance bar.
+	torturePoints = 60
+)
+
+func tortureWorld(t *testing.T) *roadnet.World {
+	t.Helper()
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 4, NY: 4, Spacing: 100}, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatalf("GridCity: %v", err)
+	}
+	return w
+}
+
+// tortureBatchesFor builds a deterministic batched event stream valid
+// under both ordering modes (timestamps globally non-decreasing).
+func tortureBatchesFor(w *roadnet.World, seed int64) [][]core.Event {
+	rng := rand.New(rand.NewSource(seed))
+	tm := 0.0
+	out := make([][]core.Event, 0, tortureBatches)
+	for i := 0; i < tortureBatches; i++ {
+		var batch []core.Event
+		for j := 0; j < torturePerBatch; j++ {
+			tm += rng.Float64() * 4
+			switch rng.Intn(4) {
+			case 0:
+				batch = append(batch, core.EnterEvent(w.Gateways[rng.Intn(len(w.Gateways))], tm))
+			case 1:
+				batch = append(batch, core.LeaveEvent(w.Gateways[rng.Intn(len(w.Gateways))], tm))
+			default:
+				road := rng.Intn(w.Star.NumEdges())
+				e := w.Star.Edge(stq.EdgeID(road))
+				from := e.U
+				if rng.Intn(2) == 0 {
+					from = e.V
+				}
+				batch = append(batch, core.MoveEvent(stq.EdgeID(road), from, tm))
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// lastSegment returns the path of the newest log segment in dir.
+// Fixed-width hex names make lexicographic order equal LSN order.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
+}
+
+// answersMatch requires bit-identical answers from the recovered and
+// reference systems across regions, times, and query kinds.
+func answersMatch(t *testing.T, ref, got *stq.System, horizon float64) {
+	t.Helper()
+	b := ref.Bounds()
+	for _, frac := range []float64{0.5, 0.9} {
+		c := b.Center()
+		wd, ht := b.Width()*frac, b.Height()*frac
+		rect := stq.Rect{
+			Min: stq.Point{X: c.X - wd/2, Y: c.Y - ht/2},
+			Max: stq.Point{X: c.X + wd/2, Y: c.Y + ht/2},
+		}
+		for _, tf := range []float64{0.3, 0.7, 1.0} {
+			for _, kind := range []stq.Kind{stq.Snapshot, stq.Transient, stq.Static} {
+				q := stq.Query{Rect: rect, T1: tf * horizon * 0.4, T2: tf * horizon, Kind: kind}
+				rw, err := ref.Query(q)
+				if err != nil {
+					t.Fatalf("reference query: %v", err)
+				}
+				rg, err := got.Query(q)
+				if err != nil {
+					t.Fatalf("recovered query: %v", err)
+				}
+				if rw.Count != rg.Count || rw.Missed != rg.Missed {
+					t.Fatalf("%v frac=%v tf=%v: recovered %v/%v != reference %v/%v",
+						kind, frac, tf, rg.Count, rg.Missed, rw.Count, rw.Missed)
+				}
+			}
+		}
+	}
+}
+
+func TestTortureCrashRecovery(t *testing.T) {
+	w := tortureWorld(t)
+	for _, mode := range []struct {
+		name     string
+		ordering core.Ordering
+	}{
+		{"OrderGlobal", core.OrderGlobal},
+		{"OrderPerEdge", core.OrderPerEdge},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			batches := tortureBatchesFor(w, 97)
+			horizon := 0.0
+			for _, b := range batches {
+				for _, ev := range b {
+					if ev.T > horizon {
+						horizon = ev.T
+					}
+				}
+			}
+			schedule := faults.CrashSchedule{Seed: 4242}
+			for k := 0; k < torturePoints; k++ {
+				pointRng := rand.New(rand.NewSource(schedule.Seed + int64(k)))
+				// Checkpoint after batch j; -1 skips the checkpoint so
+				// pure-log recovery is exercised too.
+				j := pointRng.Intn(tortureBatches+4) - 4
+
+				dir := t.TempDir()
+				l, rec, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+				if err != nil {
+					t.Fatalf("point %d: Open: %v", k, err)
+				}
+				if rec.Checkpoint != nil || len(rec.Records) > 0 {
+					t.Fatalf("point %d: fresh dir not empty", k)
+				}
+				store := core.NewStore(w)
+				store.SetOrdering(mode.ordering)
+
+				// Write phase: the exact {apply, append} discipline of
+				// stq's durable ingestion, tracking each batch's end
+				// offset in the active segment.
+				type mark struct {
+					seg uint64
+					end int64
+				}
+				marks := make([]mark, 0, len(batches))
+				for i, b := range batches {
+					if err := store.RecordBatch(b); err != nil {
+						t.Fatalf("point %d: apply %d: %v", k, i, err)
+					}
+					if _, err := l.AppendBatch(b); err != nil {
+						t.Fatalf("point %d: append %d: %v", k, i, err)
+					}
+					seg, end := l.Tell()
+					marks = append(marks, mark{seg: seg, end: end})
+					if i == j {
+						if err := l.WriteCheckpoint(store.ExportSnapshot(), 5); err != nil {
+							t.Fatalf("point %d: checkpoint: %v", k, err)
+						}
+					}
+				}
+				if err := l.Sync(); err != nil {
+					t.Fatalf("point %d: Sync: %v", k, err)
+				}
+				if err := l.Close(); err != nil {
+					t.Fatalf("point %d: Close: %v", k, err)
+				}
+
+				// Crash: cut the active segment at a scheduled offset.
+				seg := lastSegment(t, dir)
+				st, err := os.Stat(seg)
+				if err != nil {
+					t.Fatalf("point %d: stat: %v", k, err)
+				}
+				crashOff := schedule.Offset(k, st.Size())
+				if err := os.Truncate(seg, crashOff); err != nil {
+					t.Fatalf("point %d: truncate: %v", k, err)
+				}
+
+				// The survivors are a prefix: every batch sealed in an
+				// earlier segment (covered by the checkpoint that caused
+				// the rotation), plus the final-segment batches whose
+				// frames end at or before the cut.
+				finalSeg, _ := l.Tell()
+				survivors := 0
+				for _, m := range marks {
+					if m.seg < finalSeg || m.end <= crashOff {
+						survivors++
+					} else {
+						break
+					}
+				}
+
+				re, err := stq.OpenDurable(w, stq.Durability{Dir: dir})
+				if err != nil {
+					t.Fatalf("point %d (ckpt after %d, cut %d/%d): OpenDurable: %v",
+						k, j, crashOff, st.Size(), err)
+				}
+				ref := stq.NewSystem(w)
+				if err := ref.SetIngestOrdering(mode.ordering); err != nil {
+					t.Fatalf("point %d: SetIngestOrdering: %v", k, err)
+				}
+				wantEvents := 0
+				for _, b := range batches[:survivors] {
+					if err := ref.RecordBatch(b); err != nil {
+						t.Fatalf("point %d: reference ingest: %v", k, err)
+					}
+					wantEvents += len(b)
+				}
+				// No lost prefix, no double-applied batch.
+				if got := re.NumEvents(); got != wantEvents {
+					t.Fatalf("point %d (ckpt after %d, cut %d/%d): recovered %d events, want %d",
+						k, j, crashOff, st.Size(), got, wantEvents)
+				}
+				answersMatch(t, ref, re, horizon)
+				if err := re.Close(); err != nil {
+					t.Fatalf("point %d: Close: %v", k, err)
+				}
+			}
+		})
+	}
+}

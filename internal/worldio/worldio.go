@@ -59,8 +59,18 @@ type EventRec struct {
 	At   int     `json:"at"`
 }
 
+// FormatVersion is the bundle format version Save writes. History:
+//
+//	v0 (legacy): no version field; Load still accepts these.
+//	v1: explicit "version" field.
+const FormatVersion = 1
+
 // File is the serialized bundle.
 type File struct {
+	// Version is the bundle format version (FormatVersion). Legacy v0
+	// bundles omit it; Load accepts them and rejects versions newer
+	// than this build understands.
+	Version int        `json:"version"`
 	City    CitySpec   `json:"city"`
 	Horizon float64    `json:"horizon"`
 	Objects int        `json:"objects"`
@@ -69,7 +79,7 @@ type File struct {
 
 // Save writes a world spec and workload to w as JSON.
 func Save(w io.Writer, spec CitySpec, wl *mobility.Workload) error {
-	f := File{City: spec, Horizon: wl.Horizon, Objects: wl.Objects}
+	f := File{Version: FormatVersion, City: spec, Horizon: wl.Horizon, Objects: wl.Objects}
 	f.Events = make([]EventRec, len(wl.Events))
 	for i, ev := range wl.Events {
 		rec := EventRec{Obj: ev.Obj, T: ev.T, At: int(ev.At)}
@@ -91,11 +101,27 @@ func Save(w io.Writer, spec CitySpec, wl *mobility.Workload) error {
 	return enc.Encode(&f)
 }
 
-// Load reads a bundle and rebuilds the world and workload.
+// Load reads a bundle and rebuilds the world and workload. Truncated
+// input, a format version newer than FormatVersion, and version-less
+// input that does not parse as a legacy v0 bundle are all rejected with
+// a descriptive error before any partial decode escapes.
 func Load(r io.Reader) (*roadnet.World, *mobility.Workload, error) {
 	var f File
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, nil, fmt.Errorf("worldio: truncated bundle: input ended mid-document")
+		}
 		return nil, nil, fmt.Errorf("worldio: decoding: %w", err)
+	}
+	switch {
+	case f.Version < 0:
+		return nil, nil, fmt.Errorf("worldio: invalid bundle format version %d", f.Version)
+	case f.Version > FormatVersion:
+		return nil, nil, fmt.Errorf("worldio: bundle format version %d is newer than this build supports (%d)", f.Version, FormatVersion)
+	case f.Version == 0 && f.City.Kind == "":
+		// A legacy v0 bundle always carries a city spec; a version-less
+		// document without one is not a worldio bundle at all.
+		return nil, nil, fmt.Errorf("worldio: input has neither a format version nor a city spec; not a worldio bundle (or truncated)")
 	}
 	world, err := f.City.Build()
 	if err != nil {

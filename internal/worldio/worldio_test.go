@@ -75,6 +75,54 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestFormatVersioning(t *testing.T) {
+	spec := testSpec()
+	w, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &mobility.Workload{W: w, Horizon: 100, Objects: 0}
+	var buf bytes.Buffer
+	if err := Save(&buf, spec, wl); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+	if !strings.Contains(saved, `"version":1`) {
+		t.Fatalf("Save did not stamp the format version: %s", saved[:80])
+	}
+
+	// Legacy v0: the same bundle with the version field stripped loads.
+	legacy := strings.Replace(saved, `"version":1,`, "", 1)
+	if strings.Contains(legacy, "version") {
+		t.Fatalf("failed to build a legacy bundle")
+	}
+	if _, _, err := Load(strings.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy v0 bundle rejected: %v", err)
+	}
+
+	// Future version: descriptive rejection.
+	future := strings.Replace(saved, `"version":1,`, `"version":99,`, 1)
+	if _, _, err := Load(strings.NewReader(future)); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future version not rejected descriptively: %v", err)
+	}
+	negative := strings.Replace(saved, `"version":1,`, `"version":-1,`, 1)
+	if _, _, err := Load(strings.NewReader(negative)); err == nil {
+		t.Fatalf("negative version accepted")
+	}
+
+	// Truncated input: descriptive error, no partial decode.
+	for _, cut := range []int{0, 1, len(saved) / 2, len(saved) - 2} {
+		if _, _, err := Load(strings.NewReader(saved[:cut])); err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncation at %d not rejected descriptively: %v", cut, err)
+		}
+	}
+
+	// Version-less JSON that is not a bundle at all.
+	if _, _, err := Load(strings.NewReader(`{"horizon": 3}`)); err == nil || !strings.Contains(err.Error(), "not a worldio bundle") {
+		t.Fatalf("non-bundle JSON not rejected descriptively: %v", err)
+	}
+}
+
 func TestOtherCityKindsRoundTrip(t *testing.T) {
 	specs := []CitySpec{
 		{Kind: "radial", Seed: 2, Radial: &roadnet.RadialOpts{Rings: 3, Spokes: 8, RingGap: 30}},

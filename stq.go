@@ -57,6 +57,7 @@ import (
 	"repro/internal/sampled"
 	"repro/internal/sampling"
 	"repro/internal/submodular"
+	"repro/internal/wal"
 )
 
 // Re-exported building blocks. The aliases keep one canonical definition
@@ -371,6 +372,12 @@ type System struct {
 
 	// epoch counts serving-state publications (ServingEpoch).
 	epoch atomic.Uint64
+
+	// dlog, when non-nil, makes the system durable (OpenDurable). dmu
+	// serializes {store apply, WAL append} pairs so log order always
+	// equals apply order — the invariant crash recovery replays under.
+	dmu  sync.Mutex
+	dlog *wal.Log
 }
 
 // servingState is the immutable snapshot of everything Query reads. A
@@ -458,10 +465,18 @@ func (s *System) GenerateWorkload(opts MobilityOpts, seed int64) (*Workload, err
 func (s *System) Ingest(wl *Workload) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := wl.Feed(s.store); err != nil {
-		return err
+	if s.dlog != nil {
+		// Route batches through the durable path (System implements
+		// mobility.BatchRecorder), which counts events itself.
+		if err := wl.Feed(s); err != nil {
+			return err
+		}
+	} else {
+		if err := wl.Feed(s.store); err != nil {
+			return err
+		}
+		sysEvents.AddInt(len(wl.Events))
 	}
-	sysEvents.AddInt(len(wl.Events))
 	if s.trainer != nil {
 		s.learnt = learned.FromExact(s.store, s.trainer)
 		s.rebuild()
@@ -474,6 +489,9 @@ func (s *System) Ingest(wl *Workload) error {
 // RecordMove / RecordEnter / RecordLeave. The batch is atomic: it is
 // fully validated before anything is applied.
 func (s *System) RecordBatch(events []Event) error {
+	if s.dlog != nil {
+		return s.recordDurable(events)
+	}
 	if err := s.store.RecordBatch(events); err != nil {
 		return err
 	}
@@ -484,16 +502,25 @@ func (s *System) RecordBatch(events []Event) error {
 // RecordMove ingests a single road crossing: the object traverses road
 // starting from junction `from` at time t.
 func (s *System) RecordMove(road EdgeID, from NodeID, t float64) error {
+	if s.dlog != nil {
+		return s.recordDurable([]Event{MoveEvent(road, from, t)})
+	}
 	return s.store.RecordMove(road, from, t)
 }
 
 // RecordEnter ingests a world entry at a gateway junction.
 func (s *System) RecordEnter(gateway NodeID, t float64) error {
+	if s.dlog != nil {
+		return s.recordDurable([]Event{EnterEvent(gateway, t)})
+	}
 	return s.store.RecordEnter(gateway, t)
 }
 
 // RecordLeave ingests a world exit at a gateway junction.
 func (s *System) RecordLeave(gateway NodeID, t float64) error {
+	if s.dlog != nil {
+		return s.recordDurable([]Event{LeaveEvent(gateway, t)})
+	}
 	return s.store.RecordLeave(gateway, t)
 }
 
@@ -504,7 +531,23 @@ func (s *System) RecordLeave(gateway NodeID, t float64) error {
 // clocked per-sensor streams. Per-direction monotonicity — the
 // invariant the counting theorems' binary searches rest on — is
 // enforced in both modes.
-func (s *System) SetIngestOrdering(o Ordering) { s.store.SetOrdering(o) }
+//
+// On durable systems the change is logged so recovery restores the
+// contract in force at the crash; the returned error reports a log
+// append failure (always nil on non-durable systems).
+func (s *System) SetIngestOrdering(o Ordering) error {
+	if s.dlog == nil {
+		s.store.SetOrdering(o)
+		return nil
+	}
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	s.store.SetOrdering(o)
+	if _, err := s.dlog.AppendOrdering(o); err != nil {
+		return fmt.Errorf("stq: ordering change applied in memory but not logged: %w", err)
+	}
+	return nil
+}
 
 // IngestOrdering returns the current event-time ordering contract.
 func (s *System) IngestOrdering() Ordering { return s.store.GetOrdering() }

@@ -1,0 +1,398 @@
+package stq
+
+// Serving-layer tests of the durability subsystem (OpenDurable /
+// Checkpoint / Close, internal/wal): recovered systems must answer
+// bit-identically to the system that wrote the log, ServingEpoch must
+// advance strictly across a restore so no stale query plan survives,
+// and the durable ingestion paths must stay safe under -race.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func durableTestWorld(t *testing.T) *roadnet.World {
+	t.Helper()
+	w, err := roadnet.GridCity(GridOpts{NX: 6, NY: 6, Spacing: 80, Jitter: 0.1}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// durableBatches builds n valid event batches against w, continuing
+// from time t0.
+func durableBatches(w *roadnet.World, n, perBatch int, t0 float64, seed int64) [][]Event {
+	rng := rand.New(rand.NewSource(seed))
+	tm := t0
+	out := make([][]Event, 0, n)
+	for i := 0; i < n; i++ {
+		var batch []Event
+		for j := 0; j < perBatch; j++ {
+			tm += rng.Float64() * 3
+			switch rng.Intn(4) {
+			case 0:
+				batch = append(batch, EnterEvent(w.Gateways[rng.Intn(len(w.Gateways))], tm))
+			case 1:
+				batch = append(batch, LeaveEvent(w.Gateways[rng.Intn(len(w.Gateways))], tm))
+			default:
+				road := EdgeID(rng.Intn(w.Star.NumEdges()))
+				e := w.Star.Edge(road)
+				from := e.U
+				if rng.Intn(2) == 0 {
+					from = e.V
+				}
+				batch = append(batch, MoveEvent(road, from, tm))
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// assertSameAnswers requires bit-identical responses from two systems
+// over a grid of regions, times, and query kinds.
+func assertSameAnswers(t *testing.T, want, got *System, horizon float64) {
+	t.Helper()
+	for _, frac := range []float64{0.25, 0.5, 0.8, 1.0} {
+		rect := centered(want, frac)
+		for _, tf := range []float64{0.1, 0.4, 0.7, 1.0} {
+			for _, kind := range []Kind{Snapshot, Transient, Static} {
+				q := Query{Rect: rect, T1: tf * horizon * 0.4, T2: tf * horizon, Kind: kind}
+				rw, err := want.Query(q)
+				if err != nil {
+					t.Fatalf("reference query: %v", err)
+				}
+				rg, err := got.Query(q)
+				if err != nil {
+					t.Fatalf("recovered query: %v", err)
+				}
+				if rw.Count != rg.Count || rw.Missed != rg.Missed {
+					t.Fatalf("%v frac=%v tf=%v: recovered answer %v/%v != reference %v/%v",
+						kind, frac, tf, rg.Count, rg.Missed, rw.Count, rw.Missed)
+				}
+			}
+		}
+	}
+}
+
+func TestOpenDurableRoundTrip(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+
+	sys, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if !sys.Durable() {
+		t.Fatalf("system not durable")
+	}
+	batches := durableBatches(w, 30, 6, 0, 21)
+	for _, b := range batches {
+		if err := sys.RecordBatch(b); err != nil {
+			t.Fatalf("RecordBatch: %v", err)
+		}
+	}
+	horizon := 30 * 6 * 3.0
+	want := sys.NumEvents()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := sys.Query(Query{Rect: centered(sys, 0.5), T1: 10, Kind: Snapshot}); err != nil {
+		t.Fatalf("Query after Close: %v", err)
+	}
+
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.NumEvents() != want {
+		t.Fatalf("recovered %d events, want %d", re.NumEvents(), want)
+	}
+	assertSameAnswers(t, sys, re, horizon)
+	// Ingestion fails after Close (the batch is applied in memory but
+	// reported un-logged); queries keep working. Checked last so the
+	// un-logged event cannot skew the comparisons above.
+	if err := sys.RecordBatch(durableBatches(w, 1, 1, horizon, 1)[0]); err == nil {
+		t.Fatalf("RecordBatch succeeded on a closed durable system")
+	}
+
+	// The recovered system keeps ingesting and recovering.
+	more := durableBatches(w, 5, 4, horizon, 22)
+	for _, b := range more {
+		if err := re.RecordBatch(b); err != nil {
+			t.Fatalf("post-recovery RecordBatch: %v", err)
+		}
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re2, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer re2.Close()
+	if re2.NumEvents() != re.NumEvents() {
+		t.Fatalf("checkpointed recovery lost events: %d != %d", re2.NumEvents(), re.NumEvents())
+	}
+	assertSameAnswers(t, re, re2, horizon*1.2)
+}
+
+func TestDurableWorkloadIngest(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+	sys, err := OpenDurable(w, Durability{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	wl, err := sys.GenerateWorkload(MobilityOpts{
+		Objects: 40, Horizon: 5000, TripsPerObject: 3,
+		MeanSpeed: 10, MeanPause: 200, LeaveProb: 0.5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(wl); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if sys.NumEvents() != len(wl.Events) {
+		t.Fatalf("durable Ingest recorded %d events, want %d", sys.NumEvents(), len(wl.Events))
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.NumEvents() != len(wl.Events) {
+		t.Fatalf("recovered %d events, want %d", re.NumEvents(), len(wl.Events))
+	}
+	assertSameAnswers(t, sys, re, wl.Horizon)
+}
+
+// TestRestoreFlushesPlanCacheAndAdvancesEpoch is the regression test of
+// the restore/epoch contract: a query plan compiled before a crash (or
+// before a checkpoint-restore cycle) must never be served afterwards,
+// because ServingEpoch advances strictly past the checkpointed epoch
+// and the recovered system starts from an engine with an empty cache.
+func TestRestoreFlushesPlanCacheAndAdvancesEpoch(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+	sys, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	for _, b := range durableBatches(w, 10, 5, 0, 31) {
+		if err := sys.RecordBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance the epoch past its fresh-boot value and warm the plan
+	// cache so a stale plan exists to leak.
+	if err := sys.PlaceSensors(PlacementQuadTree, 20, 5); err != nil {
+		t.Fatalf("PlaceSensors: %v", err)
+	}
+	sys.ClearPlacement()
+	q := Query{Rect: centered(sys, 0.6), T1: 20, T2: 90, Kind: Transient}
+	if _, err := sys.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if hits := sys.PlanCacheStats().Hits; hits == 0 {
+		t.Fatalf("plan cache not exercised (0 hits); test premise broken")
+	}
+	epochAtCheckpoint := sys.ServingEpoch()
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.ServingEpoch(); got <= epochAtCheckpoint {
+		t.Fatalf("ServingEpoch %d not strictly past checkpointed epoch %d", got, epochAtCheckpoint)
+	}
+	// The recovered engine must start cold: its first answer comes from
+	// a fresh compilation, not a plan cached by the previous process.
+	stats := re.PlanCacheStats()
+	if stats.Hits != 0 || stats.Entries != 0 {
+		t.Fatalf("recovered engine serves a warm plan cache: %+v", stats)
+	}
+	r1, err := re.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count != r2.Count {
+		t.Fatalf("recovered answer %v != pre-crash answer %v", r1.Count, r2.Count)
+	}
+}
+
+// TestDurableOrderingChangeRecovered checks that SetIngestOrdering is
+// logged: after recovery the contract in force at the crash is back.
+func TestDurableOrderingChangeRecovered(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+	sys, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	for _, b := range durableBatches(w, 3, 4, 0, 41) {
+		if err := sys.RecordBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.SetIngestOrdering(OrderPerEdge); err != nil {
+		t.Fatalf("SetIngestOrdering: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.IngestOrdering(); got != OrderPerEdge {
+		t.Fatalf("recovered ordering %v, want OrderPerEdge", got)
+	}
+}
+
+// TestConcurrentDurableIngestAndQuery runs concurrent durable writers,
+// queries, and a checkpoint under the race detector.
+func TestConcurrentDurableIngestAndQuery(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+	sys, err := OpenDurable(w, Durability{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	defer sys.Close()
+	if err := sys.SetIngestOrdering(OrderPerEdge); err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			// Each writer owns a disjoint road stripe, so per-edge
+			// ordering holds regardless of interleaving.
+			rng := rand.New(rand.NewSource(int64(100 + wid)))
+			tm := 0.0
+			for i := 0; i < 50; i++ {
+				road := EdgeID(wid + writers*rng.Intn(w.Star.NumEdges()/writers))
+				e := w.Star.Edge(road)
+				tm += rng.Float64()
+				if err := sys.RecordBatch([]Event{MoveEvent(road, e.U, tm)}); err != nil {
+					t.Errorf("writer %d: %v", wid, err)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := sys.Query(Query{Rect: centered(sys, 0.5), T1: float64(i), Kind: Snapshot}); err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := sys.Checkpoint(); err != nil {
+			t.Errorf("Checkpoint: %v", err)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := sys.NumEvents()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.NumEvents() != want {
+		t.Fatalf("recovered %d events, want %d", re.NumEvents(), want)
+	}
+	assertSameAnswers(t, sys, re, 60)
+}
+
+func TestCheckpointRequiresDurable(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	if sys.Durable() {
+		t.Fatalf("plain system reports durable")
+	}
+	if err := sys.Checkpoint(); err == nil {
+		t.Fatalf("Checkpoint succeeded on a non-durable system")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close on non-durable system: %v", err)
+	}
+	if err := sys.SyncWAL(); err != nil {
+		t.Fatalf("SyncWAL on non-durable system: %v", err)
+	}
+}
+
+func TestOpenDurableRejectsMismatchedWorld(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+	sys, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	for _, b := range durableBatches(w, 10, 5, 0, 51) {
+		if err := sys.RecordBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	small, err := roadnet.GridCity(GridOpts{NX: 2, NY: 2, Spacing: 80}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(small, Durability{Dir: dir}); err == nil {
+		t.Fatalf("OpenDurable accepted a checkpoint recorded against a larger world")
+	}
+	// The directory is untouched by the failed open: the right world
+	// still recovers.
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen with matching world: %v", err)
+	}
+	re.Close()
+}
