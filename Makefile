@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history experiments examples fmt vet clean
 
 all: build test
 
@@ -21,6 +21,7 @@ check:
 	$(GO) run ./cmd/stqbench -obs -quick -obs-out ""
 	$(GO) run ./cmd/stqbench -concurrent -quick -concurrent-out ""
 	$(GO) run ./cmd/stqbench -wal -quick -wal-out ""
+	$(GO) run ./cmd/stqbench -history -quick -history-out ""
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -52,6 +53,13 @@ bench-concurrent:
 # below 50k events/s with interval fsync.
 bench-wal:
 	$(GO) run ./cmd/stqbench -wal -wal-out BENCH_wal.json
+
+# Tiered-history memory gate: month-scale synthetic stream into a
+# hot-only reference store vs the sealing tiered store; fails below a
+# 10x resident-memory reduction, above 2x warm-query latency, or on any
+# non-bit-identical answer.
+bench-history:
+	$(GO) run ./cmd/stqbench -history -history-out BENCH_history.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

@@ -8,11 +8,13 @@
 // when the run did not use -benchmem.
 //
 // With -gates it instead reads stqbench gate files (BENCH_obs.json,
-// BENCH_concurrent.json, BENCH_wal.json, ...) given as arguments,
-// prints a one-line verdict per file — plus the per-policy breakdown
-// for durability (WAL) results — and exits non-zero if any gate failed:
+// BENCH_concurrent.json, BENCH_wal.json, BENCH_history.json, ...)
+// given as arguments, prints a one-line verdict per file — plus the
+// per-policy breakdown for durability (WAL) results and the
+// memory/latency/bit-identity breakdown for tiered-history results —
+// and exits non-zero if any gate failed:
 //
-//	go run ./cmd/benchjson -gates BENCH_wal.json BENCH_obs.json
+//	go run ./cmd/benchjson -gates BENCH_wal.json BENCH_history.json
 package main
 
 import (
@@ -79,6 +81,12 @@ func runGates(paths []string) error {
 			} `json:"policies"`
 			IntervalEventsPerSec float64 `json:"interval_events_per_sec"`
 			Threshold            float64 `json:"threshold"`
+			// Tiered-history gate breakdown (BENCH_history.json).
+			MemReductionX    *float64 `json:"mem_reduction_x"`
+			LatencyRatioX    float64  `json:"warm_latency_ratio"`
+			BitIdentical     bool     `json:"bit_identical"`
+			MemReductionGate float64  `json:"mem_reduction_gate"`
+			LatencyRatioGate float64  `json:"latency_ratio_gate"`
 		}
 		if err := json.Unmarshal(data, &gate); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
@@ -94,6 +102,10 @@ func runGates(paths []string) error {
 		fmt.Printf("%s: %s", path, verdict)
 		if len(gate.Policies) > 0 {
 			fmt.Printf("  (interval %.0f events/s, gate %.0f)", gate.IntervalEventsPerSec, gate.Threshold)
+		}
+		if gate.MemReductionX != nil {
+			fmt.Printf("  (memory %.1fx of ≥%.0fx, warm latency %.2fx of ≤%.1fx, bit-identical %v)",
+				*gate.MemReductionX, gate.MemReductionGate, gate.LatencyRatioX, gate.LatencyRatioGate, gate.BitIdentical)
 		}
 		fmt.Println()
 		for _, p := range gate.Policies {

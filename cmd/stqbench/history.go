@@ -1,0 +1,369 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	stq "repro"
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// This file implements `stqbench -history`: the tiered-history memory
+// benchmark (BENCH_history.json, DESIGN.md §12).
+//
+// One month-scale synthetic crossing stream — tick-aligned timestamps,
+// so sealing takes the delta-encoded path — is ingested twice: into a
+// reference store that keeps every timestamp hot, and into a tiered
+// store that periodically seals cold prefixes into immutable compact
+// segments. The gate requires
+//
+//   - ≥ historyMemReductionGate× less resident tracking-form memory,
+//   - warm interval-query latency ≤ historyLatencyRatioGate× the
+//     hot-path latency on identical probe sequences, and
+//   - bit-identical answers, enforced by an elementwise float64-bits
+//     comparison of every direction's full event sequence plus an
+//     answer-by-answer probe comparison — not sampled spot checks.
+
+const (
+	historyMemReductionGate = 10.0
+	historyLatencyRatioGate = 2.0
+)
+
+// historyResult is the machine-readable output (BENCH_history.json).
+type historyResult struct {
+	Seed       int64   `json:"seed"`
+	Grid       string  `json:"grid"`
+	Roads      int     `json:"roads"`
+	Directions int     `json:"directions"`
+	HorizonSec float64 `json:"horizon_sec"`
+	Events     int     `json:"events"`
+
+	TickSec       float64 `json:"tick_sec"`
+	HotKeep       int     `json:"hot_keep"`
+	SealThreshold int     `json:"seal_threshold"`
+
+	// Seal activity on the tiered store (cumulative).
+	Seals          int `json:"seals"`
+	Segments       int `json:"segments"`
+	SealedEvents   int `json:"sealed_events"`
+	LossyFallbacks int `json:"lossy_fallbacks"`
+
+	// Resident tracking-form memory (allocated capacity, both tiers).
+	RefBytes         int     `json:"ref_bytes"`
+	TieredBytes      int     `json:"tiered_bytes"`
+	TieredHotBytes   int     `json:"tiered_hot_bytes"`
+	TieredWarmBytes  int     `json:"tiered_warm_bytes"`
+	BytesPerEventRef float64 `json:"bytes_per_event_ref"`
+	BytesPerEvent    float64 `json:"bytes_per_event_tiered"`
+	MemReductionX    float64 `json:"mem_reduction_x"`
+
+	// Interval-query latency on identical probe sequences.
+	Probes        int     `json:"probes"`
+	HotNsPerOp    float64 `json:"hot_ns_per_op"`
+	WarmNsPerOp   float64 `json:"warm_ns_per_op"`
+	LatencyRatioX float64 `json:"warm_latency_ratio"`
+
+	// BitIdentical is the enforced equivalence check: every direction's
+	// materialized event sequence and every probe answer matched
+	// bit-for-bit between the reference and tiered stores.
+	BitIdentical bool `json:"bit_identical"`
+
+	MemReductionGate float64 `json:"mem_reduction_gate"`
+	LatencyRatioGate float64 `json:"latency_ratio_gate"`
+	Pass             bool    `json:"pass"`
+}
+
+// historyDirection is one synthetic per-sensor stream: a road direction
+// and its tick-aligned crossing timestamps.
+type historyDirection struct {
+	road roadDir
+	next int // cursor into times during chunked ingestion
+	time []float64
+}
+
+// roadDir identifies one sensing-edge direction; `from` is the junction
+// RecordMove needs, `toward` the one the interval queries use.
+type roadDir struct {
+	road    stq.EdgeID
+	from    stq.NodeID
+	toward  stq.NodeID
+	forward bool
+}
+
+// historyStreams synthesizes per-direction crossing streams: timestamps
+// are exact multiples of tick with mean gap ~meanGap ticks, so the
+// sealer's lossless-quantization check succeeds and segments take the
+// delta-encoded path (LossyFallbacks must stay 0).
+func historyStreams(w *roadnet.World, nRoads int, horizon, tick float64, meanGap int, seed int64) []historyDirection {
+	dirs := make([]historyDirection, 0, 2*nRoads)
+	for r := 0; r < nRoads; r++ {
+		e := w.Star.Edge(stq.EdgeID(r))
+		for _, fwd := range []bool{true, false} {
+			from, toward := e.U, e.V
+			if !fwd {
+				from, toward = e.V, e.U
+			}
+			rng := rand.New(rand.NewSource(seed + int64(4*r) + int64(b2i(fwd))))
+			var times []float64
+			t := int64(1 + rng.Intn(meanGap))
+			for {
+				ts := float64(t) * tick
+				if ts > horizon {
+					break
+				}
+				times = append(times, ts)
+				t += int64(1 + rng.Intn(2*meanGap-1))
+			}
+			dirs = append(dirs, historyDirection{
+				road: roadDir{road: stq.EdgeID(r), from: from, toward: toward, forward: fwd},
+				time: times,
+			})
+		}
+	}
+	return dirs
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// historyIngest feeds the same per-direction chunks to both stores
+// (OrderPerEdge: each sensor's stream is monotone on its own), sealing
+// the tiered store every sealEvery chunks and once more at the end.
+func historyIngest(ref, tiered *core.Store, dirs []historyDirection, chunk, sealEvery int, stats *core.SealStats) (seals int, err error) {
+	batch := make([]core.Event, 0, chunk)
+	chunks := 0
+	for {
+		progressed := false
+		for d := range dirs {
+			dir := &dirs[d]
+			if dir.next >= len(dir.time) {
+				continue
+			}
+			progressed = true
+			end := dir.next + chunk
+			if end > len(dir.time) {
+				end = len(dir.time)
+			}
+			batch = batch[:0]
+			for _, t := range dir.time[dir.next:end] {
+				batch = append(batch, stq.MoveEvent(dir.road.road, dir.road.from, t))
+			}
+			dir.next = end
+			if err := ref.RecordBatch(batch); err != nil {
+				return seals, fmt.Errorf("ref ingest: %w", err)
+			}
+			if err := tiered.RecordBatch(batch); err != nil {
+				return seals, fmt.Errorf("tiered ingest: %w", err)
+			}
+			chunks++
+			if chunks%sealEvery == 0 {
+				addSealStats(stats, tiered.SealColdPrefixes())
+				seals++
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	addSealStats(stats, tiered.SealColdPrefixes())
+	return seals + 1, nil
+}
+
+func addSealStats(dst *core.SealStats, s core.SealStats) {
+	dst.Roads += s.Roads
+	dst.Segments += s.Segments
+	dst.SealedEvents += s.SealedEvents
+	dst.LossyFallbacks += s.LossyFallbacks
+}
+
+// historyProbe is one pre-generated interval query.
+type historyProbe struct {
+	road   stq.EdgeID
+	toward stq.NodeID
+	t1, t2 float64
+}
+
+// historyProbes draws interval probes over the whole horizon; with most
+// of the horizon sealed on the tiered store, the probe mix measures the
+// warm path there and the hot path on the reference.
+func historyProbes(dirs []historyDirection, n int, horizon float64, seed int64) []historyProbe {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ea1))
+	probes := make([]historyProbe, n)
+	for i := range probes {
+		d := dirs[rng.Intn(len(dirs))]
+		t1 := rng.Float64() * horizon * 0.85
+		t2 := t1 + rng.Float64()*horizon*0.2
+		probes[i] = historyProbe{road: d.road.road, toward: d.road.toward, t1: t1, t2: t2}
+	}
+	return probes
+}
+
+// timeProbes runs the probe sequence trials times and returns the
+// fastest wall time plus the answer checksum of the last trial.
+func timeProbes(s *core.Store, probes []historyProbe, trials int) (best time.Duration, sum float64) {
+	best = time.Duration(math.MaxInt64)
+	for trial := 0; trial < trials; trial++ {
+		sum = 0
+		t0 := time.Now()
+		for _, p := range probes {
+			sum += s.RoadCrossingsIn(p.road, p.toward, p.t1, p.t2)
+		}
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+	}
+	return best, sum
+}
+
+// historyVerify enforces bit-identity: every direction's materialized
+// event sequence must match float64-bit-for-bit, and every probe answer
+// must be equal. Returns a description of the first mismatch.
+func historyVerify(ref, tiered *core.Store, dirs []historyDirection, probes []historyProbe) string {
+	if ref.NumEvents() != tiered.NumEvents() {
+		return fmt.Sprintf("event counts differ: ref %d, tiered %d", ref.NumEvents(), tiered.NumEvents())
+	}
+	for _, d := range dirs {
+		rt := ref.RoadTracker(d.road.road)
+		tt := tiered.RoadTracker(d.road.road)
+		re := rt.Events(d.road.forward)
+		te := tt.Events(d.road.forward)
+		if len(re) != len(te) {
+			return fmt.Sprintf("road %d fwd=%v: length %d vs %d", d.road.road, d.road.forward, len(re), len(te))
+		}
+		for i := range re {
+			if math.Float64bits(re[i]) != math.Float64bits(te[i]) {
+				return fmt.Sprintf("road %d fwd=%v event %d: %v vs %v", d.road.road, d.road.forward, i, re[i], te[i])
+			}
+		}
+	}
+	for i, p := range probes {
+		a := ref.RoadCrossingsIn(p.road, p.toward, p.t1, p.t2)
+		b := tiered.RoadCrossingsIn(p.road, p.toward, p.t1, p.t2)
+		if a != b {
+			return fmt.Sprintf("probe %d road %d (%v,%v]: ref %v, tiered %v", i, p.road, p.t1, p.t2, a, b)
+		}
+	}
+	return ""
+}
+
+// runHistoryBench builds both stores, ingests the month-scale stream,
+// and writes BENCH_history.json. Non-zero exit on any gate miss or on
+// an answer mismatch.
+func runHistoryBench(seed int64, quick bool, outPath string) error {
+	const tick, meanGap = 1.0, 8
+	nRoads, horizon := 16, 30*24*3600.0
+	hotKeep, sealThreshold := 1024, 8192
+	chunk, sealEvery, nProbes := 8192, 64, 200000
+	grid := stq.GridOpts{NX: 12, NY: 12, Spacing: 50, Jitter: 0.2}
+	gridName := "12x12"
+	if quick {
+		nRoads, horizon = 8, 2*24*3600.0
+		hotKeep, sealThreshold = 256, 2048
+		chunk, sealEvery, nProbes = 2048, 16, 20000
+		grid = stq.GridOpts{NX: 8, NY: 8, Spacing: 50, Jitter: 0.2}
+		gridName = "8x8"
+	}
+	world, err := roadnet.GridCity(grid, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	dirs := historyStreams(world, nRoads, horizon, tick, meanGap, seed)
+	events := 0
+	for _, d := range dirs {
+		events += len(d.time)
+	}
+	fmt.Printf("history bench: %s grid, %d directions, %.0f-day horizon, %d events (tick %.0fs)\n",
+		gridName, len(dirs), horizon/86400, events, tick)
+
+	ref := core.NewStore(world)
+	ref.SetOrdering(core.OrderPerEdge)
+	tiered := core.NewStore(world)
+	tiered.SetOrdering(core.OrderPerEdge)
+	if err := tiered.SetHistoryConfig(core.HistoryConfig{
+		Tick: tick, HotKeep: hotKeep, SealThreshold: sealThreshold,
+	}); err != nil {
+		return err
+	}
+
+	var sealStats core.SealStats
+	t0 := time.Now()
+	seals, err := historyIngest(ref, tiered, dirs, chunk, sealEvery, &sealStats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested twice in %v: %d seal passes, %d segments, %d/%d events sealed, %d lossy fallbacks\n",
+		time.Since(t0).Round(time.Millisecond), seals, sealStats.Segments,
+		sealStats.SealedEvents, events, sealStats.LossyFallbacks)
+
+	refMem := ref.Memory()
+	tieredMem := tiered.Memory()
+	res := historyResult{
+		Seed: seed, Grid: gridName, Roads: nRoads, Directions: len(dirs),
+		HorizonSec: horizon, Events: events,
+		TickSec: tick, HotKeep: hotKeep, SealThreshold: sealThreshold,
+		Seals: seals, Segments: sealStats.Segments,
+		SealedEvents: sealStats.SealedEvents, LossyFallbacks: sealStats.LossyFallbacks,
+		RefBytes: refMem.TotalBytes(), TieredBytes: tieredMem.TotalBytes(),
+		TieredHotBytes: tieredMem.HotBytes, TieredWarmBytes: tieredMem.SealedBytes,
+		MemReductionGate: historyMemReductionGate, LatencyRatioGate: historyLatencyRatioGate,
+	}
+	res.BytesPerEventRef = float64(refMem.TotalBytes()) / float64(events)
+	res.BytesPerEvent = float64(tieredMem.TotalBytes()) / float64(events)
+	res.MemReductionX = float64(refMem.TotalBytes()) / float64(tieredMem.TotalBytes())
+
+	probes := historyProbes(dirs, nProbes, horizon, seed)
+	res.Probes = nProbes
+	hot, hotSum := timeProbes(ref, probes, 3)
+	warm, warmSum := timeProbes(tiered, probes, 3)
+	res.HotNsPerOp = float64(hot.Nanoseconds()) / float64(nProbes)
+	res.WarmNsPerOp = float64(warm.Nanoseconds()) / float64(nProbes)
+	res.LatencyRatioX = res.WarmNsPerOp / res.HotNsPerOp
+
+	if mismatch := historyVerify(ref, tiered, dirs, probes); mismatch != "" {
+		res.BitIdentical = false
+		fmt.Printf("BIT-IDENTITY VIOLATION: %s\n", mismatch)
+	} else if hotSum != warmSum {
+		res.BitIdentical = false
+		fmt.Printf("BIT-IDENTITY VIOLATION: probe checksum %v (hot) != %v (warm)\n", hotSum, warmSum)
+	} else {
+		res.BitIdentical = true
+	}
+
+	res.Pass = res.BitIdentical &&
+		res.MemReductionX >= historyMemReductionGate &&
+		res.LatencyRatioX <= historyLatencyRatioGate &&
+		res.LossyFallbacks == 0
+
+	fmt.Printf("memory: ref %.1f MB (%.2f B/event) → tiered %.2f MB (%.2f B/event): %.1fx reduction (gate ≥%.0fx)\n",
+		float64(res.RefBytes)/1e6, res.BytesPerEventRef,
+		float64(res.TieredBytes)/1e6, res.BytesPerEvent,
+		res.MemReductionX, historyMemReductionGate)
+	fmt.Printf("latency: hot %.0f ns/op, warm %.0f ns/op: ratio %.2fx (gate ≤%.1fx)  bit-identical %v\n",
+		res.HotNsPerOp, res.WarmNsPerOp, res.LatencyRatioX, historyLatencyRatioGate, res.BitIdentical)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !res.Pass {
+		return fmt.Errorf("history gate failed: reduction %.1fx (≥%.0fx), latency ratio %.2fx (≤%.1fx), bit-identical %v, lossy fallbacks %d",
+			res.MemReductionX, historyMemReductionGate, res.LatencyRatioX, historyLatencyRatioGate,
+			res.BitIdentical, res.LossyFallbacks)
+	}
+	return nil
+}

@@ -30,20 +30,22 @@ import (
 
 func main() {
 	var (
-		expList   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		reps      = flag.Int("reps", 0, "repetitions per configuration (0 = config default)")
-		queries   = flag.Int("queries", 0, "queries per repetition (0 = config default)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		quick     = flag.Bool("quick", false, "small smoke configuration")
-		faults    = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
-		faultsOut = flag.String("faults-out", "BENCH_faults.json", "output path for the fault sweep (empty = stdout only)")
-		obsGate   = flag.Bool("obs", false, "run the observability overhead gate instead of the figures")
-		obsOut    = flag.String("obs-out", "BENCH_obs.json", "output path for the obs gate (empty = stdout only)")
-		conc      = flag.Bool("concurrent", false, "run the mixed ingest+query concurrency benchmark instead of the figures")
-		concOut   = flag.String("concurrent-out", "BENCH_concurrent.json", "output path for the concurrency benchmark (empty = stdout only)")
-		walBench  = flag.Bool("wal", false, "run the durability (WAL fsync-policy) benchmark instead of the figures")
-		walOut    = flag.String("wal-out", "BENCH_wal.json", "output path for the durability benchmark (empty = stdout only)")
-		serve     = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
+		expList    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		reps       = flag.Int("reps", 0, "repetitions per configuration (0 = config default)")
+		queries    = flag.Int("queries", 0, "queries per repetition (0 = config default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "small smoke configuration")
+		faults     = flag.Bool("faults", false, "run the fault-injection sweep instead of the figures")
+		faultsOut  = flag.String("faults-out", "BENCH_faults.json", "output path for the fault sweep (empty = stdout only)")
+		obsGate    = flag.Bool("obs", false, "run the observability overhead gate instead of the figures")
+		obsOut     = flag.String("obs-out", "BENCH_obs.json", "output path for the obs gate (empty = stdout only)")
+		conc       = flag.Bool("concurrent", false, "run the mixed ingest+query concurrency benchmark instead of the figures")
+		concOut    = flag.String("concurrent-out", "BENCH_concurrent.json", "output path for the concurrency benchmark (empty = stdout only)")
+		walBench   = flag.Bool("wal", false, "run the durability (WAL fsync-policy) benchmark instead of the figures")
+		walOut     = flag.String("wal-out", "BENCH_wal.json", "output path for the durability benchmark (empty = stdout only)")
+		history    = flag.Bool("history", false, "run the tiered-history memory benchmark instead of the figures")
+		historyOut = flag.String("history-out", "BENCH_history.json", "output path for the history benchmark (empty = stdout only)")
+		serve      = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 	if *serve != "" {
@@ -65,6 +67,13 @@ func main() {
 	}
 	if *walBench {
 		if err := runWalBench(*seed, *quick, *walOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *history {
+		if err := runHistoryBench(*seed, *quick, *historyOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)
 			os.Exit(1)
 		}

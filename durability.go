@@ -143,6 +143,7 @@ func (s *System) recordDurable(events []Event) error {
 	if _, err := s.dlog.AppendBatch(events); err != nil {
 		return fmt.Errorf("stq: batch applied in memory but not logged: %w", err)
 	}
+	s.maybeSeal(len(events))
 	return nil
 }
 

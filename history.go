@@ -1,0 +1,100 @@
+package stq
+
+import "repro/internal/core"
+
+// Tiered event history (DESIGN.md §12): the store keeps each
+// direction's newest timestamps in the mutable hot tier and freezes
+// cold prefixes into immutable, delta-encoded warm segments that
+// answer interval counts without decompression. Sealing is
+// answer-invariant — every query is bit-identical before and after —
+// so it can run at any time, including concurrently with ingestion
+// and serving.
+
+// Re-exported tiered-history types.
+type (
+	// HistoryConfig configures the tiered history (EnableTieredHistory).
+	HistoryConfig = core.HistoryConfig
+	// SealStats reports what one sealing pass froze (SealHistory).
+	SealStats = core.SealStats
+	// MemoryStats breaks down resident tracking-form memory by tier
+	// (Memory).
+	MemoryStats = core.MemoryStats
+)
+
+// EnableTieredHistory turns on the tiered event history: directions
+// whose hot tier exceeds cfg.SealThreshold have their cold prefix
+// sealed into compact immutable segments, keeping cfg.HotKeep recent
+// timestamps mutable. When cfg.AutoSealEvery > 0 a background sealer
+// runs after every AutoSealEvery ingested events; otherwise sealing
+// happens only on explicit SealHistory calls.
+//
+// Sealing never changes any answer: segments reconstruct the exact
+// original timestamps (sequences that do not quantize losslessly onto
+// cfg.Tick are kept verbatim in immutable form), so Count, interval,
+// and event-listing queries stay bit-identical to an unsealed store.
+// On durable systems, checkpoints carry sealed segments in compact
+// form and crash recovery remains bit-identical regardless of when
+// seals happened relative to the crash.
+func (s *System) EnableTieredHistory(cfg HistoryConfig) error {
+	if err := s.store.SetHistoryConfig(cfg); err != nil {
+		return err
+	}
+	if eff, ok := s.store.GetHistoryConfig(); ok {
+		s.sealEvery.Store(int64(eff.AutoSealEvery))
+	}
+	return nil
+}
+
+// TieredHistory reports the active tiered-history configuration, or
+// ok=false when EnableTieredHistory has not been called.
+func (s *System) TieredHistory() (HistoryConfig, bool) {
+	return s.store.GetHistoryConfig()
+}
+
+// SealHistory synchronously seals every eligible cold prefix and
+// reports what was frozen. No-op (zero stats) until
+// EnableTieredHistory is called.
+func (s *System) SealHistory() SealStats {
+	return s.store.SealColdPrefixes()
+}
+
+// Memory reports resident tracking-form memory by tier: mutable hot
+// timestamps, sealed segment bytes, and world-edge event lists.
+// Unlike StorageBytes (the logical 8-bytes-per-timestamp model the
+// paper's storage comparison uses), Memory counts allocated capacity —
+// what the process actually holds.
+func (s *System) Memory() MemoryStats {
+	return s.store.Memory()
+}
+
+// WaitHistorySeals blocks until every in-flight background sealing
+// pass has finished. Useful in tests and before process exit; normal
+// operation never needs it, since sealing is answer-invariant.
+func (s *System) WaitHistorySeals() {
+	s.sealWG.Wait()
+}
+
+// maybeSeal is the ingestion-side hook of the background sealer: it
+// accumulates ingested events and, once the budget crosses
+// AutoSealEvery, spawns (at most) one sealing goroutine. The CAS busy
+// flag means a slow seal never stacks goroutines; events ingested
+// meanwhile re-arm the trigger for the next pass.
+func (s *System) maybeSeal(n int) {
+	every := s.sealEvery.Load()
+	if every <= 0 {
+		return
+	}
+	if s.sealPending.Add(int64(n)) < every {
+		return
+	}
+	if !s.sealerBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.sealPending.Store(0)
+	s.sealWG.Add(1)
+	go func() {
+		defer s.sealWG.Done()
+		defer s.sealerBusy.Store(false)
+		s.store.SealColdPrefixes()
+	}()
+}

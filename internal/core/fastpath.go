@@ -27,7 +27,7 @@ func (s *Store) RoadCrossingsIn(road planar.EdgeID, toward planar.NodeID, t1, t2
 		return 0
 	}
 	e := s.w.Star.Edge(road)
-	return float64(countIn(tr.Events(toward == e.V), t1, t2))
+	return float64(tr.countInDir(toward == e.V, t1, t2))
 }
 
 // WorldCrossingsIn implements IntervalCounter for gateway world edges.
@@ -69,7 +69,7 @@ func (s *Store) cutNetCount(cr CutRoad, t float64) int {
 		return 0
 	}
 	fwd := cr.Inside == s.w.Star.Edge(cr.Road).V
-	return countLE(tr.Events(fwd), t) - countLE(tr.Events(!fwd), t)
+	return tr.Count(fwd, t) - tr.Count(!fwd, t)
 }
 
 // CutFlow implements BatchCounter: the fused transient integral over
@@ -100,7 +100,7 @@ func (s *Store) cutNetFlow(cr CutRoad, t1, t2 float64) int {
 		return 0
 	}
 	fwd := cr.Inside == s.w.Star.Edge(cr.Road).V
-	return countIn(tr.Events(fwd), t1, t2) - countIn(tr.Events(!fwd), t1, t2)
+	return tr.countInDir(fwd, t1, t2) - tr.countInDir(!fwd, t1, t2)
 }
 
 // CountCutsTimes implements BatchCounter: the boundary integral at every
@@ -114,9 +114,8 @@ func (s *Store) CountCutsTimes(cuts []CutRoad, worldJs []planar.NodeID, ts []flo
 			continue
 		}
 		fwd := cr.Inside == s.w.Star.Edge(cr.Road).V
-		in, out := tr.Events(fwd), tr.Events(!fwd)
 		for i, t := range ts {
-			totals[i] += countLE(in, t) - countLE(out, t)
+			totals[i] += tr.Count(fwd, t) - tr.Count(!fwd, t)
 		}
 	}
 	for _, g := range worldJs {

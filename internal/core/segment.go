@@ -1,0 +1,476 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// This file implements the warm tier of the tiered event history
+// (DESIGN.md §12): immutable segments holding a sealed prefix of one
+// tracking-form direction in compact form. Timestamps are quantized to
+// a fixed tick (losslessly — the seal verifies exact reconstruction and
+// falls back to a raw segment otherwise), delta-encoded per block of
+// segBlockLen events, and indexed by a per-block skip entry (first tick
+// + byte offset), so countIn(t1,t2) is two skip-index binary searches
+// plus at most two partial block decodes — never a full decode.
+//
+// Segments are immutable after sealing: they are shared freely across
+// Tracker snapshots, store snapshots (ExportSnapshot), and checkpoint
+// images without copying or synchronization.
+
+// segBlockLen is the number of events per skip-index block. 128 keeps
+// the partial-decode cost of a query bounded (≤ 2×127 delta decodes)
+// while holding the index overhead to one 16-byte entry per 128 events.
+const segBlockLen = 128
+
+// segModeVarint marks a block payload as varint-encoded deltas; any
+// other mode byte w ≤ segMaxPackWidth means fixed-width bit-packing at
+// w bits per delta (w = 0: every event in the block shares the block's
+// start tick).
+const (
+	segModeVarint     = 0xFF
+	segMaxPackWidth   = 32
+	segStructBytes    = 96 // approximate segment struct + slice headers
+	segIndexEntrySize = 16
+)
+
+// segBlock is one skip-index entry: the tick value of the block's first
+// event and the byte offset of the block's payload in segment.data.
+type segBlock struct {
+	startTick int64
+	off       uint32
+}
+
+// segment is one immutable sealed run of a direction's timestamp
+// sequence. Exactly one of (blocks+data) or raw is populated: raw is
+// the lossless fallback for sequences that do not quantize exactly to
+// the tick.
+type segment struct {
+	// startIdx is the index of this segment's first event within its
+	// history (events sealed before it).
+	startIdx int
+	n        int
+	tick     float64
+	blocks   []segBlock
+	data     []byte
+	raw      []float64
+	// first and last are the reconstructed first/last timestamps,
+	// cached for skip searches.
+	first, last float64
+}
+
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// quantize maps ts onto the tick grid, requiring exact reconstruction:
+// float64(tick_i)*tick must equal ts[i] bit for bit. ok is false when
+// any timestamp is off-grid (the caller seals a raw segment instead).
+func quantize(ts []float64, tick float64) ([]int64, bool) {
+	out := make([]int64, len(ts))
+	for i, t := range ts {
+		q := math.Round(t / tick)
+		if math.IsNaN(q) || math.Abs(q) >= 1<<62 {
+			return nil, false
+		}
+		tv := int64(q)
+		if float64(tv)*tick != t {
+			return nil, false
+		}
+		out[i] = tv
+	}
+	return out, true
+}
+
+// appendPacked appends ds bit-packed at width w (little-endian bit
+// order). w must be ≤ segMaxPackWidth, so the 64-bit accumulator never
+// overflows (< 8 residual bits + 32 new bits).
+func appendPacked(dst []byte, ds []uint64, w int) []byte {
+	if w == 0 {
+		return dst
+	}
+	var acc uint64
+	nacc := 0
+	for _, d := range ds {
+		acc |= d << nacc
+		nacc += w
+		for nacc >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nacc -= 8
+		}
+	}
+	if nacc > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// sealSegment freezes ts (sorted, non-decreasing, non-empty) into an
+// immutable segment quantized to tick. Each block's payload is encoded
+// as either fixed-width bit-packed deltas or varint deltas, whichever
+// is smaller. When any timestamp does not reconstruct exactly from the
+// tick grid the whole segment falls back to raw storage, preserving
+// bit-identical answers unconditionally.
+func sealSegment(ts []float64, tick float64, startIdx int) *segment {
+	g := &segment{
+		startIdx: startIdx,
+		n:        len(ts),
+		tick:     tick,
+		first:    ts[0],
+		last:     ts[len(ts)-1],
+	}
+	ticks, ok := quantize(ts, tick)
+	if !ok {
+		g.raw = copyTimes(ts)
+		return g
+	}
+	nb := (len(ts) + segBlockLen - 1) / segBlockLen
+	g.blocks = make([]segBlock, nb)
+	var deltas [segBlockLen]uint64
+	var tmp [binary.MaxVarintLen64]byte
+	for b := 0; b < nb; b++ {
+		lo := b * segBlockLen
+		hi := lo + segBlockLen
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		g.blocks[b] = segBlock{startTick: ticks[lo], off: uint32(len(g.data))}
+		nd := hi - lo - 1
+		maxD := uint64(0)
+		vsize := 0
+		for j := 0; j < nd; j++ {
+			d := uint64(ticks[lo+1+j] - ticks[lo+j])
+			deltas[j] = d
+			if d > maxD {
+				maxD = d
+			}
+			vsize += uvarintLen(d)
+		}
+		w := bits.Len64(maxD)
+		if psize := (nd*w + 7) / 8; w <= segMaxPackWidth && psize <= vsize {
+			g.data = append(g.data, byte(w))
+			g.data = appendPacked(g.data, deltas[:nd], w)
+		} else {
+			g.data = append(g.data, segModeVarint)
+			for j := 0; j < nd; j++ {
+				g.data = append(g.data, tmp[:binary.PutUvarint(tmp[:], deltas[j])]...)
+			}
+		}
+	}
+	// Re-slice to exact capacity: the sealed form is long-lived, so the
+	// append slack is worth reclaiming.
+	g.data = append(make([]byte, 0, len(g.data)), g.data...)
+	return g
+}
+
+// numBlocks returns the skip-index block count.
+func (g *segment) numBlocks() int { return len(g.blocks) }
+
+// blockLen returns the number of events in block b.
+func (g *segment) blockLen(b int) int {
+	if (b+1)*segBlockLen <= g.n {
+		return segBlockLen
+	}
+	return g.n - b*segBlockLen
+}
+
+// decodeBlock reconstructs block b's timestamps into buf and returns
+// the event count, or -1 on structural corruption (defensive: segments
+// reaching the serving path have been validated, see validate).
+func (g *segment) decodeBlock(b int, buf *[segBlockLen]float64) int {
+	blen := g.blockLen(b)
+	off := int(g.blocks[b].off)
+	if off >= len(g.data) {
+		return -1
+	}
+	mode := g.data[off]
+	payload := g.data[off+1:]
+	tv := g.blocks[b].startTick
+	buf[0] = float64(tv) * g.tick
+	nd := blen - 1
+	if mode == segModeVarint {
+		pos := 0
+		for j := 0; j < nd; j++ {
+			d, k := binary.Uvarint(payload[pos:])
+			if k <= 0 {
+				return -1
+			}
+			pos += k
+			tv += int64(d)
+			buf[j+1] = float64(tv) * g.tick
+		}
+		return blen
+	}
+	w := int(mode)
+	if w > segMaxPackWidth {
+		return -1
+	}
+	if w == 0 {
+		for j := 0; j < nd; j++ {
+			buf[j+1] = buf[0]
+		}
+		return blen
+	}
+	if need := (nd*w + 7) / 8; need > len(payload) {
+		return -1
+	}
+	mask := uint64(1)<<w - 1
+	var acc uint64
+	nacc, pos := 0, 0
+	for j := 0; j < nd; j++ {
+		for nacc < w {
+			acc |= uint64(payload[pos]) << nacc
+			pos++
+			nacc += 8
+		}
+		tv += int64(acc & mask)
+		acc >>= w
+		nacc -= w
+		buf[j+1] = float64(tv) * g.tick
+	}
+	return blen
+}
+
+// countLE returns the number of segment events with timestamp ≤ t: a
+// skip-index binary search plus at most one partial block scan. The
+// scan runs in the tick domain — the threshold is converted to a tick
+// value once, and the encoded deltas are walked as integers with an
+// early exit at the first event past it — so a lookup never
+// materializes a block.
+func (g *segment) countLE(t float64) int {
+	if g.n == 0 || t < g.first {
+		return 0
+	}
+	if t >= g.last || math.IsNaN(t) {
+		// NaN compares false everywhere, matching the hot path's
+		// sort-search result of "all events ≤ t".
+		return g.n
+	}
+	if g.raw != nil {
+		return countLE(g.raw, t)
+	}
+	// qmax: the largest tick value whose reconstructed timestamp is ≤ t.
+	// floor(t/tick) can be off by an ulp, so nudge until exact; the early
+	// returns above bound q within the segment's tick range (|q| < 2⁶²,
+	// the quantize guard), keeping the int64 conversion safe.
+	q := int64(math.Floor(t / g.tick))
+	for float64(q)*g.tick > t {
+		q--
+	}
+	for float64(q+1)*g.tick <= t {
+		q++
+	}
+	lo, hi := 0, len(g.blocks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.blocks[mid].startTick > q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	b := lo - 1
+	if b < 0 {
+		return 0
+	}
+	cnt, ok := g.countBlockLE(b, q)
+	if !ok { // corrupt; validated segments never reach this
+		return b * segBlockLen
+	}
+	return b*segBlockLen + cnt
+}
+
+// countBlockLE counts events in block b with tick value ≤ q, walking
+// the encoded deltas directly and stopping at the first event past q.
+func (g *segment) countBlockLE(b int, q int64) (cnt int, ok bool) {
+	blen := g.blockLen(b)
+	off := int(g.blocks[b].off)
+	if off >= len(g.data) {
+		return 0, false
+	}
+	mode := g.data[off]
+	payload := g.data[off+1:]
+	tv := g.blocks[b].startTick
+	if tv > q {
+		return 0, true
+	}
+	cnt = 1
+	nd := blen - 1
+	switch {
+	case mode == segModeVarint:
+		pos := 0
+		for j := 0; j < nd; j++ {
+			d, k := binary.Uvarint(payload[pos:])
+			if k <= 0 {
+				return cnt, false
+			}
+			pos += k
+			tv += int64(d)
+			if tv > q {
+				return cnt, true
+			}
+			cnt++
+		}
+	case mode == 0:
+		// The whole block shares the start tick, already known ≤ q.
+		return blen, true
+	case int(mode) <= segMaxPackWidth:
+		w := int(mode)
+		if need := (nd*w + 7) / 8; need > len(payload) {
+			return cnt, false
+		}
+		mask := uint64(1)<<w - 1
+		var acc uint64
+		nacc, pos := 0, 0
+		for j := 0; j < nd; j++ {
+			for nacc < w {
+				acc |= uint64(payload[pos]) << nacc
+				pos++
+				nacc += 8
+			}
+			tv += int64(acc & mask)
+			acc >>= w
+			nacc -= w
+			if tv > q {
+				return cnt, true
+			}
+			cnt++
+		}
+	default:
+		return cnt, false
+	}
+	return cnt, true
+}
+
+// appendRange appends the events with segment-local indices [lo, hi) to
+// dst as SignedEvents with the given delta, decoding only the blocks
+// the range overlaps.
+func (g *segment) appendRange(lo, hi, delta int, dst []SignedEvent) []SignedEvent {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g.n {
+		hi = g.n
+	}
+	if lo >= hi {
+		return dst
+	}
+	if g.raw != nil {
+		for _, t := range g.raw[lo:hi] {
+			dst = append(dst, SignedEvent{T: t, Delta: delta})
+		}
+		return dst
+	}
+	var buf [segBlockLen]float64
+	for b := lo / segBlockLen; b*segBlockLen < hi; b++ {
+		n := g.decodeBlock(b, &buf)
+		if n < 0 {
+			break
+		}
+		j0 := lo - b*segBlockLen
+		if j0 < 0 {
+			j0 = 0
+		}
+		j1 := n
+		if e := hi - b*segBlockLen; e < j1 {
+			j1 = e
+		}
+		for _, t := range buf[j0:j1] {
+			dst = append(dst, SignedEvent{T: t, Delta: delta})
+		}
+	}
+	return dst
+}
+
+// appendTimes materializes every segment timestamp onto dst, in order.
+func (g *segment) appendTimes(dst []float64) []float64 {
+	if g.raw != nil {
+		return append(dst, g.raw...)
+	}
+	var buf [segBlockLen]float64
+	for b := 0; b < g.numBlocks(); b++ {
+		n := g.decodeBlock(b, &buf)
+		if n < 0 {
+			break
+		}
+		dst = append(dst, buf[:n]...)
+	}
+	return dst
+}
+
+// memBytes is the resident footprint of the segment: payload, skip
+// index, raw fallback, and struct overhead.
+func (g *segment) memBytes() int {
+	return segStructBytes + cap(g.data) + segIndexEntrySize*len(g.blocks) + 8*cap(g.raw)
+}
+
+// validate fully decodes the segment and checks every structural
+// invariant countLE depends on: block count, per-block monotonicity,
+// continuity across blocks, skip-entry/first/last consistency, and the
+// event count. prev is the last timestamp sealed before this segment
+// (−Inf for the first).
+func (g *segment) validate(prev float64) (lastT float64, err error) {
+	if g.n <= 0 {
+		return 0, fmt.Errorf("core: segment with %d events", g.n)
+	}
+	if g.raw != nil {
+		if len(g.raw) != g.n {
+			return 0, fmt.Errorf("core: raw segment holds %d timestamps, claims %d", len(g.raw), g.n)
+		}
+		if !sort.Float64sAreSorted(g.raw) {
+			return 0, fmt.Errorf("core: raw segment out of order")
+		}
+		if g.raw[0] < prev {
+			return 0, fmt.Errorf("core: segment starts at %v before previous seal %v", g.raw[0], prev)
+		}
+		if g.first != g.raw[0] || g.last != g.raw[len(g.raw)-1] {
+			return 0, fmt.Errorf("core: raw segment first/last metadata mismatch")
+		}
+		return g.last, nil
+	}
+	if g.tick <= 0 || math.IsNaN(g.tick) || math.IsInf(g.tick, 0) {
+		return 0, fmt.Errorf("core: segment tick %v invalid", g.tick)
+	}
+	if want := (g.n + segBlockLen - 1) / segBlockLen; len(g.blocks) != want {
+		return 0, fmt.Errorf("core: segment has %d skip blocks, want %d for %d events", len(g.blocks), want, g.n)
+	}
+	var buf [segBlockLen]float64
+	total := 0
+	cur := prev
+	for b := 0; b < g.numBlocks(); b++ {
+		n := g.decodeBlock(b, &buf)
+		if n < 0 {
+			return 0, fmt.Errorf("core: segment block %d undecodable", b)
+		}
+		if buf[0] != float64(g.blocks[b].startTick)*g.tick {
+			return 0, fmt.Errorf("core: segment block %d start-tick mismatch", b)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] < cur {
+				return 0, fmt.Errorf("core: segment block %d out of order at event %d", b, i)
+			}
+			cur = buf[i]
+		}
+		if b == 0 && buf[0] != g.first {
+			return 0, fmt.Errorf("core: segment first metadata mismatch")
+		}
+		total += n
+	}
+	if total != g.n {
+		return 0, fmt.Errorf("core: segment decodes to %d events, claims %d", total, g.n)
+	}
+	if cur != g.last {
+		return 0, fmt.Errorf("core: segment last metadata mismatch")
+	}
+	return cur, nil
+}

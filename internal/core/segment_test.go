@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Unit tests of the immutable warm segment (DESIGN.md §12): seal →
+// decode round trips, tick-domain countLE against the hot-path
+// reference, the raw lossless fallback, and corruption detection.
+
+// segTestTimes builds a sorted tick-grid timestamp sequence of length n
+// whose deltas exercise the requested encoding: small deltas take the
+// bit-packed path, an occasional huge delta forces varint blocks, and
+// zero deltas produce duplicate timestamps.
+func segTestTimes(rng *rand.Rand, n int, tick float64, wide bool) []float64 {
+	ts := make([]float64, n)
+	tv := int64(rng.Intn(100))
+	for i := range ts {
+		ts[i] = float64(tv) * tick
+		switch {
+		case wide && rng.Intn(40) == 0:
+			tv += int64(rng.Uint64() % (1 << 40)) // > segMaxPackWidth bits
+		case rng.Intn(10) == 0:
+			// duplicate timestamp
+		default:
+			tv += int64(1 + rng.Intn(30))
+		}
+	}
+	return ts
+}
+
+func TestSegmentSealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 127, 128, 129, 255, 256, 1000} {
+		for _, wide := range []bool{false, true} {
+			ts := segTestTimes(rng, n, 0.5, wide)
+			g := sealSegment(ts, 0.5, 7)
+			if g.raw != nil {
+				t.Fatalf("n=%d wide=%v: unexpected raw fallback for tick-grid input", n, wide)
+			}
+			if g.startIdx != 7 || g.n != n {
+				t.Fatalf("n=%d: startIdx/n = %d/%d, want 7/%d", n, g.startIdx, g.n, n)
+			}
+			got := g.appendTimes(nil)
+			if len(got) != n {
+				t.Fatalf("n=%d wide=%v: decoded %d events", n, wide, len(got))
+			}
+			for i := range ts {
+				if math.Float64bits(got[i]) != math.Float64bits(ts[i]) {
+					t.Fatalf("n=%d wide=%v: event %d decodes to %v, want %v", n, wide, i, got[i], ts[i])
+				}
+			}
+			if _, err := g.validate(math.Inf(-1)); err != nil {
+				t.Fatalf("n=%d wide=%v: validate: %v", n, wide, err)
+			}
+			if g.memBytes() <= 0 {
+				t.Fatalf("memBytes = %d", g.memBytes())
+			}
+		}
+	}
+}
+
+// TestSegmentCountLEMatchesReference probes countLE at and around every
+// event plus the extremes, comparing against the hot-path binary search
+// on the original slice.
+func TestSegmentCountLEMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{1, 128, 513} {
+		for _, wide := range []bool{false, true} {
+			ts := segTestTimes(rng, n, 0.25, wide)
+			g := sealSegment(ts, 0.25, 0)
+			probes := []float64{math.Inf(-1), ts[0] - 1, ts[0], ts[n-1], ts[n-1] + 1, math.Inf(1)}
+			for _, x := range ts {
+				probes = append(probes, x, x-0.125, x+0.125)
+			}
+			for _, p := range probes {
+				if got, want := g.countLE(p), countLE(ts, p); got != want {
+					t.Fatalf("n=%d wide=%v: countLE(%v) = %d, want %d", n, wide, p, got, want)
+				}
+			}
+			if got, want := g.countLE(math.NaN()), countLE(ts, math.NaN()); got != want {
+				t.Fatalf("countLE(NaN) = %d, want %d (hot-path parity)", got, want)
+			}
+		}
+	}
+}
+
+func TestSegmentAppendRangeMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	ts := segTestTimes(rng, 700, 1.0, false)
+	g := sealSegment(ts, 1.0, 0)
+	for _, r := range [][2]int{{0, 700}, {0, 1}, {699, 700}, {100, 400}, {127, 129}, {128, 256}, {300, 300}, {-5, 9999}} {
+		got := g.appendRange(r[0], r[1], -1, nil)
+		lo, hi := r[0], r[1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		want := ts[lo:hi]
+		if len(got) != len(want) {
+			t.Fatalf("appendRange(%d,%d): %d events, want %d", r[0], r[1], len(got), len(want))
+		}
+		for i := range want {
+			if got[i].T != want[i] || got[i].Delta != -1 {
+				t.Fatalf("appendRange(%d,%d): event %d = %+v, want T=%v Delta=-1", r[0], r[1], i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSegmentRawFallback seals off-grid timestamps: the segment must
+// keep them verbatim and answer identically, never silently quantize.
+func TestSegmentRawFallback(t *testing.T) {
+	ts := []float64{1.0 / 3, 2.0 / 3, 1.1, 2.5000001, 7.77}
+	g := sealSegment(ts, 1.0, 0)
+	if g.raw == nil {
+		t.Fatalf("off-grid input did not fall back to raw storage")
+	}
+	got := g.appendTimes(nil)
+	for i := range ts {
+		if math.Float64bits(got[i]) != math.Float64bits(ts[i]) {
+			t.Fatalf("raw segment event %d = %v, want %v", i, got[i], ts[i])
+		}
+	}
+	for _, p := range []float64{0, 1.0 / 3, 0.5, 2.5, 100} {
+		if got, want := g.countLE(p), countLE(ts, p); got != want {
+			t.Fatalf("raw countLE(%v) = %d, want %d", p, got, want)
+		}
+	}
+	if _, err := g.validate(math.Inf(-1)); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestSegmentValidateDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ts := segTestTimes(rng, 300, 1.0, false)
+
+	g := sealSegment(ts, 1.0, 0)
+	g.data = g.data[:len(g.data)/2]
+	if _, err := g.validate(math.Inf(-1)); err == nil {
+		t.Fatalf("validate accepted a truncated payload")
+	}
+
+	g = sealSegment(ts, 1.0, 0)
+	g.blocks = g.blocks[:1]
+	if _, err := g.validate(math.Inf(-1)); err == nil {
+		t.Fatalf("validate accepted a truncated skip index")
+	}
+
+	// The skip entry is the block's source of truth, so corruption is
+	// detectable exactly when it breaks cross-block monotonicity.
+	g = sealSegment(ts, 1.0, 0)
+	g.blocks[1].startTick -= 100000
+	if _, err := g.validate(math.Inf(-1)); err == nil {
+		t.Fatalf("validate accepted a skip entry breaking monotonicity")
+	}
+
+	g = sealSegment(ts, 1.0, 0)
+	g.n++
+	if _, err := g.validate(math.Inf(-1)); err == nil {
+		t.Fatalf("validate accepted a wrong event count")
+	}
+
+	// A segment starting before its predecessor's tail must be rejected.
+	g = sealSegment(ts, 1.0, 0)
+	if _, err := g.validate(ts[0] + 1); err == nil {
+		t.Fatalf("validate accepted a segment overlapping its predecessor")
+	}
+}

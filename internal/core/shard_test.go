@@ -14,7 +14,7 @@ import (
 
 // shardWorld builds a small grid world plus a generated workload for the
 // sharded-store tests.
-func shardWorld(t *testing.T, seed int64) (*roadnet.World, *mobility.Workload) {
+func shardWorld(t testing.TB, seed int64) (*roadnet.World, *mobility.Workload) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 8, NY: 8, Spacing: 50, Jitter: 0.2}, rng)
@@ -31,7 +31,7 @@ func shardWorld(t *testing.T, seed int64) (*roadnet.World, *mobility.Workload) {
 }
 
 // toCoreEvents converts workload ground truth to store events.
-func toCoreEvents(t *testing.T, wl *mobility.Workload) []core.Event {
+func toCoreEvents(t testing.TB, wl *mobility.Workload) []core.Event {
 	t.Helper()
 	out := make([]core.Event, 0, len(wl.Events))
 	for _, ev := range wl.Events {

@@ -32,10 +32,15 @@ type StoreSnapshot struct {
 }
 
 // RoadForms is the (γ⁺, γ⁻) pair of one road: crossing timestamps in
-// the road's U→V (Fwd) and V→U (Rev) directions.
+// the road's U→V (Fwd) and V→U (Rev) directions. When the store runs a
+// tiered history (DESIGN.md §12), the cold prefix of each direction
+// travels in its compact sealed form (FwdSealed/RevSealed, nil when the
+// direction has no sealed events); Fwd/Rev then hold only the hot tail.
+// The full per-direction sequence is sealed events followed by hot ones.
 type RoadForms struct {
-	Road     planar.EdgeID
-	Fwd, Rev []float64
+	Road                 planar.EdgeID
+	Fwd, Rev             []float64
+	FwdSealed, RevSealed *SealedHistory
 }
 
 // GatewayEvents is the world-edge event history of one gateway
@@ -63,9 +68,18 @@ func (s *Store) ExportSnapshot() *StoreSnapshot {
 	}
 	for road := range s.roads {
 		if tr := s.roads[road].Load(); tr != nil && tr.Len() > 0 {
-			snap.Roads = append(snap.Roads, RoadForms{
+			rf := RoadForms{
 				Road: planar.EdgeID(road), Fwd: tr.fwd, Rev: tr.rev,
-			})
+			}
+			// Sealed segments are immutable once published, so the
+			// snapshot shares them by pointer — no decode, no copy.
+			if tr.fwdHist.hlen() > 0 {
+				rf.FwdSealed = &SealedHistory{h: tr.fwdHist}
+			}
+			if tr.revHist.hlen() > 0 {
+				rf.RevSealed = &SealedHistory{h: tr.revHist}
+			}
+			snap.Roads = append(snap.Roads, rf)
 		}
 	}
 	byGateway := make(map[planar.NodeID]*GatewayEvents)
@@ -131,9 +145,26 @@ func (s *Store) RestoreSnapshot(snap *StoreSnapshot) error {
 			return fmt.Errorf("core: snapshot roads not in ascending order at road %d", rf.Road)
 		}
 		prevRoad = rf.Road
-		for _, dir := range [][]float64{rf.Fwd, rf.Rev} {
+		for di, dir := range [][]float64{rf.Fwd, rf.Rev} {
 			if !sort.Float64sAreSorted(dir) {
 				return fmt.Errorf("core: snapshot road %d has out-of-order timestamps", rf.Road)
+			}
+			sealed := rf.FwdSealed
+			if di == 1 {
+				sealed = rf.RevSealed
+			}
+			if sealed != nil && sealed.h.hlen() > 0 {
+				lastT, err := sealed.h.validate()
+				if err != nil {
+					return fmt.Errorf("core: snapshot road %d sealed history: %w", rf.Road, err)
+				}
+				if len(dir) > 0 && dir[0] < lastT {
+					return fmt.Errorf("core: snapshot road %d hot timestamp %v precedes sealed tail %v", rf.Road, dir[0], lastT)
+				}
+				total += int64(sealed.h.hlen())
+				if lastT > maxT {
+					maxT = lastT
+				}
 			}
 			note(dir)
 		}
@@ -163,6 +194,14 @@ func (s *Store) RestoreSnapshot(snap *StoreSnapshot) error {
 
 	for _, rf := range snap.Roads {
 		tr := &Tracker{fwd: copyTimes(rf.Fwd), rev: copyTimes(rf.Rev)}
+		// Sealed histories are immutable, so the restored store shares
+		// them with the snapshot by pointer rather than re-encoding.
+		if rf.FwdSealed != nil && rf.FwdSealed.h.hlen() > 0 {
+			tr.fwdHist = rf.FwdSealed.h
+		}
+		if rf.RevSealed != nil && rf.RevSealed.h.hlen() > 0 {
+			tr.revHist = rf.RevSealed.h
+		}
 		s.roads[rf.Road].Store(tr)
 	}
 	var views [numShards]*worldView

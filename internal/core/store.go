@@ -13,9 +13,35 @@ import (
 // Tracker is the pair of tracking forms (γ⁺, γ⁻) of one sensing edge:
 // crossing timestamps per direction over the dual road, kept in
 // non-decreasing order. The zero value is an empty tracker ready to use.
+//
+// Each direction is tiered (DESIGN.md §12): recent timestamps live in a
+// mutable hot slice, while a sealed cold prefix — when the store's
+// tiered history is enabled — lives in an immutable delta-encoded
+// history shared structurally across tracker snapshots. Every sealed
+// timestamp precedes (≤) every hot timestamp of its direction, so
+// counts compose by addition.
 type Tracker struct {
-	// fwd holds crossings in the road's U→V direction, rev in V→U.
+	// fwd holds hot crossings in the road's U→V direction, rev in V→U.
 	fwd, rev []float64
+	// fwdHist and revHist are the immutable sealed prefixes; nil until
+	// the first seal of the direction.
+	fwdHist, revHist *history
+}
+
+// hot returns the hot-tier slice of one direction.
+func (tr *Tracker) hot(forward bool) []float64 {
+	if forward {
+		return tr.fwd
+	}
+	return tr.rev
+}
+
+// hist returns the sealed history of one direction (possibly nil).
+func (tr *Tracker) hist(forward bool) *history {
+	if forward {
+		return tr.fwdHist
+	}
+	return tr.revHist
 }
 
 // Record appends a crossing at time t in the given direction. Timestamps
@@ -30,37 +56,58 @@ func (tr *Tracker) Record(forward bool, t float64) {
 }
 
 // Count returns the number of crossings in the given direction up to and
-// including t — the paper's C(γ, t).
+// including t — the paper's C(γ, t): sealed-tier count (skip-index
+// search) plus hot-tier count (binary search).
 func (tr *Tracker) Count(forward bool, t float64) int {
-	if forward {
-		return countLE(tr.fwd, t)
-	}
-	return countLE(tr.rev, t)
+	return tr.hist(forward).countLE(t) + countLE(tr.hot(forward), t)
 }
 
-// Events returns the raw timestamp sequence for one direction. Callers
-// must not modify it.
+// countInDir returns the number of crossings in (t1, t2] of one
+// direction across both tiers.
+func (tr *Tracker) countInDir(forward bool, t1, t2 float64) int {
+	return tr.Count(forward, t2) - tr.Count(forward, t1)
+}
+
+// appendSignedIn appends the direction's events in (t1, t2] to dst with
+// the given occupancy delta: sealed events first (decoding only the
+// blocks the interval overlaps), then the hot tail — which is time
+// order, since every sealed timestamp is ≤ every hot one.
+func (tr *Tracker) appendSignedIn(forward bool, delta int, t1, t2 float64, dst []SignedEvent) []SignedEvent {
+	dst = tr.hist(forward).appendSigned(dst, delta, t1, t2)
+	return appendSigned(dst, tr.hot(forward), delta, t1, t2)
+}
+
+// Events returns one direction's full timestamp sequence — the sealed
+// prefix materialized (decoded) followed by the hot tail. The returned
+// slice is a fresh copy owned by the caller: it never aliases store
+// internals, so mutating it cannot corrupt the store and later
+// ingestion is never observable through it.
 func (tr *Tracker) Events(forward bool) []float64 {
-	if forward {
-		return tr.fwd
+	hot, h := tr.hot(forward), tr.hist(forward)
+	if h.hlen() == 0 && len(hot) == 0 {
+		return nil
 	}
-	return tr.rev
+	out := make([]float64, 0, h.hlen()+len(hot))
+	out = h.appendTimes(out)
+	return append(out, hot...)
 }
 
-// Len returns the total number of stored crossings.
-func (tr *Tracker) Len() int { return len(tr.fwd) + len(tr.rev) }
+// Len returns the total number of stored crossings across both tiers.
+func (tr *Tracker) Len() int {
+	return len(tr.fwd) + len(tr.rev) + tr.fwdHist.hlen() + tr.revHist.hlen()
+}
+
+// SealedLen returns the number of sealed (warm-tier) crossings of one
+// direction.
+func (tr *Tracker) SealedLen(forward bool) int { return tr.hist(forward).hlen() }
 
 // last returns the most recent timestamp of one direction; ok is false
 // for an empty direction.
 func (tr *Tracker) last(forward bool) (t float64, ok bool) {
-	ts := tr.fwd
-	if !forward {
-		ts = tr.rev
+	if ts := tr.hot(forward); len(ts) > 0 {
+		return ts[len(ts)-1], true
 	}
-	if len(ts) == 0 {
-		return 0, false
-	}
-	return ts[len(ts)-1], true
+	return tr.hist(forward).hlast()
 }
 
 // countLE returns the number of elements of sorted ts that are ≤ t.
@@ -115,6 +162,9 @@ type Store struct {
 	// WorldJunctions for the generation it was built at.
 	gatewayGen atomic.Uint64
 	worldJs    atomic.Pointer[wjMemo]
+	// histCfg is the tiered-history configuration (SetHistoryConfig);
+	// nil disables sealing.
+	histCfg atomic.Pointer[HistoryConfig]
 }
 
 // NewStore returns an empty store over w with OrderGlobal validation.
@@ -276,15 +326,17 @@ func (s *Store) WorldJunctions() []planar.NodeID {
 	return js
 }
 
-// RoadEventsIn implements EventLister.
+// RoadEventsIn implements EventLister. Sealed (warm-tier) events are
+// decoded lazily: only the segment blocks overlapping (t1, t2] are
+// reconstructed.
 func (s *Store) RoadEventsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64, dst []SignedEvent) []SignedEvent {
 	tr := s.loadTracker(road)
 	if tr == nil {
 		return dst
 	}
 	e := s.w.Star.Edge(road)
-	dst = appendSigned(dst, tr.Events(toward == e.V), +1, t1, t2)
-	dst = appendSigned(dst, tr.Events(toward != e.V), -1, t1, t2)
+	dst = tr.appendSignedIn(toward == e.V, +1, t1, t2, dst)
+	dst = tr.appendSignedIn(toward != e.V, -1, t1, t2, dst)
 	return dst
 }
 
@@ -296,13 +348,38 @@ func (s *Store) WorldEventsIn(g planar.NodeID, t1, t2 float64, dst []SignedEvent
 	return dst
 }
 
+// appendSigned appends the events of sorted ts in (t1, t2] to dst with
+// the given delta. dst is presized once from the binary-search bounds,
+// so a call appends with zero allocations whenever dst already has the
+// capacity (the query path reuses its event buffer across calls).
 func appendSigned(dst []SignedEvent, ts []float64, delta int, t1, t2 float64) []SignedEvent {
 	lo := countLE(ts, t1)
 	hi := countLE(ts, t2)
+	if hi <= lo {
+		return dst
+	}
+	dst = growSigned(dst, hi-lo)
 	for _, t := range ts[lo:hi] {
 		dst = append(dst, SignedEvent{T: t, Delta: delta})
 	}
 	return dst
+}
+
+// growSigned returns dst with room for need more elements, growing at
+// most once — to the exact requirement or double the current capacity,
+// whichever is larger, so repeated perimeter appends stay
+// amortized-linear.
+func growSigned(dst []SignedEvent, need int) []SignedEvent {
+	if cap(dst)-len(dst) >= need {
+		return dst
+	}
+	newCap := 2 * cap(dst)
+	if newCap < len(dst)+need {
+		newCap = len(dst) + need
+	}
+	nd := make([]SignedEvent, len(dst), newCap)
+	copy(nd, dst)
+	return nd
 }
 
 // RoadTracker returns a snapshot of the tracker of one road for storage
@@ -321,11 +398,13 @@ func (s *Store) RoadTracker(road planar.EdgeID) Tracker {
 	return Tracker{}
 }
 
-// WorldEvents returns the gateway entry/exit timestamp sequences. Callers
-// must not mutate them.
+// WorldEvents returns the gateway entry/exit timestamp sequences as
+// fresh copies owned by the caller: they never alias store internals,
+// so mutation cannot corrupt the store and later ingestion is never
+// observable through them.
 func (s *Store) WorldEvents(g planar.NodeID) (in, out []float64) {
 	wv := s.worldViewOf(g)
-	return wv.in[g], wv.out[g]
+	return copyTimes(wv.in[g]), copyTimes(wv.out[g])
 }
 
 // StorageStats summarizes per-edge storage of the exact store.

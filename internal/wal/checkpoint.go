@@ -14,15 +14,24 @@ import (
 
 // This file implements the checkpoint format: a versioned binary
 // serialization of the full store snapshot, covered end to end by one
-// trailing CRC32C. Layout (all integers little-endian):
+// trailing CRC32C. Version-2 layout (all integers little-endian):
 //
 //	magic "STQCKPT1" (8) | version u32 | lsn u64 | serving_epoch u64
 //	| ordering u8 | clock f64bits | events u64
-//	| n_roads u32 | { road u32 | n_fwd u32 | fwd f64bits…
+//	| n_roads u32 | { road u32 | flags u8
+//	                | [fwd sealed-history wire, if flags&1]
+//	                | n_fwd u32 | fwd f64bits…
+//	                | [rev sealed-history wire, if flags&2]
 //	                | n_rev u32 | rev f64bits… }…
 //	| n_gateways u32 | { gateway u32 | n_in u32 | in f64bits…
 //	                   | n_out u32 | out f64bits… }…
 //	| crc32c-of-everything-above u32
+//
+// Version 2 added the per-road flags byte and the compact sealed
+// prefixes of tiered histories (core.SealedHistory wire format,
+// DESIGN.md §12) so month-scale checkpoints stay proportional to the
+// sealed size, not the raw event count. Version-1 checkpoints (no
+// flags byte, raw timestamps only) are still decoded.
 //
 // Checkpoints are written beside the log as ckpt-<lsn>.stq via
 // write-temp → fsync → rename, so partially written checkpoints are
@@ -30,7 +39,7 @@ import (
 
 const (
 	ckptMagic   = "STQCKPT1"
-	ckptVersion = 1
+	ckptVersion = 2
 )
 
 // Checkpoint pairs a store snapshot with its log position and the
@@ -58,7 +67,13 @@ func encodeCheckpoint(ck *Checkpoint) []byte {
 	snap := ck.Snapshot
 	size := 8 + 4 + 8 + 8 + 1 + 8 + 8 + 4 + 4 + 4
 	for _, rf := range snap.Roads {
-		size += 12 + 8*(len(rf.Fwd)+len(rf.Rev))
+		size += 13 + 8*(len(rf.Fwd)+len(rf.Rev))
+		if rf.FwdSealed != nil {
+			size += rf.FwdSealed.WireSize()
+		}
+		if rf.RevSealed != nil {
+			size += rf.RevSealed.WireSize()
+		}
 	}
 	for _, ge := range snap.Gateways {
 		size += 12 + 8*(len(ge.In)+len(ge.Out))
@@ -74,7 +89,21 @@ func encodeCheckpoint(ck *Checkpoint) []byte {
 	buf = appendU32(buf, uint32(len(snap.Roads)))
 	for _, rf := range snap.Roads {
 		buf = appendU32(buf, uint32(rf.Road))
+		var flags byte
+		if rf.FwdSealed != nil && rf.FwdSealed.NumEvents() > 0 {
+			flags |= 1
+		}
+		if rf.RevSealed != nil && rf.RevSealed.NumEvents() > 0 {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		if flags&1 != 0 {
+			buf = rf.FwdSealed.AppendWire(buf)
+		}
 		buf = appendTimes(buf, rf.Fwd)
+		if flags&2 != 0 {
+			buf = rf.RevSealed.AppendWire(buf)
+		}
 		buf = appendTimes(buf, rf.Rev)
 	}
 	buf = appendU32(buf, uint32(len(snap.Gateways)))
@@ -128,6 +157,20 @@ func (r *byteReader) u64() uint64 {
 	return binary.LittleEndian.Uint64(b)
 }
 
+// sealed decodes one core.SealedHistory wire blob at the read cursor.
+func (r *byteReader) sealed() *core.SealedHistory {
+	if r.err != nil {
+		return nil
+	}
+	sh, n, err := core.DecodeSealedHistory(r.b[r.off:])
+	if err != nil {
+		r.err = errCorrupt
+		return nil
+	}
+	r.off += n
+	return sh
+}
+
 func (r *byteReader) times() []float64 {
 	n := int(r.u32())
 	if r.err != nil || n > len(r.b)/8 {
@@ -165,8 +208,9 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, errCorrupt
 	}
 	r := &byteReader{b: body, off: len(ckptMagic)}
-	if v := r.u32(); v != ckptVersion {
-		return nil, errFutureVersion{version: v}
+	version := r.u32()
+	if version < 1 || version > ckptVersion {
+		return nil, errFutureVersion{version: version}
 	}
 	ck := &Checkpoint{Snapshot: &core.StoreSnapshot{}}
 	ck.LSN = r.u64()
@@ -177,8 +221,24 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	nRoads := int(r.u32())
 	for i := 0; i < nRoads && r.err == nil; i++ {
 		rf := core.RoadForms{Road: planar.EdgeID(r.u32())}
-		rf.Fwd = r.times()
-		rf.Rev = r.times()
+		if version >= 2 {
+			flags := r.u8()
+			if flags&^byte(3) != 0 {
+				r.err = errCorrupt
+				break
+			}
+			if flags&1 != 0 {
+				rf.FwdSealed = r.sealed()
+			}
+			rf.Fwd = r.times()
+			if flags&2 != 0 {
+				rf.RevSealed = r.sealed()
+			}
+			rf.Rev = r.times()
+		} else {
+			rf.Fwd = r.times()
+			rf.Rev = r.times()
+		}
 		ck.Snapshot.Roads = append(ck.Snapshot.Roads, rf)
 	}
 	nGws := int(r.u32())

@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// TestCheckpointSealedHistoryRoundTrip covers the v2 checkpoint format:
+// a store with a sealed warm tier must survive encodeCheckpoint →
+// decodeCheckpoint → RestoreSnapshot with bit-identical answers AND
+// with the sealed tier still in compact form (not rehydrated into hot
+// slices).
+func TestCheckpointSealedHistoryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w, err := roadnet.GridCity(roadnet.GridOpts{NX: 4, NY: 4, Spacing: 50, Jitter: 0.1}, rng)
+	if err != nil {
+		t.Fatalf("GridCity: %v", err)
+	}
+	store := core.NewStore(w)
+	store.SetOrdering(core.OrderPerEdge)
+	if err := store.SetHistoryConfig(core.HistoryConfig{
+		Tick: 0.5, HotKeep: 4, SealThreshold: 16,
+	}); err != nil {
+		t.Fatalf("SetHistoryConfig: %v", err)
+	}
+	// Tick-aligned streams on a few roads (delta-encoded segments) plus
+	// one off-grid road (raw-fallback segment), so both sealed kinds
+	// travel through the checkpoint.
+	for road := 0; road < 4; road++ {
+		e := w.Star.Edge(planar.EdgeID(road))
+		tv := int64(1)
+		for i := 0; i < 200; i++ {
+			tv += int64(rng.Intn(9))
+			ts := float64(tv) * 0.5
+			if road == 3 {
+				ts += 1.0 / 3 // off-grid: forces the raw fallback
+			}
+			if err := store.RecordMove(planar.EdgeID(road), e.U, ts); err != nil {
+				t.Fatalf("RecordMove: %v", err)
+			}
+		}
+	}
+	st := store.SealColdPrefixes()
+	if st.SealedEvents == 0 {
+		t.Fatalf("no events sealed; test is vacuous")
+	}
+	if st.LossyFallbacks == 0 {
+		t.Fatalf("no raw-fallback segment produced; test is incomplete")
+	}
+
+	ck := &Checkpoint{LSN: 123, ServingEpoch: 45, Snapshot: store.ExportSnapshot()}
+	got, err := decodeCheckpoint(encodeCheckpoint(ck))
+	if err != nil {
+		t.Fatalf("decodeCheckpoint: %v", err)
+	}
+	if got.LSN != ck.LSN || got.ServingEpoch != ck.ServingEpoch {
+		t.Fatalf("header round trip: LSN %d/%d epoch %d/%d", got.LSN, ck.LSN, got.ServingEpoch, ck.ServingEpoch)
+	}
+
+	restored := core.NewStore(w)
+	if err := restored.RestoreSnapshot(got.Snapshot); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if restored.NumEvents() != store.NumEvents() {
+		t.Fatalf("restored %d events, want %d", restored.NumEvents(), store.NumEvents())
+	}
+	for road := 0; road < w.Star.NumEdges(); road++ {
+		want := store.RoadTracker(planar.EdgeID(road))
+		have := restored.RoadTracker(planar.EdgeID(road))
+		for _, fwd := range []bool{true, false} {
+			a, b := want.Events(fwd), have.Events(fwd)
+			if len(a) != len(b) {
+				t.Fatalf("road %d fwd=%v: %d vs %d events", road, fwd, len(b), len(a))
+			}
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("road %d fwd=%v event %d: %v, want %v", road, fwd, i, b[i], a[i])
+				}
+			}
+		}
+	}
+	wm, rm := store.Memory(), restored.Memory()
+	if rm.SealedEvents != wm.SealedEvents || rm.Segments != wm.Segments {
+		t.Fatalf("restored sealed tier %d events / %d segments, want %d / %d (rehydrated?)",
+			rm.SealedEvents, rm.Segments, wm.SealedEvents, wm.Segments)
+	}
+}

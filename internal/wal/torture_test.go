@@ -152,6 +152,21 @@ func TestTortureCrashRecovery(t *testing.T) {
 				store := core.NewStore(w)
 				store.SetOrdering(mode.ordering)
 
+				// Seal-during-crash schedule point: a third of the points
+				// run the tiered-history sealer at a seeded batch index,
+				// so checkpoints taken afterwards carry compact sealed
+				// segments and recovery must stay bit-identical with
+				// sealing enabled (DESIGN.md §12).
+				sealAt := -1
+				if k%3 == 0 {
+					sealAt = pointRng.Intn(tortureBatches)
+					if err := store.SetHistoryConfig(core.HistoryConfig{
+						Tick: 1.0 / 1024, HotKeep: 1, SealThreshold: 2,
+					}); err != nil {
+						t.Fatalf("point %d: SetHistoryConfig: %v", k, err)
+					}
+				}
+
 				// Write phase: the exact {apply, append} discipline of
 				// stq's durable ingestion, tracking each batch's end
 				// offset in the active segment.
@@ -169,6 +184,9 @@ func TestTortureCrashRecovery(t *testing.T) {
 					}
 					seg, end := l.Tell()
 					marks = append(marks, mark{seg: seg, end: end})
+					if i == sealAt {
+						store.SealColdPrefixes()
+					}
 					if i == j {
 						if err := l.WriteCheckpoint(store.ExportSnapshot(), 5); err != nil {
 							t.Fatalf("point %d: checkpoint: %v", k, err)

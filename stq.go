@@ -373,6 +373,16 @@ type System struct {
 	// epoch counts serving-state publications (ServingEpoch).
 	epoch atomic.Uint64
 
+	// sealEvery/sealPending/sealerBusy drive the background history
+	// sealer (EnableTieredHistory with AutoSealEvery > 0): sealPending
+	// accumulates ingested events; once it crosses sealEvery, one
+	// goroutine at a time (the busy flag) runs the store's cold-prefix
+	// sealer. sealWG lets WaitHistorySeals drain in-flight seals.
+	sealEvery   atomic.Int64
+	sealPending atomic.Int64
+	sealerBusy  atomic.Bool
+	sealWG      sync.WaitGroup
+
 	// dlog, when non-nil, makes the system durable (OpenDurable). dmu
 	// serializes {store apply, WAL append} pairs so log order always
 	// equals apply order — the invariant crash recovery replays under.
@@ -476,6 +486,7 @@ func (s *System) Ingest(wl *Workload) error {
 			return err
 		}
 		sysEvents.AddInt(len(wl.Events))
+		s.maybeSeal(len(wl.Events))
 	}
 	if s.trainer != nil {
 		s.learnt = learned.FromExact(s.store, s.trainer)
@@ -496,6 +507,7 @@ func (s *System) RecordBatch(events []Event) error {
 		return err
 	}
 	sysEvents.AddInt(len(events))
+	s.maybeSeal(len(events))
 	return nil
 }
 
@@ -505,7 +517,11 @@ func (s *System) RecordMove(road EdgeID, from NodeID, t float64) error {
 	if s.dlog != nil {
 		return s.recordDurable([]Event{MoveEvent(road, from, t)})
 	}
-	return s.store.RecordMove(road, from, t)
+	if err := s.store.RecordMove(road, from, t); err != nil {
+		return err
+	}
+	s.maybeSeal(1)
+	return nil
 }
 
 // RecordEnter ingests a world entry at a gateway junction.
@@ -513,7 +529,11 @@ func (s *System) RecordEnter(gateway NodeID, t float64) error {
 	if s.dlog != nil {
 		return s.recordDurable([]Event{EnterEvent(gateway, t)})
 	}
-	return s.store.RecordEnter(gateway, t)
+	if err := s.store.RecordEnter(gateway, t); err != nil {
+		return err
+	}
+	s.maybeSeal(1)
+	return nil
 }
 
 // RecordLeave ingests a world exit at a gateway junction.
@@ -521,7 +541,11 @@ func (s *System) RecordLeave(gateway NodeID, t float64) error {
 	if s.dlog != nil {
 		return s.recordDurable([]Event{LeaveEvent(gateway, t)})
 	}
-	return s.store.RecordLeave(gateway, t)
+	if err := s.store.RecordLeave(gateway, t); err != nil {
+		return err
+	}
+	s.maybeSeal(1)
+	return nil
 }
 
 // SetIngestOrdering selects the event-time ordering contract enforced by

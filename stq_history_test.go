@@ -1,0 +1,150 @@
+package stq
+
+// Serving-layer tests of the tiered history (DESIGN.md §12): the
+// background sealer must actually seal without changing any answer,
+// and durable systems must checkpoint sealed segments and recover
+// bit-identically no matter when seals happened relative to the
+// checkpoint.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// historyBatches is durableBatches concentrated on a few roads, so
+// per-direction event counts actually cross small seal thresholds.
+func historyBatches(w *roadnet.World, n, perBatch int, seed int64) [][]Event {
+	rng := rand.New(rand.NewSource(seed))
+	tm := 0.0
+	out := make([][]Event, 0, n)
+	for i := 0; i < n; i++ {
+		var batch []Event
+		for j := 0; j < perBatch; j++ {
+			tm += rng.Float64() * 3
+			if rng.Intn(8) == 0 {
+				batch = append(batch, EnterEvent(w.Gateways[rng.Intn(len(w.Gateways))], tm))
+				continue
+			}
+			road := EdgeID(rng.Intn(4))
+			e := w.Star.Edge(road)
+			from := e.U
+			if rng.Intn(2) == 0 {
+				from = e.V
+			}
+			batch = append(batch, MoveEvent(road, from, tm))
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// TestHistorySystemAutoSeal drives the background sealer through the
+// RecordBatch ingestion hook and requires (a) sealing to actually
+// happen and (b) every query answer to match an untiered reference.
+func TestHistorySystemAutoSeal(t *testing.T) {
+	w := durableTestWorld(t)
+	ref := NewSystem(w)
+	tiered := NewSystem(w)
+	if _, ok := tiered.TieredHistory(); ok {
+		t.Fatalf("tiered history reported active before EnableTieredHistory")
+	}
+	if err := tiered.EnableTieredHistory(HistoryConfig{
+		Tick: 0.001, HotKeep: 2, SealThreshold: 8, AutoSealEvery: 64,
+	}); err != nil {
+		t.Fatalf("EnableTieredHistory: %v", err)
+	}
+	if cfg, ok := tiered.TieredHistory(); !ok || cfg.AutoSealEvery != 64 {
+		t.Fatalf("TieredHistory = %+v, %v; want active with AutoSealEvery 64", cfg, ok)
+	}
+
+	batches := historyBatches(w, 40, 8, 33)
+	for _, b := range batches {
+		if err := ref.RecordBatch(b); err != nil {
+			t.Fatalf("reference RecordBatch: %v", err)
+		}
+		if err := tiered.RecordBatch(b); err != nil {
+			t.Fatalf("tiered RecordBatch: %v", err)
+		}
+	}
+	tiered.WaitHistorySeals()
+	tiered.SealHistory() // flush anything under the auto-seal trigger
+	mem := tiered.Memory()
+	if mem.SealedEvents == 0 {
+		t.Fatalf("background sealer sealed nothing; test is vacuous")
+	}
+	if ref.NumEvents() != tiered.NumEvents() {
+		t.Fatalf("tiered system holds %d events, reference %d", tiered.NumEvents(), ref.NumEvents())
+	}
+	horizon := 40 * 8 * 3.0
+	assertSameAnswers(t, ref, tiered, horizon)
+}
+
+// TestHistoryDurableCheckpointRecovery interleaves sealing with
+// checkpointing and post-checkpoint ingestion, then crashes (Close)
+// and recovers: the recovered system must hold the sealed tier in
+// compact form and answer bit-identically to an in-memory reference
+// fed the same events.
+func TestHistoryDurableCheckpointRecovery(t *testing.T) {
+	w := durableTestWorld(t)
+	dir := t.TempDir()
+
+	sys, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if err := sys.EnableTieredHistory(HistoryConfig{
+		Tick: 0.001, HotKeep: 2, SealThreshold: 8,
+	}); err != nil {
+		t.Fatalf("EnableTieredHistory: %v", err)
+	}
+	batches := historyBatches(w, 30, 6, 39)
+	for i, b := range batches {
+		if err := sys.RecordBatch(b); err != nil {
+			t.Fatalf("RecordBatch: %v", err)
+		}
+		switch i {
+		case 10:
+			if st := sys.SealHistory(); st.SealedEvents == 0 {
+				t.Fatalf("mid-stream seal froze nothing; test is vacuous")
+			}
+		case 15:
+			// Checkpoint after sealing: sealed segments travel in the
+			// checkpoint image; batches 16.. replay from the WAL tail.
+			if err := sys.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		case 20:
+			sys.SealHistory() // seal events newer than the checkpoint too
+		}
+	}
+	sealedBefore := sys.Memory().SealedEvents
+	if sealedBefore == 0 {
+		t.Fatalf("no sealed events before crash")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := OpenDurable(w, Durability{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.Memory().SealedEvents == 0 {
+		t.Fatalf("recovered system lost the sealed tier (rehydrated to hot)")
+	}
+
+	ref := NewSystem(w)
+	for _, b := range batches {
+		if err := ref.RecordBatch(b); err != nil {
+			t.Fatalf("reference RecordBatch: %v", err)
+		}
+	}
+	if ref.NumEvents() != re.NumEvents() {
+		t.Fatalf("recovered %d events, reference %d", re.NumEvents(), ref.NumEvents())
+	}
+	horizon := 30 * 6 * 3.0
+	assertSameAnswers(t, ref, re, horizon)
+}
