@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-serve experiments examples fmt vet clean
 
 all: build test
 
@@ -22,6 +22,8 @@ check:
 	$(GO) run ./cmd/stqbench -concurrent -quick -concurrent-out ""
 	$(GO) run ./cmd/stqbench -wal -quick -wal-out ""
 	$(GO) run ./cmd/stqbench -history -quick -history-out ""
+	$(GO) run ./cmd/stqload -quick -out BENCH_serve.json
+	$(GO) run ./cmd/benchjson -gates BENCH_serve.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -60,6 +62,14 @@ bench-wal:
 # non-bit-identical answer.
 bench-history:
 	$(GO) run ./cmd/stqbench -history -history-out BENCH_history.json
+
+# Serving-layer load gate: cmd/stqload drives an in-process stqd stack
+# (self-serve mode) end to end over HTTP — closed-loop client pool,
+# warmup + measurement phases, per-kind latency percentiles — and fails
+# above the p99 latency gate or below the throughput floor.
+bench-serve:
+	$(GO) run ./cmd/stqload -out BENCH_serve.json
+	$(GO) run ./cmd/benchjson -gates BENCH_serve.json
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

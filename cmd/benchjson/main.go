@@ -87,6 +87,19 @@ func runGates(paths []string) error {
 			BitIdentical     bool     `json:"bit_identical"`
 			MemReductionGate float64  `json:"mem_reduction_gate"`
 			LatencyRatioGate float64  `json:"latency_ratio_gate"`
+			// Serving gate breakdown (BENCH_serve.json, cmd/stqload).
+			Kinds []struct {
+				Kind  string  `json:"kind"`
+				Count int     `json:"count"`
+				P50Ms float64 `json:"p50_ms"`
+				P95Ms float64 `json:"p95_ms"`
+				P99Ms float64 `json:"p99_ms"`
+			} `json:"kinds"`
+			ThroughputQPS    float64 `json:"throughput_qps"`
+			WorstP99Ms       float64 `json:"worst_p99_ms"`
+			P99GateMs        float64 `json:"p99_gate_ms"`
+			MinThroughputQPS float64 `json:"min_throughput_qps"`
+			ServeErrors      int     `json:"errors"`
 		}
 		if err := json.Unmarshal(data, &gate); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
@@ -111,6 +124,14 @@ func runGates(paths []string) error {
 		for _, p := range gate.Policies {
 			fmt.Printf("  fsync=%-8s %10.0f events/s  %6d fsyncs  recovery %6.1fms  verified %v\n",
 				p.Policy, p.EventsPerSec, p.Fsyncs, p.RecoveryMs, p.Verified)
+		}
+		if len(gate.Kinds) > 0 {
+			fmt.Printf("  serving: %.0f req/s (gate \u2265%.0f), worst p99 %.3fms (gate \u2264%.0fms), %d errors\n",
+				gate.ThroughputQPS, gate.MinThroughputQPS, gate.WorstP99Ms, gate.P99GateMs, gate.ServeErrors)
+			for _, k := range gate.Kinds {
+				fmt.Printf("  %-10s %7d reqs  p50 %7.3fms  p95 %7.3fms  p99 %7.3fms\n",
+					k.Kind, k.Count, k.P50Ms, k.P95Ms, k.P99Ms)
+			}
 		}
 	}
 	if failed > 0 {

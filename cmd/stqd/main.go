@@ -1,0 +1,200 @@
+// Command stqd serves one stq.System over HTTP/JSON — the network
+// serving layer of the in-network query framework (DESIGN.md §13).
+//
+// It builds a synthetic grid city, optionally pre-ingests a seeded
+// workload, places communication sensors, and serves:
+//
+//	POST /v1/query       spatiotemporal range count
+//	POST /v1/ingest      batch event ingestion
+//	POST /v1/checkpoint  durable checkpoint (409 when not durable)
+//	GET  /v1/stats       serving counters, plan cache, latency quantiles
+//	GET  /metrics        Prometheus text exposition
+//	GET  /metrics.json   expvar-style JSON dump
+//	GET  /healthz        liveness (503 while draining)
+//
+// Quickstart:
+//
+//	stqd -addr :8080 -objects 200 &
+//	curl -s localhost:8080/v1/query -d '{"rect":[100,100,400,400],"t1":3600,"t2":7200,"kind":"transient"}'
+//	curl -s localhost:8080/metrics | head
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// finishes in-flight requests, flushes queued ingest group commits,
+// waits for background history seals, and writes a final checkpoint
+// when running durably (-durable).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/roadnet"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		nx          = flag.Int("nx", 14, "city grid columns")
+		ny          = flag.Int("ny", 14, "city grid rows")
+		seed        = flag.Int64("seed", 42, "world / workload / placement seed")
+		objects     = flag.Int("objects", 0, "pre-ingest a synthetic workload with this many objects (0 = start empty)")
+		horizon     = flag.Float64("horizon", 86400, "pre-ingested workload horizon in seconds")
+		budget      = flag.Int("budget", 64, "communication-sensor budget (0 = unsampled full graph)")
+		durableDir  = flag.String("durable", "", "WAL/checkpoint directory (empty = in-memory only)")
+		order       = flag.String("order", "peredge", "ingest ordering contract: peredge | global")
+		privTotal   = flag.Float64("privacy-total", 0, "total privacy budget ε (0 = privacy off)")
+		privPer     = flag.Float64("privacy-eps", 0.1, "per-query ε when privacy is on")
+		maxInflight = flag.Int("max-inflight", 0, "admission: concurrent requests (0 = 4×GOMAXPROCS)")
+		maxQueued   = flag.Int("max-queued", 0, "admission: waiting room before 429 (0 = 4×max-inflight)")
+		slow        = flag.Duration("slow", 0, "slow-query log threshold (0 = off)")
+		noObs       = flag.Bool("no-obs", false, "leave observability instrumentation off")
+	)
+	flag.Parse()
+	if err := run(config{
+		addr: *addr, nx: *nx, ny: *ny, seed: *seed, objects: *objects,
+		horizon: *horizon, budget: *budget, durableDir: *durableDir,
+		order: *order, privTotal: *privTotal, privPer: *privPer,
+		maxInflight: *maxInflight, maxQueued: *maxQueued,
+		slow: *slow, obs: !*noObs,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "stqd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr               string
+	nx, ny             int
+	seed               int64
+	objects            int
+	horizon            float64
+	budget             int
+	durableDir         string
+	order              string
+	privTotal, privPer float64
+	maxInflight        int
+	maxQueued          int
+	slow               time.Duration
+	obs                bool
+}
+
+func run(cfg config) error {
+	sys, err := buildSystem(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.obs {
+		stq.EnableObservability()
+	}
+	if cfg.slow > 0 {
+		stq.SetSlowQueryThreshold(cfg.slow)
+	}
+
+	srv := stq.NewServer(sys, stq.ServerConfig{
+		MaxInflight: cfg.maxInflight,
+		MaxQueued:   cfg.maxQueued,
+	})
+	hs := &http.Server{Addr: cfg.addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("stqd: signal received, draining (in-flight requests finish, then final checkpoint)")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("stqd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("stqd: serving on %s (%d junctions, %d roads, %d events, %d sensors, durable=%v)",
+		cfg.addr, sys.World().NumJunctions(), sys.World().NumRoads(),
+		sys.NumEvents(), sys.NumCommunicationSensors(), sys.Durable())
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := sys.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	log.Printf("stqd: drained cleanly")
+	return nil
+}
+
+// buildSystem constructs the served system: durable when a WAL
+// directory is given (recovering whatever it holds), in-memory
+// otherwise, with optional pre-ingested workload and sensor placement.
+func buildSystem(cfg config) (*stq.System, error) {
+	opts := stq.DefaultGridOpts()
+	opts.NX, opts.NY = cfg.nx, cfg.ny
+
+	var sys *stq.System
+	if cfg.durableDir != "" {
+		w, err := roadnet.GridCity(opts, rand.New(rand.NewSource(cfg.seed)))
+		if err != nil {
+			return nil, err
+		}
+		sys, err = stq.OpenDurable(w, stq.Durability{Dir: cfg.durableDir})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		sys, err = stq.NewGridCitySystem(opts, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	switch cfg.order {
+	case "peredge":
+		if err := sys.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+			return nil, err
+		}
+	case "global":
+		if err := sys.SetIngestOrdering(stq.OrderGlobal); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown -order %q (peredge | global)", cfg.order)
+	}
+
+	// Seed the store only when it is empty: a durable restart already
+	// recovered its history.
+	if cfg.objects > 0 && sys.NumEvents() == 0 {
+		mob := stq.DefaultMobilityOpts()
+		mob.Objects = cfg.objects
+		mob.Horizon = cfg.horizon
+		wl, err := sys.GenerateWorkload(mob, cfg.seed+1)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Ingest(wl); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.budget > 0 {
+		if err := sys.PlaceSensors(stq.PlacementQuadTree, cfg.budget, cfg.seed+2); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.privTotal > 0 {
+		if err := sys.EnablePrivacy(cfg.privTotal, cfg.privPer, cfg.seed+3); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}

@@ -1,0 +1,675 @@
+// Command stqload is the closed/open-loop load harness for stqd: it
+// simulates many concurrent clients issuing spatiotemporal range
+// queries and batch ingestion against the HTTP serving layer, measures
+// per-query-kind latency through warmup and measurement phases, and
+// writes a machine-readable gate file (BENCH_serve.json) whose p99 and
+// throughput gates `benchjson -gates` enforces in make check and CI.
+//
+// Modes:
+//
+//	closed  (default) N clients in a request loop — each sends, waits,
+//	        sends again; offered load adapts to service rate.
+//	open    arrivals follow a Poisson process at -rate regardless of
+//	        completions (the "millions of independent users" shape);
+//	        arrivals beyond the dispatch queue are counted as shed.
+//
+// Target selection:
+//
+//	-addr http://host:8080   drive an external stqd
+//	-addr ""                 (default) self-serve: build a seeded
+//	                         system in-process, serve it on a loopback
+//	                         listener, and drive that — the hermetic
+//	                         end-to-end smoke make check runs.
+//
+// The query stream draws from a hot set of repeated rectangles with
+// probability -dup (exercising the plan cache and in-flight
+// coalescing) and fresh random rectangles otherwise. The ingest stream
+// replays a pre-generated synthetic workload partitioned by sensing
+// edge across workers, so concurrent clients never violate the
+// per-edge ordering contract; each replay lap shifts timestamps past
+// the previous one to keep per-edge monotonicity.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/mobility"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target base URL (empty = self-serve in-process)")
+		mode     = flag.String("mode", "closed", "load mode: closed | open")
+		clients  = flag.Int("clients", 16, "worker pool size (closed-loop concurrency)")
+		rate     = flag.Float64("rate", 2000, "open-loop arrival rate (requests/sec)")
+		duration = flag.Duration("duration", 8*time.Second, "measurement phase length")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warmup phase length (unmeasured)")
+		mix      = flag.String("mix", "snapshot=35,static=20,transient=35,ingest=10", "operation mix percentages")
+		dup      = flag.Float64("dup", 0.5, "fraction of queries drawn from the hot rect set")
+		seed     = flag.Int64("seed", 1, "load-generator seed")
+		quick    = flag.Bool("quick", false, "small self-serve system and short phases (CI smoke)")
+		out      = flag.String("out", "BENCH_serve.json", "gate file path (empty = stdout only)")
+		p99Gate  = flag.Float64("p99-gate", 100, "fail when any kind's p99 exceeds this (ms)")
+		minQPS   = flag.Float64("min-qps", 1000, "fail below this measured throughput (req/s)")
+		horizon  = flag.Float64("horizon", 86400, "time horizon of the target's pre-ingested data")
+		objects  = flag.Int("objects", 200, "self-serve: pre-ingested workload objects")
+		gridN    = flag.Int("grid", 12, "self-serve: city grid side")
+		budget   = flag.Int("budget", 64, "self-serve: communication-sensor budget")
+	)
+	flag.Parse()
+	cfg := loadConfig{
+		addr: *addr, mode: *mode, clients: *clients, rate: *rate,
+		duration: *duration, warmup: *warmup, dup: *dup, seed: *seed,
+		out: *out, p99GateMs: *p99Gate, minQPS: *minQPS, horizon: *horizon,
+		objects: *objects, gridN: *gridN, budget: *budget,
+	}
+	if *quick {
+		cfg.duration, cfg.warmup = 2*time.Second, 400*time.Millisecond
+		cfg.clients = 8
+		cfg.objects, cfg.gridN, cfg.budget = 80, 8, 32
+		cfg.p99GateMs, cfg.minQPS = 250, 200
+	}
+	var err error
+	cfg.mix, err = parseMix(*mix)
+	if err == nil {
+		err = run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stqload:", err)
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	addr      string
+	mode      string
+	clients   int
+	rate      float64
+	duration  time.Duration
+	warmup    time.Duration
+	mix       opMix
+	dup       float64
+	seed      int64
+	out       string
+	p99GateMs float64
+	minQPS    float64
+	horizon   float64
+	objects   int
+	gridN     int
+	budget    int
+}
+
+// opMix holds cumulative operation-mix thresholds in [0,1]:
+// r < snapshot → snapshot, r < static → static, r < transient →
+// transient, else ingest.
+type opMix struct{ snapshot, static, transient float64 }
+
+func parseMix(s string) (opMix, error) {
+	pct := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return opMix{}, fmt.Errorf("bad mix entry %q", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || v < 0 {
+			return opMix{}, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch kv[0] {
+		case "snapshot", "static", "transient", "ingest":
+			pct[kv[0]] = v
+		default:
+			return opMix{}, fmt.Errorf("unknown mix op %q", kv[0])
+		}
+	}
+	total := pct["snapshot"] + pct["static"] + pct["transient"] + pct["ingest"]
+	if total <= 0 {
+		return opMix{}, fmt.Errorf("mix weights sum to zero")
+	}
+	m := opMix{
+		snapshot:  pct["snapshot"] / total,
+		static:    pct["static"] / total,
+		transient: pct["transient"] / total,
+	}
+	m.static += m.snapshot
+	m.transient += m.static
+	return m, nil
+}
+
+func run(cfg loadConfig) error {
+	base := cfg.addr
+	var shutdown func() error
+	if base == "" {
+		var err error
+		base, shutdown, err = selfServe(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stqload: self-serving on %s (grid %dx%d, %d objects, budget %d)\n",
+			base, cfg.gridN, cfg.gridN, cfg.objects, cfg.budget)
+	}
+
+	h := newHarness(cfg, base)
+	if err := h.prepare(); err != nil {
+		return err
+	}
+	rep := h.drive()
+
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			return fmt.Errorf("self-serve shutdown: %w", err)
+		}
+	}
+	return emit(cfg, rep)
+}
+
+// selfServe builds a seeded system in-process, wraps it in the serving
+// layer, and listens on an ephemeral loopback port. The returned
+// shutdown exercises the real drain path (Shutdown → Drain).
+func selfServe(cfg loadConfig) (base string, shutdown func() error, err error) {
+	opts := stq.DefaultGridOpts()
+	opts.NX, opts.NY = cfg.gridN, cfg.gridN
+	sys, err := stq.NewGridCitySystem(opts, cfg.seed+100)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := sys.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+		return "", nil, err
+	}
+	mob := stq.DefaultMobilityOpts()
+	mob.Objects = cfg.objects
+	mob.Horizon = cfg.horizon
+	wl, err := sys.GenerateWorkload(mob, cfg.seed+101)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := sys.Ingest(wl); err != nil {
+		return "", nil, err
+	}
+	if err := sys.PlaceSensors(stq.PlacementQuadTree, cfg.budget, cfg.seed+102); err != nil {
+		return "", nil, err
+	}
+	stq.EnableObservability()
+
+	srv := stq.NewServer(sys, stq.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown = func() error {
+		if err := hs.Close(); err != nil {
+			return err
+		}
+		return srv.Drain()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// harness owns the client pool and the shared request streams.
+type harness struct {
+	cfg    loadConfig
+	base   string
+	client *http.Client
+
+	bounds   [4]float64 // world bounds, from a probe query... filled by prepare
+	hotRects [][4]float64
+	stripes  [][]stq.IngestEvent // per-worker ingest stripes
+
+	shed atomic.Uint64
+}
+
+func newHarness(cfg loadConfig, base string) *harness {
+	tr := &http.Transport{MaxIdleConns: 4 * cfg.clients, MaxIdleConnsPerHost: 4 * cfg.clients}
+	return &harness{
+		cfg:    cfg,
+		base:   base,
+		client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// prepare probes the target and pre-generates the request streams: the
+// hot rect set, and the per-worker ingest stripes (partitioned by road
+// / gateway so concurrent workers respect per-edge ordering).
+func (h *harness) prepare() error {
+	// World bounds are not exposed over the wire; the load generator
+	// regenerates the same synthetic city shape it drives (seeded), so
+	// rect generation just needs a plausible coordinate range. Use a
+	// generated city of the configured shape for both bounds and the
+	// ingest stream.
+	opts := stq.DefaultGridOpts()
+	opts.NX, opts.NY = h.cfg.gridN, h.cfg.gridN
+	sys, err := stq.NewGridCitySystem(opts, h.cfg.seed+100)
+	if err != nil {
+		return err
+	}
+	b := sys.Bounds()
+	h.bounds = [4]float64{b.Min.X, b.Min.Y, b.Max.X, b.Max.Y}
+
+	rng := rand.New(rand.NewSource(h.cfg.seed))
+	h.hotRects = make([][4]float64, 8)
+	for i := range h.hotRects {
+		h.hotRects[i] = h.randRect(rng)
+	}
+
+	// Ingest stream: a fresh workload over the same city, partitioned
+	// into per-worker stripes by road (moves) / gateway (enter+leave).
+	mob := stq.DefaultMobilityOpts()
+	mob.Objects = h.cfg.objects
+	mob.Horizon = h.cfg.horizon
+	wl, err := sys.GenerateWorkload(mob, h.cfg.seed+7)
+	if err != nil {
+		return err
+	}
+	h.stripes = make([][]stq.IngestEvent, h.cfg.clients)
+	for _, ev := range wl.Events {
+		var we stq.IngestEvent
+		var key int
+		switch ev.Kind {
+		case mobility.Move:
+			we = stq.IngestEvent{Kind: "move", T: ev.T, Road: int(ev.Road), From: int(ev.From)}
+			key = int(ev.Road)
+		case mobility.Enter:
+			we = stq.IngestEvent{Kind: "enter", T: ev.T, Gateway: int(ev.At)}
+			key = int(ev.At)
+		case mobility.Leave:
+			we = stq.IngestEvent{Kind: "leave", T: ev.T, Gateway: int(ev.At)}
+			key = int(ev.At)
+		}
+		w := key % len(h.stripes)
+		h.stripes[w] = append(h.stripes[w], we)
+	}
+	return nil
+}
+
+func (h *harness) randRect(rng *rand.Rand) [4]float64 {
+	w := h.bounds[2] - h.bounds[0]
+	ht := h.bounds[3] - h.bounds[1]
+	fw := (0.2 + 0.4*rng.Float64()) * w
+	fh := (0.2 + 0.4*rng.Float64()) * ht
+	x := h.bounds[0] + rng.Float64()*(w-fw)
+	y := h.bounds[1] + rng.Float64()*(ht-fh)
+	return [4]float64{x, y, x + fw, y + fh}
+}
+
+// worker is one simulated client: its own rng, its own ingest stripe
+// cursor, its own sample buffers (merged after the run).
+type worker struct {
+	h      *harness
+	id     int
+	rng    *rand.Rand
+	cursor int
+	lap    int
+
+	measureFrom time.Time
+	samples     map[string][]float64 // latency ms per op kind
+	ok          int
+	rejected    int
+	errs        int
+	firstErr    error
+}
+
+const ingestChunk = 200
+
+func (h *harness) newWorker(id int, measureFrom time.Time) *worker {
+	return &worker{
+		h: h, id: id, rng: rand.New(rand.NewSource(h.cfg.seed + int64(id)*7919)),
+		measureFrom: measureFrom,
+		samples:     map[string][]float64{},
+	}
+}
+
+func (w *worker) step() {
+	op := "ingest"
+	r := w.rng.Float64()
+	switch {
+	case r < w.h.cfg.mix.snapshot:
+		op = "snapshot"
+	case r < w.h.cfg.mix.static:
+		op = "static"
+	case r < w.h.cfg.mix.transient:
+		op = "transient"
+	}
+	var status int
+	var err error
+	start := time.Now()
+	if op == "ingest" {
+		status, err = w.doIngest()
+		if status == statusNoIngestData {
+			return
+		}
+	} else {
+		status, err = w.doQuery(op)
+	}
+	lat := time.Since(start)
+	measured := start.After(w.measureFrom)
+	switch {
+	case err != nil:
+		w.errs++
+		if w.firstErr == nil {
+			w.firstErr = err
+		}
+	case status == http.StatusTooManyRequests:
+		if measured {
+			w.rejected++
+		}
+	case status != http.StatusOK:
+		w.errs++
+		if w.firstErr == nil {
+			w.firstErr = fmt.Errorf("%s: unexpected HTTP %d", op, status)
+		}
+	default:
+		if measured {
+			w.ok++
+			w.samples[op] = append(w.samples[op], float64(lat)/1e6)
+		}
+	}
+}
+
+func (w *worker) doQuery(op string) (int, error) {
+	hz := w.h.cfg.horizon
+	var rect [4]float64
+	var t1, t2 float64
+	if w.rng.Float64() < w.h.cfg.dup {
+		// Hot queries repeat both the rect and a quantized time window,
+		// so concurrent workers issue byte-identical requests and the
+		// server's in-flight coalescer gets real work.
+		rect = w.h.hotRects[w.rng.Intn(len(w.h.hotRects))]
+		slot := float64(w.rng.Intn(4))
+		t1 = slot * hz / 5
+		t2 = t1 + hz/4
+	} else {
+		rect = w.h.randRect(w.rng)
+		t1 = w.rng.Float64() * hz * 0.8
+		t2 = t1 + w.rng.Float64()*(hz-t1)
+	}
+	req := stq.QueryRequest{Rect: rect, T1: t1, T2: t2, Kind: op}
+	return w.post("/v1/query", req)
+}
+
+// statusNoIngestData marks a worker whose stripe is empty (tiny
+// workloads): the step is skipped rather than counted.
+const statusNoIngestData = -1
+
+func (w *worker) doIngest() (int, error) {
+	stripe := w.h.stripes[w.id%len(w.h.stripes)]
+	if len(stripe) == 0 {
+		return statusNoIngestData, nil
+	}
+	if w.cursor >= len(stripe) {
+		w.cursor = 0
+		w.lap++
+	}
+	hi := w.cursor + ingestChunk
+	if hi > len(stripe) {
+		hi = len(stripe)
+	}
+	// Shift each lap past everything previously sent on these edges:
+	// lap 0 starts one horizon past the target's pre-ingested data.
+	offset := float64(w.lap+1) * (w.h.cfg.horizon + 1)
+	events := make([]stq.IngestEvent, hi-w.cursor)
+	for i, ev := range stripe[w.cursor:hi] {
+		ev.T += offset
+		events[i] = ev
+	}
+	w.cursor = hi
+	return w.post("/v1/ingest", stq.IngestRequest{Events: events})
+}
+
+func (w *worker) post(path string, body any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.h.client.Post(w.h.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// serveStats is the slice of GET /v1/stats the harness reads.
+type serveStats struct {
+	QueryExecs uint64
+	Coalesced  uint64
+	Rejected   uint64
+}
+
+func (h *harness) fetchStats() (serveStats, error) {
+	resp, err := h.client.Get(h.base + "/v1/stats")
+	if err != nil {
+		return serveStats{}, err
+	}
+	defer resp.Body.Close()
+	var s serveStats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return serveStats{}, err
+	}
+	return s, nil
+}
+
+// drive runs warmup + measurement and aggregates the report.
+func (h *harness) drive() *report {
+	start := time.Now()
+	measureFrom := start.Add(h.cfg.warmup)
+	stopAt := measureFrom.Add(h.cfg.duration)
+
+	before, berr := h.fetchStats()
+
+	workers := make([]*worker, h.cfg.clients)
+	for i := range workers {
+		workers[i] = h.newWorker(i, measureFrom)
+	}
+
+	var wg sync.WaitGroup
+	switch h.cfg.mode {
+	case "open":
+		arrivals := make(chan struct{}, 4*h.cfg.clients)
+		go func() {
+			rng := rand.New(rand.NewSource(h.cfg.seed + 31337))
+			next := time.Now()
+			for time.Now().Before(stopAt) {
+				next = next.Add(time.Duration(rng.ExpFloat64() / h.cfg.rate * float64(time.Second)))
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case arrivals <- struct{}{}:
+				default:
+					h.shed.Add(1)
+				}
+			}
+			close(arrivals)
+		}()
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for range arrivals {
+					w.step()
+				}
+			}(w)
+		}
+	default: // closed
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for time.Now().Before(stopAt) {
+					w.step()
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(measureFrom)
+	if elapsed > h.cfg.duration {
+		elapsed = h.cfg.duration
+	}
+
+	after, aerr := h.fetchStats()
+
+	rep := &report{
+		Mode: h.cfg.mode, Clients: h.cfg.clients,
+		WarmupS:   h.cfg.warmup.Seconds(),
+		DurationS: h.cfg.duration.Seconds(),
+		Shed:      h.shed.Load(),
+	}
+	if h.cfg.mode == "open" {
+		rep.RateHz = h.cfg.rate
+	}
+	merged := map[string][]float64{}
+	for _, w := range workers {
+		rep.TotalRequests += w.ok
+		rep.Rejected += w.rejected
+		rep.Errors += w.errs
+		if rep.FirstError == "" && w.firstErr != nil {
+			rep.FirstError = w.firstErr.Error()
+		}
+		for k, s := range w.samples {
+			merged[k] = append(merged[k], s...)
+		}
+	}
+	rep.ThroughputQPS = float64(rep.TotalRequests) / elapsed.Seconds()
+	for _, kind := range []string{"snapshot", "static", "transient", "ingest"} {
+		s := merged[kind]
+		if len(s) == 0 {
+			continue
+		}
+		sort.Float64s(s)
+		ks := kindStats{
+			Kind: kind, Count: len(s),
+			P50Ms: percentile(s, 0.50), P95Ms: percentile(s, 0.95), P99Ms: percentile(s, 0.99),
+			MeanMs: mean(s),
+		}
+		rep.Kinds = append(rep.Kinds, ks)
+		if ks.P99Ms > rep.WorstP99Ms {
+			rep.WorstP99Ms = ks.P99Ms
+		}
+	}
+	if berr == nil && aerr == nil {
+		rep.QueryExecs = after.QueryExecs - before.QueryExecs
+		rep.Coalesced = after.Coalesced - before.Coalesced
+	}
+	return rep
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func mean(s []float64) float64 {
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+type kindStats struct {
+	Kind   string  `json:"kind"`
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+type report struct {
+	Pass             bool        `json:"pass"`
+	Mode             string      `json:"mode"`
+	Clients          int         `json:"clients"`
+	RateHz           float64     `json:"rate_hz,omitempty"`
+	WarmupS          float64     `json:"warmup_s"`
+	DurationS        float64     `json:"duration_s"`
+	TotalRequests    int         `json:"total_requests"`
+	ThroughputQPS    float64     `json:"throughput_qps"`
+	Rejected         int         `json:"rejected"`
+	Errors           int         `json:"errors"`
+	FirstError       string      `json:"first_error,omitempty"`
+	Shed             uint64      `json:"shed,omitempty"`
+	QueryExecs       uint64      `json:"query_execs"`
+	Coalesced        uint64      `json:"coalesced"`
+	WorstP99Ms       float64     `json:"worst_p99_ms"`
+	P99GateMs        float64     `json:"p99_gate_ms"`
+	MinThroughputQPS float64     `json:"min_throughput_qps"`
+	Kinds            []kindStats `json:"kinds"`
+}
+
+// emit applies the gates, prints the human summary, writes the gate
+// file, and returns an error when a gate failed.
+func emit(cfg loadConfig, rep *report) error {
+	rep.P99GateMs = cfg.p99GateMs
+	rep.MinThroughputQPS = cfg.minQPS
+	rep.Pass = rep.Errors == 0 &&
+		rep.WorstP99Ms <= cfg.p99GateMs &&
+		rep.ThroughputQPS >= cfg.minQPS &&
+		rep.TotalRequests > 0
+
+	fmt.Printf("\n== stqload: %s-loop, %d clients, %.1fs measured ==\n",
+		rep.Mode, rep.Clients, rep.DurationS)
+	fmt.Printf("throughput %.0f req/s (gate ≥%.0f)  requests %d  rejected(429) %d  errors %d  shed %d\n",
+		rep.ThroughputQPS, rep.MinThroughputQPS, rep.TotalRequests, rep.Rejected, rep.Errors, rep.Shed)
+	fmt.Printf("coalesced %d of %d query execs saved\n", rep.Coalesced, rep.QueryExecs+rep.Coalesced)
+	fmt.Println("kind       count    p50ms    p95ms    p99ms   mean")
+	for _, k := range rep.Kinds {
+		fmt.Printf("%-9s %6d  %7.3f  %7.3f  %7.3f  %6.3f\n",
+			k.Kind, k.Count, k.P50Ms, k.P95Ms, k.P99Ms, k.MeanMs)
+	}
+	fmt.Printf("worst p99 %.3fms (gate ≤%.0fms)  →  %s\n",
+		rep.WorstP99Ms, rep.P99GateMs, verdict(rep.Pass))
+
+	if cfg.out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if !rep.Pass {
+		if rep.FirstError != "" {
+			return fmt.Errorf("serving gate failed (first error: %s)", rep.FirstError)
+		}
+		return errors.New("serving gate failed")
+	}
+	return nil
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -35,7 +35,13 @@ type (
 // On durable systems, checkpoints carry sealed segments in compact
 // form and crash recovery remains bit-identical regardless of when
 // seals happened relative to the crash.
+// Like every other configuration call it serializes on the System
+// mutex (see the System comment), so the {store config, sealEvery}
+// pair always publishes consistently even when two configuration
+// changes race.
 func (s *System) EnableTieredHistory(cfg HistoryConfig) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.store.SetHistoryConfig(cfg); err != nil {
 		return err
 	}
@@ -77,8 +83,14 @@ func (s *System) WaitHistorySeals() {
 // maybeSeal is the ingestion-side hook of the background sealer: it
 // accumulates ingested events and, once the budget crosses
 // AutoSealEvery, spawns (at most) one sealing goroutine. The CAS busy
-// flag means a slow seal never stacks goroutines; events ingested
-// meanwhile re-arm the trigger for the next pass.
+// flag means a slow seal never stacks goroutines.
+//
+// Accounting invariant: every sealing pass consumes exactly `every`
+// units of credit (Add(-every), never Store(0)), so events that arrive
+// between the threshold-crossing Add and the consumption — or while
+// the sealer is busy — keep their credit and re-arm the next pass
+// instead of being silently discarded. The sealer loops while a full
+// backlog remains, consuming one `every` per pass.
 func (s *System) maybeSeal(n int) {
 	every := s.sealEvery.Load()
 	if every <= 0 {
@@ -90,11 +102,18 @@ func (s *System) maybeSeal(n int) {
 	if !s.sealerBusy.CompareAndSwap(false, true) {
 		return
 	}
-	s.sealPending.Store(0)
+	s.sealPending.Add(-every)
 	s.sealWG.Add(1)
 	go func() {
 		defer s.sealWG.Done()
 		defer s.sealerBusy.Store(false)
-		s.store.SealColdPrefixes()
+		for {
+			s.store.SealColdPrefixes()
+			every := s.sealEvery.Load()
+			if every <= 0 || s.sealPending.Load() < every {
+				return
+			}
+			s.sealPending.Add(-every)
+		}
 	}()
 }

@@ -29,6 +29,41 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the recorded
+// distribution by linear interpolation inside the bucket holding the
+// target rank, taking the bucket's lower bound as 0 for the first
+// bucket. Observations landing in the +Inf overflow bucket report the
+// last finite bound. Returns 0 when the histogram is empty. Serving
+// layers use this for p50/p95/p99 in stats endpoints and gates.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum, lo := 0.0, 0.0
+	for i, b := range h.Buckets {
+		c := float64(b)
+		if c > 0 && cum+c >= rank {
+			if i >= len(h.Bounds) {
+				return lo // +Inf bucket: report its lower edge
+			}
+			frac := (rank - cum) / c
+			return lo + (h.Bounds[i]-lo)*frac
+		}
+		cum += c
+		if i < len(h.Bounds) {
+			lo = h.Bounds[i]
+		}
+	}
+	return lo
+}
+
 // Snapshot is a point-in-time copy of a registry: every counter, gauge
 // and histogram by name, plus the slow-query log. It is an expvar-style
 // value — json.Marshal it, or render it with WritePrometheus.

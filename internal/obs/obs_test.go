@@ -303,3 +303,47 @@ func TestReset(t *testing.T) {
 		}
 	})
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		h := r.Histogram("test.q", []float64{10, 20, 40})
+		// 100 uniform observations in (0, 10]: every quantile
+		// interpolates inside the first bucket.
+		for i := 1; i <= 100; i++ {
+			h.Observe(float64(i) / 10)
+		}
+		s := r.Snapshot().Histograms["test.q"]
+		if got := s.Quantile(0.5); got != 5 {
+			t.Errorf("p50 = %v, want 5", got)
+		}
+		if got := s.Quantile(1); got != 10 {
+			t.Errorf("p100 = %v, want 10", got)
+		}
+		// Add 100 in (10, 20]: the median straddles the first bound and
+		// p75 sits mid-second-bucket.
+		for i := 1; i <= 100; i++ {
+			h.Observe(10 + float64(i)/10)
+		}
+		s = r.Snapshot().Histograms["test.q"]
+		if got := s.Quantile(0.75); got != 15 {
+			t.Errorf("p75 = %v, want 15", got)
+		}
+		// Overflow observations report the last finite bound, not +Inf.
+		h.Observe(1e9)
+		s = r.Snapshot().Histograms["test.q"]
+		if got := s.Quantile(1); got != 40 {
+			t.Errorf("overflow quantile = %v, want last finite bound 40", got)
+		}
+		// Degenerate inputs.
+		if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+			t.Errorf("empty histogram quantile = %v, want 0", got)
+		}
+		if got, want := s.Quantile(-1), s.Quantile(0); got != want {
+			t.Errorf("q<0 quantile = %v, want clamp to q=0 (%v)", got, want)
+		}
+		if got, want := s.Quantile(2), s.Quantile(1); got != want {
+			t.Errorf("q>1 quantile = %v, want clamp to q=1 (%v)", got, want)
+		}
+	})
+}

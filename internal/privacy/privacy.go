@@ -13,6 +13,7 @@
 package privacy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -87,6 +88,12 @@ func SampleTwoSidedGeometric(alpha float64, rng *rand.Rand) int {
 	return g() - g()
 }
 
+// ErrBudgetExhausted reports a release refused because it would exceed
+// the total ε budget. Returned (wrapped, with the amounts) by
+// Accountant.Spend and CountReleaser.Release; match with errors.Is.
+// Serving layers map it to 429 Too Many Requests.
+var ErrBudgetExhausted = errors.New("privacy: budget exhausted")
+
 // Accountant tracks a total privacy budget under sequential composition:
 // every release spends its ε, and releases beyond the budget are
 // refused. It is safe for concurrent use.
@@ -112,8 +119,8 @@ func (a *Accountant) Spend(epsilon float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spent+epsilon > a.total+1e-12 {
-		return fmt.Errorf("privacy: budget exhausted: %.4g spent of %.4g, %.4g requested",
-			a.spent, a.total, epsilon)
+		return fmt.Errorf("%w: %.4g spent of %.4g, %.4g requested",
+			ErrBudgetExhausted, a.spent, a.total, epsilon)
 	}
 	a.spent += epsilon
 	return nil

@@ -53,6 +53,28 @@ func planKeyOf(req Request) planKey {
 	}
 }
 
+// CoalesceKey identifies one request for in-flight coalescing by a
+// serving layer: the compiled-plan identity (exactly planKeyOf — rect
+// bits plus bound) extended with the time interval and kind. Two
+// requests share a key iff one engine execution can answer both, so the
+// coalescer and the plan cache always agree on which requests are "the
+// same region". Keys are comparable and opaque.
+type CoalesceKey struct {
+	plan   planKey
+	t1, t2 uint64
+	kind   Kind
+}
+
+// CoalesceKeyOf canonicalizes req into its coalescing identity.
+func CoalesceKeyOf(req Request) CoalesceKey {
+	return CoalesceKey{
+		plan: planKeyOf(req),
+		t1:   math.Float64bits(req.T1),
+		t2:   math.Float64bits(req.T2),
+		kind: req.Kind,
+	}
+}
+
 // cachedPlan is one compiled plan. Entries are immutable once published
 // to the cache: a plan is fully built — including its cost metrics when
 // cacheable — before insertion, so concurrent readers share it without

@@ -1,0 +1,690 @@
+package stq
+
+// The network serving layer (DESIGN.md §13): an HTTP/JSON boundary over
+// System for the in-network deployment the paper assumes. Command stqd
+// wraps a Server in an http.Server; cmd/stqload drives it under load.
+//
+// The serving layer adds four things the embedded library does not
+// need:
+//
+//   - admission control: a bounded concurrency gate with a bounded
+//     waiting room; requests beyond both get 429 immediately instead of
+//     queueing without bound;
+//   - coalescing: identical in-flight queries (singleflight keyed on
+//     the compiled-plan identity, so the coalescer and the plan cache
+//     agree on request equality) execute once and share the leader's
+//     exact response bytes;
+//   - ingest group commit: concurrent ingest requests queued at the
+//     same moment are combined into one RecordBatch (one stripe-lock
+//     acquisition set, one WAL append on durable systems); a combined
+//     batch that fails validation falls back to per-request application
+//     so every client gets its own verdict;
+//   - graceful drain: Drain refuses new work, flushes queued ingest,
+//     waits for background seals, and writes a final checkpoint on
+//     durable systems.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Serving-layer observability metrics (internal/obs).
+var (
+	srvRequests     = obs.Default.Counter("serve.requests")
+	srvRejected     = obs.Default.Counter("serve.rejected")
+	srvBadRequests  = obs.Default.Counter("serve.bad_requests")
+	srvQueryExecs   = obs.Default.Counter("serve.query_execs")
+	srvCoalesced    = obs.Default.Counter("serve.coalesced_queries")
+	srvGroupCommits = obs.Default.Counter("serve.ingest_group_commits")
+	srvIngestEvents = obs.Default.Counter("serve.ingest_events")
+	srvLatency      = obs.Default.Histogram("serve.request_seconds", obs.LatencyBuckets)
+)
+
+// ServerConfig configures NewServer. Zero values select the defaults.
+type ServerConfig struct {
+	// MaxInflight bounds how many admitted query/ingest requests
+	// execute concurrently (default 4×GOMAXPROCS).
+	MaxInflight int
+	// MaxQueued bounds the admission waiting room. A request arriving
+	// with MaxInflight executing and MaxQueued waiting is refused with
+	// 429 (default 4×MaxInflight).
+	MaxQueued int
+	// MaxBatchEvents caps how many events one ingest group commit
+	// combines (default 8192).
+	MaxBatchEvents int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 4 * c.MaxInflight
+	}
+	if c.MaxBatchEvents <= 0 {
+		c.MaxBatchEvents = 8192
+	}
+	return c
+}
+
+// QueryRequest is the JSON body of POST /v1/query.
+type QueryRequest struct {
+	// Rect is [minX, minY, maxX, maxY].
+	Rect [4]float64 `json:"rect"`
+	T1   float64    `json:"t1"`
+	T2   float64    `json:"t2"`
+	// Kind is "snapshot" (default), "static", or "transient".
+	Kind string `json:"kind,omitempty"`
+	// Bound is "lower" (default) or "upper".
+	Bound string `json:"bound,omitempty"`
+}
+
+func (r QueryRequest) toQuery() (Query, error) {
+	q := Query{
+		Rect: Rect{Min: Point{X: r.Rect[0], Y: r.Rect[1]}, Max: Point{X: r.Rect[2], Y: r.Rect[3]}},
+		T1:   r.T1, T2: r.T2,
+	}
+	switch r.Kind {
+	case "", "snapshot":
+		q.Kind = Snapshot
+	case "static":
+		q.Kind = Static
+	case "transient":
+		q.Kind = Transient
+	default:
+		return Query{}, fmt.Errorf("unknown query kind %q", r.Kind)
+	}
+	switch r.Bound {
+	case "", "lower":
+		q.Bound = Lower
+	case "upper":
+		q.Bound = Upper
+	default:
+		return Query{}, fmt.Errorf("unknown bound %q", r.Bound)
+	}
+	return q, nil
+}
+
+// QueryResult is the JSON body of a successful /v1/query response.
+type QueryResult struct {
+	Count         float64      `json:"count"`
+	Missed        bool         `json:"missed"`
+	RegionFaces   int          `json:"region_faces"`
+	NodesAccessed int          `json:"nodes_accessed"`
+	Messages      int          `json:"messages"`
+	Hops          int          `json:"hops"`
+	TotalHops     int          `json:"total_hops"`
+	EdgesAccessed int          `json:"edges_accessed"`
+	Degradation   *Degradation `json:"degradation,omitempty"`
+}
+
+// IngestEvent is one event of POST /v1/ingest.
+type IngestEvent struct {
+	// Kind is "move", "enter", or "leave".
+	Kind string  `json:"kind"`
+	T    float64 `json:"t"`
+	// Road and From describe a move (the object traverses Road starting
+	// at junction From).
+	Road int `json:"road,omitempty"`
+	From int `json:"from,omitempty"`
+	// Gateway is the world junction of an enter/leave.
+	Gateway int `json:"gateway,omitempty"`
+}
+
+// IngestRequest is the JSON body of POST /v1/ingest.
+type IngestRequest struct {
+	Events []IngestEvent `json:"events"`
+}
+
+// IngestResult is the JSON body of a successful /v1/ingest response.
+type IngestResult struct {
+	Ingested int `json:"ingested"`
+}
+
+// ServerStats is a point-in-time copy of the serving counters
+// (Server.Stats, GET /v1/stats). Counters advance regardless of the
+// observability gate, so load harnesses and tests can always read them.
+type ServerStats struct {
+	// Requests counts every request reaching the handler, Rejected the
+	// 429 admission refusals, BadRequests the 400s.
+	Requests, Rejected, BadRequests uint64
+	// QueryExecs counts engine executions; Coalesced counts query
+	// requests answered from another request's in-flight execution.
+	// QueryExecs + Coalesced = accepted query requests.
+	QueryExecs, Coalesced uint64
+	// IngestRequests and IngestEvents count accepted ingestion;
+	// GroupCommits counts RecordBatch calls issued by the batcher, and
+	// GroupedRequests how many requests rode a multi-request commit.
+	IngestRequests, IngestEvents, GroupCommits, GroupedRequests uint64
+}
+
+// Server is the HTTP/JSON serving layer over one System. It implements
+// http.Handler; construct with NewServer, serve with an http.Server,
+// and call Drain after http.Server.Shutdown returns.
+//
+// Endpoints: POST /v1/query, POST /v1/ingest, POST /v1/checkpoint,
+// GET /v1/stats, GET /metrics (Prometheus), GET /metrics.json,
+// GET /healthz.
+type Server struct {
+	sys *System
+	cfg ServerConfig
+	mux *http.ServeMux
+
+	// sem is the admission gate (capacity MaxInflight); waiters counts
+	// requests blocked on it, bounded by MaxQueued.
+	sem     chan struct{}
+	waiters atomic.Int64
+
+	flight flightGroup
+
+	// ingestCh feeds the group-commit batcher. Capacity covers every
+	// request admission lets through, so enqueue never blocks.
+	ingestCh  chan ingestReq
+	stop      chan struct{}
+	batcherWG sync.WaitGroup
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+
+	// queryFn is the engine entry point; tests substitute it to control
+	// timing. Defaults to sys.Query.
+	queryFn func(Query) (*Response, error)
+
+	requests, rejected, badRequests atomic.Uint64
+	queryExecs, coalesced           atomic.Uint64
+	ingestRequests, ingestEvents    atomic.Uint64
+	groupCommits, groupedRequests   atomic.Uint64
+}
+
+// NewServer builds the serving layer over sys and starts its ingest
+// batcher. The caller owns sys's configuration (placement, privacy,
+// ordering); multi-client ingestion normally wants
+// sys.SetIngestOrdering(OrderPerEdge).
+func NewServer(sys *System, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:      sys,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		ingestCh: make(chan ingestReq, cfg.MaxInflight+cfg.MaxQueued),
+		stop:     make(chan struct{}),
+	}
+	s.queryFn = sys.Query
+	s.flight.m = make(map[query.CoalesceKey]*flightCall)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.batcherWG.Add(1)
+	go s.runBatcher()
+	return s
+}
+
+// System returns the served system.
+func (s *Server) System() *System { return s.sys }
+
+// Stats copies the serving counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:        s.requests.Load(),
+		Rejected:        s.rejected.Load(),
+		BadRequests:     s.badRequests.Load(),
+		QueryExecs:      s.queryExecs.Load(),
+		Coalesced:       s.coalesced.Load(),
+		IngestRequests:  s.ingestRequests.Load(),
+		IngestEvents:    s.ingestEvents.Load(),
+		GroupCommits:    s.groupCommits.Load(),
+		GroupedRequests: s.groupedRequests.Load(),
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	srvRequests.Inc()
+	if s.draining.Load() {
+		// Health and introspection stay readable through a drain so
+		// operators can watch it finish.
+		switch r.URL.Path {
+		case "/metrics", "/metrics.json", "/healthz", "/v1/stats":
+		default:
+			httpError(w, http.StatusServiceUnavailable, "server draining")
+			srvLatency.Observe(time.Since(start).Seconds())
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+	srvLatency.Observe(time.Since(start).Seconds())
+}
+
+// admit passes the request through the bounded-concurrency gate.
+// ok=false means the waiting room was full (refuse with 429) or the
+// client went away; on ok=true the caller must invoke release.
+func (s *Server) admit(r *http.Request) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.waiters.Add(1) > int64(s.cfg.MaxQueued) {
+		s.waiters.Add(-1)
+		return nil, false
+	}
+	defer s.waiters.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-r.Context().Done():
+		return nil, false
+	case <-s.stop:
+		return nil, false
+	}
+}
+
+func (s *Server) reject(w http.ResponseWriter) {
+	s.rejected.Add(1)
+	srvRejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, "server at capacity")
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.badRequests.Add(1)
+	srvBadRequests.Inc()
+	httpError(w, http.StatusBadRequest, err.Error())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	release, ok := s.admit(r)
+	if !ok {
+		s.reject(w)
+		return
+	}
+	defer release()
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	q, err := req.toQuery()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	status, body, shared := s.flight.do(coalesceKeyOf(q), func() (int, []byte) {
+		s.queryExecs.Add(1)
+		srvQueryExecs.Inc()
+		resp, err := s.queryFn(q)
+		if err != nil {
+			return queryErrorStatus(err), errorBody(err)
+		}
+		b, merr := json.Marshal(resultOf(resp))
+		if merr != nil {
+			return http.StatusInternalServerError, errorBody(merr)
+		}
+		return http.StatusOK, b
+	})
+	if shared {
+		s.coalesced.Add(1)
+		srvCoalesced.Inc()
+	}
+	writeJSONBytes(w, status, body)
+}
+
+// queryErrorStatus maps engine/privacy errors to HTTP statuses: an
+// exhausted ε budget is 429 (the resource is the budget), everything
+// else is a 400-class request problem.
+func queryErrorStatus(err error) int {
+	if errors.Is(err, ErrPrivacyBudgetExhausted) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusBadRequest
+}
+
+func resultOf(resp *Response) QueryResult {
+	return QueryResult{
+		Count:         resp.Count,
+		Missed:        resp.Missed,
+		RegionFaces:   resp.RegionFaces,
+		NodesAccessed: resp.NodesAccessed,
+		Messages:      resp.Messages,
+		Hops:          resp.Hops,
+		TotalHops:     resp.TotalHops,
+		EdgesAccessed: resp.EdgesAccessed,
+		Degradation:   resp.Degradation,
+	}
+}
+
+// ingestReq is one client batch queued for group commit.
+type ingestReq struct {
+	events []Event
+	done   chan error
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	release, ok := s.admit(r)
+	if !ok {
+		s.reject(w)
+		return
+	}
+	defer release()
+	var req IngestRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if len(req.Events) == 0 {
+		s.badRequest(w, fmt.Errorf("empty event batch"))
+		return
+	}
+	events := make([]Event, len(req.Events))
+	for i, we := range req.Events {
+		ev, err := we.toEvent()
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("event %d: %w", i, err))
+			return
+		}
+		events[i] = ev
+	}
+	done := make(chan error, 1)
+	select {
+	case s.ingestCh <- ingestReq{events: events, done: done}:
+	default:
+		// Admission bounds concurrent ingest below the channel capacity,
+		// so this is only reachable if the batcher has stopped.
+		s.reject(w)
+		return
+	}
+	if err := <-done; err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.ingestRequests.Add(1)
+	s.ingestEvents.Add(uint64(len(events)))
+	srvIngestEvents.AddInt(len(events))
+	writeJSON(w, http.StatusOK, IngestResult{Ingested: len(events)})
+}
+
+func (e IngestEvent) toEvent() (Event, error) {
+	switch e.Kind {
+	case "move":
+		return MoveEvent(EdgeID(e.Road), NodeID(e.From), e.T), nil
+	case "enter":
+		return EnterEvent(NodeID(e.Gateway), e.T), nil
+	case "leave":
+		return LeaveEvent(NodeID(e.Gateway), e.T), nil
+	}
+	return Event{}, fmt.Errorf("unknown event kind %q", e.Kind)
+}
+
+// runBatcher is the ingest group-commit loop: it blocks for one queued
+// request, greedily drains whatever else is already queued (up to
+// MaxBatchEvents), and commits the group. On stop it flushes the queue
+// and exits.
+func (s *Server) runBatcher() {
+	defer s.batcherWG.Done()
+	for {
+		var first ingestReq
+		select {
+		case first = <-s.ingestCh:
+		case <-s.stop:
+			s.flushIngest()
+			return
+		}
+		pending := []ingestReq{first}
+		total := len(first.events)
+	drain:
+		for total < s.cfg.MaxBatchEvents {
+			select {
+			case next := <-s.ingestCh:
+				pending = append(pending, next)
+				total += len(next.events)
+			default:
+				break drain
+			}
+		}
+		s.commit(pending, total)
+	}
+}
+
+// flushIngest commits everything still queued at drain time, one
+// request at a time.
+func (s *Server) flushIngest() {
+	for {
+		select {
+		case req := <-s.ingestCh:
+			req.done <- s.sys.RecordBatch(req.events)
+		default:
+			return
+		}
+	}
+}
+
+// commit applies one group. Multi-request groups are combined into a
+// single RecordBatch — one stripe-lock acquisition set and, on durable
+// systems, one WAL append for the whole group. RecordBatch validates
+// before applying anything, so a combined batch that fails (e.g. two
+// clients' streams interleave non-monotonically on a shared edge)
+// applied nothing; fall back to per-request application so each client
+// gets its own verdict.
+func (s *Server) commit(pending []ingestReq, total int) {
+	s.groupCommits.Add(1)
+	srvGroupCommits.Inc()
+	if len(pending) == 1 {
+		pending[0].done <- s.sys.RecordBatch(pending[0].events)
+		return
+	}
+	s.groupedRequests.Add(uint64(len(pending)))
+	combined := make([]Event, 0, total)
+	for _, p := range pending {
+		combined = append(combined, p.events...)
+	}
+	if err := s.sys.RecordBatch(combined); err == nil {
+		for _, p := range pending {
+			p.done <- nil
+		}
+		return
+	}
+	for _, p := range pending {
+		p.done <- s.sys.RecordBatch(p.events)
+	}
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.sys.Durable() {
+		httpError(w, http.StatusConflict, "system is not durable (OpenDurable)")
+		return
+	}
+	if err := s.sys.Checkpoint(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"checkpointed": true})
+}
+
+// statsBody is the GET /v1/stats response.
+type statsBody struct {
+	ServerStats
+	ServingEpoch uint64         `json:"serving_epoch"`
+	PlanCache    PlanCacheStats `json:"plan_cache"`
+	Durable      bool           `json:"durable"`
+	Draining     bool           `json:"draining"`
+	// Request-latency quantiles in milliseconds, from the
+	// serve.request_seconds histogram; zero unless observability is on.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body := statsBody{
+		ServerStats:  s.Stats(),
+		ServingEpoch: s.sys.ServingEpoch(),
+		PlanCache:    s.sys.PlanCacheStats(),
+		Durable:      s.sys.Durable(),
+		Draining:     s.draining.Load(),
+	}
+	if h, ok := obs.Default.Snapshot().Histograms[srvLatency.Name()]; ok {
+		body.P50Ms = h.Quantile(0.50) * 1e3
+		body.P95Ms = h.Quantile(0.95) * 1e3
+		body.P99Ms = h.Quantile(0.99) * 1e3
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteMetrics(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = WriteMetricsJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// Drain shuts the serving layer down in dependency order: refuse new
+// work (503), stop the batcher and flush queued ingest group commits,
+// wait for in-flight background history seals, and — when the system is
+// durable — write a final checkpoint so recovery does not replay the
+// whole log. Call it after http.Server.Shutdown returns (Shutdown
+// stops the listeners and waits for in-flight handlers, which is what
+// lets queued ingest finish cleanly). Idempotent; later calls return
+// the first result.
+func (s *Server) Drain() error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.stop)
+		s.batcherWG.Wait()
+		// Catch stragglers that enqueued between the batcher's final
+		// flush and now.
+		s.flushIngest()
+		s.sys.WaitHistorySeals()
+		if s.sys.Durable() {
+			s.drainErr = s.sys.Checkpoint()
+		}
+	})
+	return s.drainErr
+}
+
+// coalesceKeyOf maps a Query onto the plan cache's canonical identity
+// extended with times and kind (query.CoalesceKeyOf), so the coalescer
+// and the plan cache agree on which requests are interchangeable.
+func coalesceKeyOf(q Query) query.CoalesceKey {
+	return query.CoalesceKeyOf(query.Request{
+		Rect: q.Rect, T1: q.T1, T2: q.T2, Kind: q.Kind, Bound: q.Bound,
+	})
+}
+
+// flightCall is one in-flight coalesced execution.
+type flightCall struct {
+	done    chan struct{}
+	status  int
+	body    []byte
+	waiters atomic.Int64
+}
+
+// flightGroup implements singleflight over coalescing keys: the first
+// caller for a key becomes the leader and executes fn; callers arriving
+// while the leader runs block and then share the leader's exact
+// response bytes — byte-identical bodies, one engine execution.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[query.CoalesceKey]*flightCall
+}
+
+func (g *flightGroup) do(k query.CoalesceKey, fn func() (int, []byte)) (status int, body []byte, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[k]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.status, c.body, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[k] = c
+	g.mu.Unlock()
+	c.status, c.body = fn()
+	g.mu.Lock()
+	delete(g.m, k)
+	g.mu.Unlock()
+	close(c.done)
+	return c.status, c.body, false
+}
+
+// pendingWaiters reports how many followers are blocked on key k's
+// in-flight execution. Test-only seam for deterministic coalescing
+// tests.
+func (g *flightGroup) pendingWaiters(k query.CoalesceKey) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[k]; ok {
+		return c.waiters.Load()
+	}
+	return 0
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed JSON body: %w", err)
+	}
+	return nil
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSONBytes(w, status, errorBody(errors.New(msg)))
+}
+
+func errorBody(err error) []byte {
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return b
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		status, b = http.StatusInternalServerError, errorBody(err)
+	}
+	writeJSONBytes(w, status, b)
+}
+
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

@@ -175,6 +175,11 @@ const (
 	Upper = sampled.Upper
 )
 
+// ErrPrivacyBudgetExhausted reports a private query refused because the
+// total ε budget is spent (match with errors.Is). The serving layer
+// maps it to HTTP 429 Too Many Requests.
+var ErrPrivacyBudgetExhausted = privacy.ErrBudgetExhausted
+
 // Convenience constructors for the option structs.
 var (
 	// DefaultGridOpts is roadnet.DefaultGridOpts.
@@ -337,10 +342,10 @@ func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
 // Query, Ingest, and the Record* ingestion calls are safe for
 // concurrent use with each other. Configuration calls — PlaceSensors*,
 // ClearPlacement, UseLearnedModels, ApplyFaults, ClearFaults,
-// EnablePrivacy — serialize among themselves and publish the new
-// configuration atomically, so a Query racing a configuration change
-// observes either the old or the new configuration in full, never a
-// torn mix. With a fault plan applied (ApplyFaults), concurrent queries
+// EnablePrivacy, EnableTieredHistory, SetPlanCacheCapacity — serialize
+// among themselves and publish the new configuration atomically, so a
+// Query racing a configuration change observes either the old or the
+// new configuration in full, never a torn mix. With a fault plan applied (ApplyFaults), concurrent queries
 // remain memory-safe but share the plan's stateful drop stream, so
 // per-query degraded metrics are reproducible only when queries are
 // issued one at a time.
@@ -447,8 +452,12 @@ func (s *System) Bounds() Rect { return s.world.Bounds() }
 func (s *System) NumSensors() int { return s.world.NumSensors() }
 
 // NumCommunicationSensors returns the number of active communication
-// sensors after placement (0 before placement).
+// sensors after placement (0 before placement). Safe to call while
+// PlaceSensors* / ClearPlacement run concurrently: the placement state
+// is read under the configuration mutex, never as a torn pointer.
 func (s *System) NumCommunicationSensors() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.sg == nil {
 		return 0
 	}

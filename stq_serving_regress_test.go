@@ -1,0 +1,141 @@
+package stq
+
+// Regression tests for the serving-path bugs fixed alongside the
+// serving layer:
+//
+//   - NumCommunicationSensors read s.sg without s.mu and raced
+//     PlaceSensors (data race under -race);
+//   - EnableTieredHistory bypassed s.mu, so two racing configuration
+//     calls could publish a torn {store config, sealEvery} pair;
+//   - maybeSeal zeroed sealPending when arming the sealer, silently
+//     discarding the credit of events that arrived past the threshold
+//     and leaving the next pass un-armed.
+//
+// The TestConcurrent* names put the first two under CI's dedicated
+// -race concurrency step.
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentNumSensorsPlacement hammers NumCommunicationSensors
+// while PlaceSensors swaps the sensor group. Pre-fix, the unlocked s.sg
+// read races the placement write and -race fails this test.
+func TestConcurrentNumSensorsPlacement(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = sys.NumCommunicationSensors()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := sys.PlaceSensors(PlacementQuadTree, 16+4*i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if sys.NumCommunicationSensors() == 0 {
+		t.Fatal("placement lost")
+	}
+}
+
+// TestConcurrentEnableTieredHistory races two distinct tiered-history
+// configurations and asserts the published {store config, sealEvery}
+// pair is consistent — both halves from the same call. Pre-fix the call
+// skipped s.mu, so the halves could interleave and publish config A's
+// store state with config B's sealer cadence.
+func TestConcurrentEnableTieredHistory(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	cfgs := []HistoryConfig{
+		{Tick: 1, HotKeep: 64, SealThreshold: 256, AutoSealEvery: 100},
+		{Tick: 1, HotKeep: 128, SealThreshold: 512, AutoSealEvery: 200},
+	}
+	var wg sync.WaitGroup
+	for _, cfg := range cfgs {
+		wg.Add(1)
+		go func(cfg HistoryConfig) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := sys.EnableTieredHistory(cfg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(cfg)
+	}
+	wg.Wait()
+	eff, ok := sys.TieredHistory()
+	if !ok {
+		t.Fatal("tiered history not enabled")
+	}
+	if got := sys.sealEvery.Load(); got != int64(eff.AutoSealEvery) {
+		t.Fatalf("torn configuration: store says AutoSealEvery=%d, sealer armed at %d",
+			eff.AutoSealEvery, got)
+	}
+}
+
+// TestMaybeSealBacklogAccounting is the deterministic lost-credit
+// regression: one maybeSeal(250) at AutoSealEvery=100 must consume
+// exactly two passes' credit and leave 50 pending. Pre-fix, arming the
+// sealer stored 0 and the surplus 150 vanished.
+func TestMaybeSealBacklogAccounting(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	if err := sys.EnableTieredHistory(HistoryConfig{
+		Tick: 1, HotKeep: 64, SealThreshold: 256, AutoSealEvery: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.maybeSeal(250)
+	sys.WaitHistorySeals()
+	if got := sys.sealPending.Load(); got != 50 {
+		t.Fatalf("sealPending = %d after maybeSeal(250) at every=100, want 50", got)
+	}
+}
+
+// TestConcurrentSealAccounting is the conservation hammer: concurrent
+// maybeSeal callers deliver a total that is NOT a multiple of the
+// cadence, and afterwards the un-consumed remainder must be congruent
+// to that total — sealing may only ever subtract whole multiples of
+// `every`. Pre-fix Store(0) discarded arbitrary remainders.
+func TestConcurrentSealAccounting(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	const every = 100
+	if err := sys.EnableTieredHistory(HistoryConfig{
+		Tick: 1, HotKeep: 64, SealThreshold: 256, AutoSealEvery: every,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 10, 257 // total 2570: remainder 70 mod 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys.maybeSeal(perWorker)
+		}()
+	}
+	wg.Wait()
+	sys.WaitHistorySeals()
+	pending := sys.sealPending.Load()
+	const total = workers * perWorker
+	if pending < 0 || pending > total {
+		t.Fatalf("sealPending = %d out of range [0, %d]", pending, total)
+	}
+	if (total-pending)%every != 0 {
+		t.Fatalf("credit lost: %d delivered, %d pending — consumed %d is not a multiple of %d",
+			total, pending, total-pending, every)
+	}
+}
