@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-serve experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-partition bench-serve experiments examples fmt vet clean
 
 all: build test
 
@@ -22,8 +22,9 @@ check:
 	$(GO) run ./cmd/stqbench -concurrent -quick -concurrent-out ""
 	$(GO) run ./cmd/stqbench -wal -quick -wal-out ""
 	$(GO) run ./cmd/stqbench -history -quick -history-out ""
+	$(GO) run ./cmd/stqbench -partition -quick -partition-out BENCH_partition.json
 	$(GO) run ./cmd/stqload -quick -out BENCH_serve.json
-	$(GO) run ./cmd/benchjson -gates BENCH_serve.json
+	$(GO) run ./cmd/benchjson -gates BENCH_serve.json BENCH_partition.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -62,6 +63,15 @@ bench-wal:
 # non-bit-identical answer.
 bench-history:
 	$(GO) run ./cmd/stqbench -history -history-out BENCH_history.json
+
+# Spatially partitioned multi-store gate: concurrent cell-aligned
+# ingest and scatter-gather queries at 1/2/4/8 partitions vs the
+# single-store baseline; fails on any non-bit-identical answer, above
+# 1.5x query overhead, or (with enough cores) below 3x ingest speedup
+# at 4 partitions.
+bench-partition:
+	$(GO) run ./cmd/stqbench -partition -partition-out BENCH_partition.json
+	$(GO) run ./cmd/benchjson -gates BENCH_partition.json
 
 # Serving-layer load gate: cmd/stqload drives an in-process stqd stack
 # (self-serve mode) end to end over HTTP — closed-loop client pool,

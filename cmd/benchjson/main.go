@@ -87,6 +87,21 @@ func runGates(paths []string) error {
 			BitIdentical     bool     `json:"bit_identical"`
 			MemReductionGate float64  `json:"mem_reduction_gate"`
 			LatencyRatioGate float64  `json:"latency_ratio_gate"`
+			// Partitioned multi-store breakdown (BENCH_partition.json).
+			SpeedupAt4        *float64 `json:"speedup_at_4"`
+			QueryOverheadAt4  float64  `json:"query_overhead_at_4"`
+			ScalingGateActive bool     `json:"scaling_gate_active"`
+			ScalingThreshold  float64  `json:"scaling_threshold"`
+			OverheadFloor     float64  `json:"overhead_floor"`
+			QueryOverheadGate float64  `json:"query_overhead_threshold"`
+			PartitionLevels   []struct {
+				Partitions         int     `json:"partitions"`
+				IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
+				QueryQPS           float64 `json:"query_qps"`
+				IngestSpeedup      float64 `json:"ingest_speedup"`
+				BoundaryRoads      int     `json:"boundary_roads"`
+				BitIdentical       bool    `json:"bit_identical"`
+			} `json:"levels"`
 			// Serving gate breakdown (BENCH_serve.json, cmd/stqload).
 			Kinds []struct {
 				Kind  string  `json:"kind"`
@@ -116,6 +131,14 @@ func runGates(paths []string) error {
 		if len(gate.Policies) > 0 {
 			fmt.Printf("  (interval %.0f events/s, gate %.0f)", gate.IntervalEventsPerSec, gate.Threshold)
 		}
+		if gate.SpeedupAt4 != nil {
+			form := fmt.Sprintf("scaling ≥%.1fx", gate.ScalingThreshold)
+			if !gate.ScalingGateActive {
+				form = fmt.Sprintf("overhead floor ≥%.1fx (scaling unobservable at this GOMAXPROCS)", gate.OverheadFloor)
+			}
+			fmt.Printf("  (ingest at 4 partitions %.2fx [%s], query overhead %.2fx of ≤%.1fx, bit-identical %v)",
+				*gate.SpeedupAt4, form, gate.QueryOverheadAt4, gate.QueryOverheadGate, gate.BitIdentical)
+		}
 		if gate.MemReductionX != nil {
 			fmt.Printf("  (memory %.1fx of ≥%.0fx, warm latency %.2fx of ≤%.1fx, bit-identical %v)",
 				*gate.MemReductionX, gate.MemReductionGate, gate.LatencyRatioX, gate.LatencyRatioGate, gate.BitIdentical)
@@ -124,6 +147,12 @@ func runGates(paths []string) error {
 		for _, p := range gate.Policies {
 			fmt.Printf("  fsync=%-8s %10.0f events/s  %6d fsyncs  recovery %6.1fms  verified %v\n",
 				p.Policy, p.EventsPerSec, p.Fsyncs, p.RecoveryMs, p.Verified)
+		}
+		if gate.SpeedupAt4 != nil {
+			for _, l := range gate.PartitionLevels {
+				fmt.Printf("  P=%d %10.0f events/s (%.2fx)  %8.0f q/s  %4d boundary roads  bit-identical %v\n",
+					l.Partitions, l.IngestEventsPerSec, l.IngestSpeedup, l.QueryQPS, l.BoundaryRoads, l.BitIdentical)
+			}
 		}
 		if len(gate.Kinds) > 0 {
 			fmt.Printf("  serving: %.0f req/s (gate \u2265%.0f), worst p99 %.3fms (gate \u2264%.0fms), %d errors\n",

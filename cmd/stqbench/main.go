@@ -11,6 +11,7 @@
 //	stqbench -obs                    # observability overhead gate → BENCH_obs.json
 //	stqbench -concurrent             # mixed ingest+query scaling → BENCH_concurrent.json
 //	stqbench -wal                    # WAL fsync-policy sweep → BENCH_wal.json
+//	stqbench -partition              # partitioned multi-store gate → BENCH_partition.json
 //	stqbench -serve :8080 -exp all   # live /metrics + /debug/pprof while running
 //
 // Experiment IDs: fig11a fig11b fig11c fig11d fig11e fig12a fig12b
@@ -45,6 +46,8 @@ func main() {
 		walOut     = flag.String("wal-out", "BENCH_wal.json", "output path for the durability benchmark (empty = stdout only)")
 		history    = flag.Bool("history", false, "run the tiered-history memory benchmark instead of the figures")
 		historyOut = flag.String("history-out", "BENCH_history.json", "output path for the history benchmark (empty = stdout only)")
+		part       = flag.Bool("partition", false, "run the spatially partitioned multi-store benchmark instead of the figures")
+		partOut    = flag.String("partition-out", "BENCH_partition.json", "output path for the partition benchmark (empty = stdout only)")
 		serve      = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	)
 	flag.Parse()
@@ -74,6 +77,13 @@ func main() {
 	}
 	if *history {
 		if err := runHistoryBench(*seed, *quick, *historyOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *part {
+		if err := runPartitionBench(*seed, *quick, *partOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,338 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// This file implements `stqbench -partition`: the spatially partitioned
+// multi-store benchmark (BENCH_partition.json, DESIGN.md §14).
+//
+// For each partition count P ∈ {1, 2, 4, 8} a fresh system over the
+// same world ingests the same stream from partitionWriters concurrent
+// writers, then answers the same query pool. Writer streams are sharded
+// by the finest (8-cell) layout's ownership — the scale-out deployment
+// model, where each cell's sensors feed their own ingest stream — and
+// because Build's recursive splits refine (every 8-cell is contained in
+// one 4-cell, 2-cell, and 1-cell), each writer's batches stay
+// single-partition at every level. The gate enforces three things:
+//
+//   - bit-identity: every pooled query answered by every partitioned
+//     level must equal the single-store answer bit for bit;
+//   - query overhead: partitioned scatter-gather at 4 partitions may
+//     cost at most partitionQueryOverheadGate× single-store query time;
+//   - ingest scaling: with ≥4 schedulable cores, 4 partitions must
+//     ingest at least partitionScalingGate× the single-store rate;
+//     on smaller hosts (e.g. GOMAXPROCS=1 CI containers) parallel
+//     speedup is physically unobservable, so the gate degrades to a
+//     pure-overhead floor — partitioned ingest may not fall below
+//     partitionOverheadFloor× single-store. The JSON records which
+//     form was active (scaling_gate_active).
+
+const (
+	partitionScalingGate       = 3.0
+	partitionOverheadFloor     = 0.7
+	partitionQueryOverheadGate = 1.5
+	partitionWriters           = 8
+)
+
+// partitionLevel is the measurement at one partition count.
+type partitionLevel struct {
+	Partitions int `json:"partitions"`
+	// BoundaryRoads counts roads whose endpoints live in different cells.
+	BoundaryRoads int `json:"boundary_roads"`
+	// IngestEventsPerSec is the concurrent batch-ingest rate.
+	IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
+	// QueryQPS is the sequential query-pool rate after ingestion.
+	QueryQPS float64 `json:"query_qps"`
+	// IngestSpeedup is this level's ingest rate over the 1-partition rate.
+	IngestSpeedup float64 `json:"ingest_speedup"`
+	// BitIdentical reports whether every pooled answer matched the
+	// single-store answer exactly (true by construction at P=1).
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// partitionResult is the machine-readable output (BENCH_partition.json).
+type partitionResult struct {
+	Seed                   int64            `json:"seed"`
+	Grid                   string           `json:"grid"`
+	GOMAXPROCS             int              `json:"gomaxprocs"`
+	Writers                int              `json:"writers"`
+	Events                 int              `json:"events"`
+	QueryPool              int              `json:"query_pool"`
+	Levels                 []partitionLevel `json:"levels"`
+	SpeedupAt4             float64          `json:"speedup_at_4"`
+	QueryOverheadAt4       float64          `json:"query_overhead_at_4"`
+	BitIdentical           bool             `json:"bit_identical"`
+	ScalingGateActive      bool             `json:"scaling_gate_active"`
+	ScalingThreshold       float64          `json:"scaling_threshold"`
+	OverheadFloor          float64          `json:"overhead_floor"`
+	QueryOverheadThreshold float64          `json:"query_overhead_threshold"`
+	Pass                   bool             `json:"pass"`
+}
+
+// partitionEnv is the shared input of every level: one world, the event
+// stream pre-sharded per writer by 8-cell ownership, one query pool.
+type partitionEnv struct {
+	world   *roadnet.World
+	events  int
+	shards  [][]stq.Event
+	queries []stq.Query
+}
+
+// runPartitionBench measures ingest and query throughput at each
+// partition count and writes BENCH_partition.json. Non-zero exit when
+// the gate fails.
+func runPartitionBench(seed int64, quick bool, outPath string) error {
+	// Quick mode trims query repetitions but keeps the full ingest
+	// workload: the ingest measurement needs enough batches per writer
+	// for per-batch overhead to amortize, or the overhead floor turns
+	// into a noise gate.
+	objects, poolSize, queryReps := 300, 48, 4
+	if quick {
+		queryReps = 2
+	}
+	env, err := buildPartitionEnv(seed, objects, poolSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partition bench: 16x16 grid, GOMAXPROCS=%d, %d writers, %d events, %d pooled queries x%d\n",
+		runtime.GOMAXPROCS(0), partitionWriters, env.events, len(env.queries), queryReps)
+
+	res := partitionResult{
+		Seed:                   seed,
+		Grid:                   "16x16",
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Writers:                partitionWriters,
+		Events:                 env.events,
+		QueryPool:              len(env.queries),
+		ScalingThreshold:       partitionScalingGate,
+		OverheadFloor:          partitionOverheadFloor,
+		QueryOverheadThreshold: partitionQueryOverheadGate,
+		BitIdentical:           true,
+	}
+	var refAnswers []float64
+	var baseIngest, baseQPS float64
+	for _, p := range []int{1, 2, 4, 8} {
+		lvl, answers, err := runPartitionLevel(env, p, queryReps)
+		if err != nil {
+			return fmt.Errorf("partitions=%d: %w", p, err)
+		}
+		if p == 1 {
+			refAnswers = answers
+			baseIngest = lvl.IngestEventsPerSec
+			baseQPS = lvl.QueryQPS
+			lvl.BitIdentical = true
+			lvl.IngestSpeedup = 1
+		} else {
+			lvl.BitIdentical = sameAnswers(refAnswers, answers)
+			if baseIngest > 0 {
+				lvl.IngestSpeedup = lvl.IngestEventsPerSec / baseIngest
+			}
+		}
+		if !lvl.BitIdentical {
+			res.BitIdentical = false
+		}
+		if p == 4 {
+			res.SpeedupAt4 = lvl.IngestSpeedup
+			if lvl.QueryQPS > 0 {
+				res.QueryOverheadAt4 = baseQPS / lvl.QueryQPS
+			}
+		}
+		res.Levels = append(res.Levels, lvl)
+		fmt.Printf("P=%d  ingest %9.0f events/s (%.2fx)   query %8.0f q/s   boundary roads %4d   bit-identical %v\n",
+			p, lvl.IngestEventsPerSec, lvl.IngestSpeedup, lvl.QueryQPS, lvl.BoundaryRoads, lvl.BitIdentical)
+	}
+
+	res.ScalingGateActive = res.GOMAXPROCS >= 4
+	scalingOK := res.SpeedupAt4 >= partitionOverheadFloor
+	if res.ScalingGateActive {
+		scalingOK = res.SpeedupAt4 >= partitionScalingGate
+	}
+	res.Pass = res.BitIdentical && scalingOK && res.QueryOverheadAt4 <= partitionQueryOverheadGate
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !res.Pass {
+		return fmt.Errorf("partition gate failed: bit-identical %v, ingest speedup at 4 %.2fx (gate %s), query overhead %.2fx (gate ≤%.1fx)",
+			res.BitIdentical, res.SpeedupAt4, scalingGateDesc(res.ScalingGateActive), res.QueryOverheadAt4, partitionQueryOverheadGate)
+	}
+	return nil
+}
+
+func scalingGateDesc(active bool) string {
+	if active {
+		return fmt.Sprintf("≥%.1fx", partitionScalingGate)
+	}
+	return fmt.Sprintf("≥%.1fx overhead floor, scaling unobservable at this GOMAXPROCS", partitionOverheadFloor)
+}
+
+// buildPartitionEnv generates the shared world, event stream, and query
+// pool. The stream is ingested under per-edge ordering, so the writer
+// sharding by road/gateway ID keeps every writer's stream valid.
+func buildPartitionEnv(seed int64, objects, poolSize int) (*partitionEnv, error) {
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 16, NY: 16, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, seed)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: objects, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Shard the stream per writer by the finest layout's ownership: one
+	// ingest stream per 8-cell, as the owning cell's sensors would feed
+	// it. Each shard is a time-ordered subsequence of a globally ordered
+	// stream, so per-edge order holds within every shard.
+	lay, err := partition.Build(sys.World(), partitionWriters)
+	if err != nil {
+		return nil, err
+	}
+	env := &partitionEnv{world: sys.World(), shards: make([][]stq.Event, partitionWriters)}
+	for _, mev := range wl.Events {
+		ev := convertEvent(mev)
+		var owner int
+		if ev.Kind == stq.EventMove {
+			owner = lay.OwnerOfRoad(ev.Road)
+		} else {
+			owner = lay.OwnerOfJunction(ev.Gateway)
+		}
+		env.shards[owner] = append(env.shards[owner], ev)
+		env.events++
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := sys.Bounds()
+	for i := 0; i < poolSize; i++ {
+		frac := 0.2 + rng.Float64()*0.6
+		w, h := b.Width()*frac, b.Height()*frac
+		x := b.Min.X + rng.Float64()*(b.Width()-w)
+		y := b.Min.Y + rng.Float64()*(b.Height()-h)
+		t1 := rng.Float64() * wl.Horizon * 0.6
+		env.queries = append(env.queries, stq.Query{
+			Rect: stq.Rect{Min: stq.Point{X: x, Y: y}, Max: stq.Point{X: x + w, Y: y + h}},
+			T1:   t1, T2: t1 + 0.15*wl.Horizon, Kind: stq.Kind(i % 3),
+		})
+	}
+	return env, nil
+}
+
+// runPartitionLevel measures one partition count: concurrent batch
+// ingest from partitionWriters cell-aligned writers — repeated on fresh
+// systems, best rate kept, since one pass lasts only milliseconds —
+// then the sequential query pool, returning the pooled counts for the
+// bit-identity comparison.
+func runPartitionLevel(env *partitionEnv, partitions, queryReps int) (partitionLevel, []float64, error) {
+	lvl := partitionLevel{Partitions: partitions}
+	const ingestReps = 5
+	var sys *stq.System
+	for rep := 0; rep < ingestReps; rep++ {
+		fresh, err := stq.NewPartitionedSystem(env.world, partitions)
+		if err != nil {
+			return partitionLevel{}, nil, err
+		}
+		if err := fresh.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+			return partitionLevel{}, nil, err
+		}
+		// GC fence: start every rep from a collected heap so the rate
+		// measures ingestion, not the allocation debt of whatever ran
+		// before this level.
+		runtime.GC()
+		rate, err := ingestShards(fresh, env)
+		if err != nil {
+			return partitionLevel{}, nil, err
+		}
+		if rate > lvl.IngestEventsPerSec {
+			lvl.IngestEventsPerSec = rate
+		}
+		sys = fresh
+	}
+	if lay := sys.PartitionLayout(); lay != nil {
+		lvl.BoundaryRoads = len(lay.BoundaryRoads)
+	}
+
+	answers := make([]float64, 0, len(env.queries))
+	for rep := 0; rep < queryReps; rep++ {
+		runtime.GC()
+		start := time.Now()
+		for _, q := range env.queries {
+			resp, err := sys.Query(q)
+			if err != nil {
+				return partitionLevel{}, nil, err
+			}
+			if rep == 0 {
+				answers = append(answers, resp.Count)
+			}
+		}
+		if qps := float64(len(env.queries)) / time.Since(start).Seconds(); qps > lvl.QueryQPS {
+			lvl.QueryQPS = qps
+		}
+	}
+	return lvl, answers, nil
+}
+
+// ingestShards feeds every writer shard concurrently in batches and
+// returns the events/s rate of this pass.
+func ingestShards(sys *stq.System, env *partitionEnv) (float64, error) {
+	const batchLen = 256
+	errs := make([]error, partitionWriters)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < partitionWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := env.shards[w]
+			for len(part) > 0 {
+				n := batchLen
+				if n > len(part) {
+					n = len(part)
+				}
+				if err := sys.RecordBatch(part[:n]); err != nil {
+					errs[w] = err
+					return
+				}
+				part = part[n:]
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(env.events) / wall.Seconds(), nil
+}
+
+// sameAnswers reports bitwise equality of two answer vectors.
+func sameAnswers(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -50,6 +50,7 @@ func main() {
 		objects     = flag.Int("objects", 0, "pre-ingest a synthetic workload with this many objects (0 = start empty)")
 		horizon     = flag.Float64("horizon", 86400, "pre-ingested workload horizon in seconds")
 		budget      = flag.Int("budget", 64, "communication-sensor budget (0 = unsampled full graph)")
+		partitions  = flag.Int("partitions", 1, "spatial partition count (>1 serves a partitioned multi-store)")
 		durableDir  = flag.String("durable", "", "WAL/checkpoint directory (empty = in-memory only)")
 		order       = flag.String("order", "peredge", "ingest ordering contract: peredge | global")
 		privTotal   = flag.Float64("privacy-total", 0, "total privacy budget ε (0 = privacy off)")
@@ -62,8 +63,9 @@ func main() {
 	flag.Parse()
 	if err := run(config{
 		addr: *addr, nx: *nx, ny: *ny, seed: *seed, objects: *objects,
-		horizon: *horizon, budget: *budget, durableDir: *durableDir,
-		order: *order, privTotal: *privTotal, privPer: *privPer,
+		horizon: *horizon, budget: *budget, partitions: *partitions,
+		durableDir: *durableDir,
+		order:      *order, privTotal: *privTotal, privPer: *privPer,
 		maxInflight: *maxInflight, maxQueued: *maxQueued,
 		slow: *slow, obs: !*noObs,
 	}); err != nil {
@@ -79,6 +81,7 @@ type config struct {
 	objects            int
 	horizon            float64
 	budget             int
+	partitions         int
 	durableDir         string
 	order              string
 	privTotal, privPer float64
@@ -118,9 +121,9 @@ func run(cfg config) error {
 		}
 	}()
 
-	log.Printf("stqd: serving on %s (%d junctions, %d roads, %d events, %d sensors, durable=%v)",
+	log.Printf("stqd: serving on %s (%d junctions, %d roads, %d events, %d sensors, %d partition(s), durable=%v)",
 		cfg.addr, sys.World().NumJunctions(), sys.World().NumRoads(),
-		sys.NumEvents(), sys.NumCommunicationSensors(), sys.Durable())
+		sys.NumEvents(), sys.NumCommunicationSensors(), sys.NumPartitions(), sys.Durable())
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -142,16 +145,26 @@ func buildSystem(cfg config) (*stq.System, error) {
 	opts.NX, opts.NY = cfg.nx, cfg.ny
 
 	var sys *stq.System
-	if cfg.durableDir != "" {
+	switch {
+	case cfg.durableDir != "":
 		w, err := roadnet.GridCity(opts, rand.New(rand.NewSource(cfg.seed)))
 		if err != nil {
 			return nil, err
 		}
-		sys, err = stq.OpenDurable(w, stq.Durability{Dir: cfg.durableDir})
+		sys, err = stq.OpenDurable(w, stq.Durability{Dir: cfg.durableDir, Partitions: cfg.partitions})
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	case cfg.partitions > 1:
+		w, err := roadnet.GridCity(opts, rand.New(rand.NewSource(cfg.seed)))
+		if err != nil {
+			return nil, err
+		}
+		sys, err = stq.NewPartitionedSystem(w, cfg.partitions)
+		if err != nil {
+			return nil, err
+		}
+	default:
 		var err error
 		sys, err = stq.NewGridCitySystem(opts, cfg.seed)
 		if err != nil {

@@ -1,7 +1,11 @@
 package stq
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +43,23 @@ type Durability struct {
 	// SegmentBytes rolls the active log segment when it would exceed
 	// this size (default 8 MiB).
 	SegmentBytes int64
+	// Partitions > 1 opens a spatially partitioned durable system
+	// (NewPartitionedSystem): each partition keeps its own log and
+	// checkpoints under Dir/part-NNN, appends touch only the logs of
+	// the partitions a batch routed to, and recovery replays every
+	// partition independently (in parallel). The partition count is
+	// recorded in Dir and must match on reopen — routing is a pure
+	// function of (world, count), so a different count would replay
+	// events into the wrong stores.
+	Partitions int
+}
+
+// partitionMetaName is the file recording the layout parameters of a
+// partitioned durable directory.
+const partitionMetaName = "partitions.json"
+
+type partitionMeta struct {
+	Partitions int `json:"partitions"`
 }
 
 // OpenDurable wraps a world in a durable System: every ingested batch
@@ -58,7 +79,13 @@ type Durability struct {
 // strictly past the checkpointed epoch, so no query plan cached before
 // the crash — or compiled by a previous incarnation — can be served
 // against the recovered store.
+//
+// With cfg.Partitions > 1 the system is partitioned (DESIGN.md §14):
+// one log directory per partition, recovered in parallel.
 func OpenDurable(w *roadnet.World, cfg Durability) (*System, error) {
+	if cfg.Partitions > 1 {
+		return openDurablePartitioned(w, cfg)
+	}
 	l, rec, err := wal.Open(cfg.Dir, wal.Options{
 		Sync:         cfg.Sync,
 		SyncEvery:    cfg.SyncEvery,
@@ -74,6 +101,131 @@ func OpenDurable(w *roadnet.World, cfg Durability) (*System, error) {
 	}
 	s.dlog = l
 	return s, nil
+}
+
+// openDurablePartitioned opens (or creates) a partitioned durable
+// directory: a meta file pinning the partition count plus one WAL
+// directory per partition, each recovered independently.
+func openDurablePartitioned(w *roadnet.World, cfg Durability) (*System, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stq: creating durable dir: %w", err)
+	}
+	metaPath := filepath.Join(cfg.Dir, partitionMetaName)
+	if b, err := os.ReadFile(metaPath); err == nil {
+		var meta partitionMeta
+		if err := json.Unmarshal(b, &meta); err != nil {
+			return nil, fmt.Errorf("stq: corrupt %s: %w", partitionMetaName, err)
+		}
+		if meta.Partitions != cfg.Partitions {
+			return nil, fmt.Errorf("stq: durable dir %s was recorded with %d partitions, reopened with %d — partition routing would change; reopen with the recorded count",
+				cfg.Dir, meta.Partitions, cfg.Partitions)
+		}
+	} else if os.IsNotExist(err) {
+		b, _ := json.Marshal(partitionMeta{Partitions: cfg.Partitions})
+		if err := os.WriteFile(metaPath, b, 0o644); err != nil {
+			return nil, fmt.Errorf("stq: writing %s: %w", partitionMetaName, err)
+		}
+	} else {
+		return nil, err
+	}
+
+	sys, err := NewPartitionedSystem(w, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	stores := sys.parts.Stores()
+	logs := make([]*wal.Log, cfg.Partitions)
+	recs := make([]*wal.Recovered, cfg.Partitions)
+	errs := make([]error, cfg.Partitions)
+	closeAll := func() {
+		for _, l := range logs {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
+	// Open and replay every partition in parallel: the logs are
+	// independent and each replays into its own store.
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Partitions; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			dir := filepath.Join(cfg.Dir, fmt.Sprintf("part-%03d", p))
+			l, rec, err := wal.Open(dir, wal.Options{
+				Sync:         cfg.Sync,
+				SyncEvery:    cfg.SyncEvery,
+				SegmentBytes: cfg.SegmentBytes,
+			})
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			logs[p], recs[p] = l, rec
+			if ck := recs[p].Checkpoint; ck != nil {
+				if err := stores[p].RestoreSnapshot(ck.Snapshot); err != nil {
+					errs[p] = fmt.Errorf("stq: restoring partition %d checkpoint: %w", p, err)
+					return
+				}
+			}
+			// Member stores always validate per edge; the Set-level
+			// contract is restored below from the recovered records.
+			stores[p].SetOrdering(core.OrderPerEdge)
+			for _, r := range recs[p].Records {
+				if r.IsOrdering {
+					continue
+				}
+				if err := stores[p].RecordBatch(r.Events); err != nil {
+					errs[p] = fmt.Errorf("stq: replaying partition %d log record %d: %w", p, r.LSN, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	// The Set-level ordering contract and the serving epoch are written
+	// identically to every partition (checkpoint snapshots carry the
+	// Set-level ordering; SetIngestOrdering appends an ordering record
+	// to every log), so each partition's recovered view — checkpointed
+	// ordering advanced by its own logged ordering records — agrees
+	// except across a crash window mid-broadcast. OrderGlobal (the
+	// stricter contract) wins such a tie: every applied batch satisfied
+	// whichever contract was live when it was applied, so the stricter
+	// survivor is always a sound description of the recovered history.
+	finalOrdering := core.OrderPerEdge
+	var maxEpoch uint64
+	for p := 0; p < cfg.Partitions; p++ {
+		ord := core.OrderGlobal
+		if ck := recs[p].Checkpoint; ck != nil {
+			ord = ck.Snapshot.Ordering
+			if ck.ServingEpoch > maxEpoch {
+				maxEpoch = ck.ServingEpoch
+			}
+		}
+		for _, r := range recs[p].Records {
+			if r.IsOrdering {
+				ord = r.Ordering
+			}
+		}
+		if ord == core.OrderGlobal {
+			finalOrdering = core.OrderGlobal
+		}
+	}
+	sys.parts.SetOrdering(finalOrdering)
+	sys.mu.Lock()
+	if e := sys.epoch.Load(); maxEpoch > e {
+		sys.epoch.Store(maxEpoch)
+	}
+	sys.rebuild()
+	sys.mu.Unlock()
+	sys.dlogs = logs
+	return sys, nil
 }
 
 // restoreRecovered installs recovered durable state into a freshly
@@ -122,20 +274,50 @@ func (s *System) restoreRecovered(rec *wal.Recovered) error {
 }
 
 // Durable reports whether the system was opened with OpenDurable.
-func (s *System) Durable() bool { return s.dlog != nil }
+func (s *System) Durable() bool { return s.dlog != nil || len(s.dlogs) > 0 }
+
+// allLogs returns every write-ahead log of a durable system (one for
+// single-store, one per partition otherwise); nil when not durable.
+func (s *System) allLogs() []*wal.Log {
+	if s.dlog != nil {
+		return []*wal.Log{s.dlog}
+	}
+	return s.dlogs
+}
 
 // NumEvents returns the number of events currently in the store
 // (recovered plus newly ingested).
-func (s *System) NumEvents() int { return s.store.NumEvents() }
+func (s *System) NumEvents() int { return s.st().NumEvents() }
 
 // recordDurable applies one atomic batch and logs it. The dmu critical
 // section covers both, so log order always equals apply order — the
 // invariant recovery's replay depends on. Apply runs first because it
 // performs all validation; if the subsequent append fails the batch is
 // live in memory but not durable, and the error says so.
+//
+// On partitioned systems the batch is split by the router and each
+// partition's sub-batch is appended to that partition's log, so a
+// partition's log replays exactly the events its store applied.
 func (s *System) recordDurable(events []Event) error {
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
+	if s.parts != nil {
+		subs, err := s.parts.RecordBatchSplit(events)
+		if err != nil {
+			return err
+		}
+		sysEvents.AddInt(len(events))
+		for p, sub := range subs {
+			if len(sub) == 0 {
+				continue
+			}
+			if _, err := s.dlogs[p].AppendBatch(sub); err != nil {
+				return fmt.Errorf("stq: batch applied in memory but not logged (partition %d): %w", p, err)
+			}
+		}
+		s.maybeSeal(len(events))
+		return nil
+	}
 	if err := s.store.RecordBatch(events); err != nil {
 		return err
 	}
@@ -152,34 +334,72 @@ func (s *System) recordDurable(events []Event) error {
 // with ingestion paused (the dmu critical section), so it corresponds
 // exactly to the log position it is stamped with. After a successful
 // checkpoint, recovery replays only records appended afterwards.
+//
+// Partitioned systems checkpoint every partition (in parallel): each
+// partition's snapshot pairs with its own log position. The snapshots
+// carry the Set-level ordering contract so recovery restores it.
 func (s *System) Checkpoint() error {
-	if s.dlog == nil {
+	if !s.Durable() {
 		return fmt.Errorf("stq: Checkpoint requires a durable system (OpenDurable)")
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	snap := s.store.ExportSnapshot()
-	return s.dlog.WriteCheckpoint(snap, s.epoch.Load())
+	if s.parts == nil {
+		snap := s.store.ExportSnapshot()
+		return s.dlog.WriteCheckpoint(snap, s.epoch.Load())
+	}
+	stores := s.parts.Stores()
+	ord := s.parts.GetOrdering()
+	epoch := s.epoch.Load()
+	errs := make([]error, len(stores))
+	var wg sync.WaitGroup
+	for p := range stores {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			snap := stores[p].ExportSnapshot()
+			// Member stores run OrderPerEdge internally; the checkpoint
+			// records the Set-level contract instead, which is what
+			// recovery must restore.
+			snap.Ordering = ord
+			errs[p] = s.dlogs[p].WriteCheckpoint(snap, epoch)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			return fmt.Errorf("stq: checkpointing partition %d: %w", p, err)
+		}
+	}
+	return nil
 }
 
 // SyncWAL forces every acknowledged append to stable storage,
 // regardless of the configured fsync policy. No-op on non-durable
 // systems.
 func (s *System) SyncWAL() error {
-	if s.dlog == nil {
-		return nil
+	for _, l := range s.allLogs() {
+		if err := l.Sync(); err != nil {
+			return err
+		}
 	}
-	return s.dlog.Sync()
+	return nil
 }
 
-// Close flushes and closes the write-ahead log. The system keeps
+// Close flushes and closes the write-ahead log(s). The system keeps
 // serving queries, but further ingestion fails. No-op on non-durable
 // systems.
 func (s *System) Close() error {
-	if s.dlog == nil {
+	if !s.Durable() {
 		return nil
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	return s.dlog.Close()
+	var firstErr error
+	for _, l := range s.allLogs() {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

@@ -382,6 +382,43 @@ func growSigned(dst []SignedEvent, need int) []SignedEvent {
 	return nd
 }
 
+// LastRoadCrossing returns the most recent crossing timestamp recorded
+// on road toward the given endpoint; ok=false when the direction has no
+// events yet. Lock-free: it reads the atomically published tracking
+// form, so it can be used to pre-validate per-form ordering of a batch
+// against live store state (internal/partition's cross-store batch
+// router does exactly that).
+func (s *Store) LastRoadCrossing(road planar.EdgeID, toward planar.NodeID) (float64, bool) {
+	if road < 0 || int(road) >= len(s.roads) {
+		return 0, false
+	}
+	tr := s.loadTracker(road)
+	if tr == nil {
+		return 0, false
+	}
+	return tr.last(toward == s.w.Star.Edge(road).V)
+}
+
+// LastWorldEvent returns the most recent world-entry (entering=true) or
+// world-exit timestamp at gateway g; ok=false when none. Lock-free, like
+// LastRoadCrossing.
+func (s *Store) LastWorldEvent(g planar.NodeID, entering bool) (float64, bool) {
+	wv := s.worldViewOf(g)
+	ts := wv.out[g]
+	if entering {
+		ts = wv.in[g]
+	}
+	if len(ts) == 0 {
+		return 0, false
+	}
+	return ts[len(ts)-1], true
+}
+
+// GatewayGeneration returns the gateway-set generation counter: it
+// advances whenever an event arrives at a previously unseen gateway.
+// Composite stores key their merged WorldJunctions memo on it.
+func (s *Store) GatewayGeneration() uint64 { return s.gatewayGen.Load() }
+
 // RoadTracker returns a snapshot of the tracker of one road for storage
 // accounting and for training learned models.
 //

@@ -1,0 +1,344 @@
+package partition_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+func testWorld(t *testing.T, seed int64) *roadnet.World {
+	t.Helper()
+	w, err := roadnet.GridCity(roadnet.GridOpts{
+		NX: 10, NY: 10, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// walkEvents generates a deterministic, per-object time-ordered event
+// stream: objects enter at a gateway, random-walk over incident roads,
+// and sometimes leave. The merged stream is globally time ordered.
+func walkEvents(w *roadnet.World, n int, seed int64) []core.Event {
+	rng := rand.New(rand.NewSource(seed))
+	isGateway := make(map[planar.NodeID]bool, len(w.Gateways))
+	for _, g := range w.Gateways {
+		isGateway[g] = true
+	}
+	events := make([]core.Event, 0, n)
+	cur := w.Gateways[0]
+	inside := false
+	t := 0.0
+	for len(events) < n {
+		t += 1 + rng.Float64()
+		if !inside {
+			cur = w.Gateways[rng.Intn(len(w.Gateways))]
+			events = append(events, core.EnterEvent(cur, t))
+			inside = true
+			continue
+		}
+		if rng.Float64() < 0.1 && isGateway[cur] {
+			events = append(events, core.LeaveEvent(cur, t))
+			inside = false
+			continue
+		}
+		inc := w.Star.Incident(cur)
+		e := inc[rng.Intn(len(inc))]
+		events = append(events, core.MoveEvent(e, cur, t))
+		ed := w.Star.Edge(e)
+		if cur == ed.U {
+			cur = ed.V
+		} else {
+			cur = ed.U
+		}
+	}
+	return events
+}
+
+func TestLayoutDeterministicAndCovering(t *testing.T) {
+	w := testWorld(t, 3)
+	for _, cells := range []int{1, 2, 3, 4, 8} {
+		a, err := partition.Build(w, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := partition.Build(w, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cells=%d: Build is not deterministic", cells)
+		}
+		total := 0
+		for c, n := range a.CellJunctions {
+			if n == 0 {
+				t.Errorf("cells=%d: cell %d owns no junctions", cells, c)
+			}
+			total += n
+		}
+		if total != w.Star.NumNodes() {
+			t.Fatalf("cells=%d: %d junctions assigned, world has %d", cells, total, w.Star.NumNodes())
+		}
+		for j, c := range a.CellOfJunction {
+			if c < 0 || c >= cells {
+				t.Fatalf("junction %d assigned to cell %d of %d", j, c, cells)
+			}
+		}
+		for e, c := range a.CellOfRoad {
+			ed := w.Star.Edge(planar.EdgeID(e))
+			if c != a.CellOfJunction[ed.U] {
+				t.Fatalf("road %d owned by cell %d, its U endpoint by %d", e, c, a.CellOfJunction[ed.U])
+			}
+		}
+		if cells > 1 && len(a.BoundaryRoads) == 0 {
+			t.Errorf("cells=%d: no boundary roads on a connected grid", cells)
+		}
+	}
+	if _, err := partition.Build(w, 0); err == nil {
+		t.Error("0 cells accepted")
+	}
+	if _, err := partition.Build(w, w.Star.NumNodes()+1); err == nil {
+		t.Error("more cells than junctions accepted")
+	}
+}
+
+// TestSetBitIdenticalCounters: every core query primitive answered by
+// the partitioned set must equal the single-store answer bit for bit,
+// for every query kind, at every partition count.
+func TestSetBitIdenticalCounters(t *testing.T) {
+	w := testWorld(t, 5)
+	events := walkEvents(w, 4000, 11)
+	single := core.NewStore(w)
+	if err := single.RecordBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	region, err := core.NewRegion(w, w.JunctionsIn(w.Bounds()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := core.NewRegion(w, w.JunctionsIn(w.Bounds().Expand(-w.Bounds().Width()/4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := events[len(events)-1].T
+	for _, cells := range []int{2, 4, 8} {
+		lay, err := partition.Build(w, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := partition.NewSet(w, lay)
+		// Ingest in batches to exercise both the single- and the
+		// multi-partition RecordBatch paths.
+		for i := 0; i < len(events); i += 64 {
+			end := i + 64
+			if end > len(events) {
+				end = len(events)
+			}
+			if err := set.RecordBatch(events[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := set.NumEvents(), single.NumEvents(); got != want {
+			t.Fatalf("cells=%d: %d events in set, %d in single store", cells, got, want)
+		}
+		if got, want := set.Clock(), single.Clock(); got != want {
+			t.Fatalf("cells=%d: composite clock %v != single %v", cells, got, want)
+		}
+		if !reflect.DeepEqual(set.WorldJunctions(), single.WorldJunctions()) {
+			t.Fatalf("cells=%d: WorldJunctions merge differs from single store", cells)
+		}
+		for _, r := range []*core.Region{region, inner} {
+			for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+				ts := horizon * frac
+				if got, want := core.SnapshotCount(set, r, ts), core.SnapshotCount(single, r, ts); got != want {
+					t.Errorf("cells=%d t=%v: snapshot %v != %v", cells, ts, got, want)
+				}
+				if got, want := core.TransientCount(set, r, ts/2, ts), core.TransientCount(single, r, ts/2, ts); got != want {
+					t.Errorf("cells=%d t=%v: transient %v != %v", cells, ts, got, want)
+				}
+				if got, want := core.StaticCount(set, set, r, ts/2, ts), core.StaticCount(single, single, r, ts/2, ts); got != want {
+					t.Errorf("cells=%d t=%v: static %v != %v", cells, ts, got, want)
+				}
+			}
+		}
+		if got, want := set.Storage().TotalTimestamps, single.Storage().TotalTimestamps; got != want {
+			t.Errorf("cells=%d: %d stored timestamps, single store has %d", cells, got, want)
+		}
+	}
+}
+
+// TestSetMultiPartitionBatchAtomicity: a multi-partition batch whose
+// events are valid for one partition but violate per-edge order in
+// another must apply nothing anywhere.
+func TestSetMultiPartitionBatchAtomicity(t *testing.T) {
+	w := testWorld(t, 7)
+	lay, err := partition.Build(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := partition.NewSet(w, lay)
+	set.SetOrdering(core.OrderPerEdge)
+
+	// One road per distinct partition.
+	var roadA, roadB planar.EdgeID = -1, -1
+	for e := 0; e < w.Star.NumEdges(); e++ {
+		if roadA < 0 {
+			roadA = planar.EdgeID(e)
+			continue
+		}
+		if lay.OwnerOfRoad(planar.EdgeID(e)) != lay.OwnerOfRoad(roadA) {
+			roadB = planar.EdgeID(e)
+			break
+		}
+	}
+	if roadB < 0 {
+		t.Fatal("no two roads in distinct partitions")
+	}
+	fromA := w.Star.Edge(roadA).U
+	fromB := w.Star.Edge(roadB).U
+
+	// Partition A's sub-batch is valid; partition B's regresses on its
+	// own edge direction. Nothing may apply.
+	bad := []core.Event{
+		core.MoveEvent(roadA, fromA, 10),
+		core.MoveEvent(roadB, fromB, 20),
+		core.MoveEvent(roadB, fromB, 5),
+	}
+	if err := set.RecordBatch(bad); err == nil {
+		t.Fatal("per-edge regression in one partition accepted")
+	}
+	if n := set.NumEvents(); n != 0 {
+		t.Fatalf("failed batch left %d events behind", n)
+	}
+
+	// A regression against already-applied state (not just intra-batch)
+	// must also roll back to nothing-new.
+	if err := set.RecordBatch([]core.Event{
+		core.MoveEvent(roadA, fromA, 10),
+		core.MoveEvent(roadB, fromB, 20),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.RecordBatch([]core.Event{
+		core.MoveEvent(roadA, fromA, 11),
+		core.MoveEvent(roadB, fromB, 15),
+	}); err == nil {
+		t.Fatal("regression against applied state accepted")
+	}
+	if n := set.NumEvents(); n != 2 {
+		t.Fatalf("failed batch changed event count: %d != 2", n)
+	}
+}
+
+// TestSetGlobalOrdering: under the Set-level OrderGlobal contract the
+// composite clock — not any single member's — is the authority.
+func TestSetGlobalOrdering(t *testing.T) {
+	w := testWorld(t, 9)
+	lay, err := partition.Build(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := partition.NewSet(w, lay)
+	if set.GetOrdering() != core.OrderGlobal {
+		t.Fatal("fresh set not on the default OrderGlobal contract")
+	}
+	var roadA, roadB planar.EdgeID = -1, -1
+	for e := 0; e < w.Star.NumEdges(); e++ {
+		if roadA < 0 {
+			roadA = planar.EdgeID(e)
+			continue
+		}
+		if lay.OwnerOfRoad(planar.EdgeID(e)) != lay.OwnerOfRoad(roadA) {
+			roadB = planar.EdgeID(e)
+			break
+		}
+	}
+	if err := set.RecordMove(roadA, w.Star.Edge(roadA).U, 100); err != nil {
+		t.Fatal(err)
+	}
+	// roadB's member store is empty, but the composite clock is 100.
+	if err := set.RecordMove(roadB, w.Star.Edge(roadB).U, 50); err == nil {
+		t.Fatal("global regression across partitions accepted")
+	}
+	if err := set.RecordBatch([]core.Event{core.MoveEvent(roadB, w.Star.Edge(roadB).U, 50)}); err == nil {
+		t.Fatal("global regression via batch accepted")
+	}
+	// Per-edge mode releases the cross-partition constraint.
+	set.SetOrdering(core.OrderPerEdge)
+	if err := set.RecordMove(roadB, w.Star.Edge(roadB).U, 50); err != nil {
+		t.Fatalf("per-edge ingest rejected: %v", err)
+	}
+}
+
+// TestSetConcurrentIngest hammers per-partition writers against
+// concurrent readers under -race: per-edge streams are independent, so
+// partitioned ingest must be safe with readers on the composite.
+func TestSetConcurrentIngest(t *testing.T) {
+	w := testWorld(t, 13)
+	lay, err := partition.Build(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := partition.NewSet(w, lay)
+	set.SetOrdering(core.OrderPerEdge)
+	region, err := core.NewRegion(w, w.JunctionsIn(w.Bounds()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perWriter = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts := rr.Float64() * perWriter
+				if got := core.SnapshotCount(set, region, ts); got < 0 {
+					t.Errorf("negative occupancy %v", got)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	// Writers: each goroutine owns a disjoint set of edges (sharded by
+	// road ID), so per-edge monotonicity holds within each writer.
+	var ww sync.WaitGroup
+	for wr := 0; wr < 4; wr++ {
+		ww.Add(1)
+		go func(wr int) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(int64(100 + wr)))
+			for i := 0; i < perWriter; i++ {
+				e := planar.EdgeID(rng.Intn(w.Star.NumEdges())/4*4 + wr)
+				if int(e) >= w.Star.NumEdges() {
+					continue
+				}
+				if err := set.RecordMove(e, w.Star.Edge(e).U, float64(i)); err != nil {
+					t.Errorf("writer %d: %v", wr, err)
+					return
+				}
+			}
+		}(wr)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if set.NumEvents() == 0 {
+		t.Fatal("no events ingested")
+	}
+}

@@ -1,0 +1,641 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+	"repro/internal/roadnet"
+)
+
+// Set is the partitioned multi-store: one full-world core.Store per
+// cell, each receiving only the events its cell owns. It implements the
+// same read interfaces the query engine consumes (core.Counter,
+// core.EventLister, core.IntervalCounter, core.BatchCounter) and the
+// same ingestion surface stq.System drives, so it slots in wherever a
+// single store does.
+//
+// # Ordering
+//
+// The member stores always run under core.OrderPerEdge: the Set is the
+// ordering authority. Under the Set-level OrderGlobal contract the
+// router validates global monotonicity against the composite clock
+// before splitting a batch; per-form monotonicity is enforced by the
+// member stores at apply time in both modes, exactly as a single store
+// would.
+//
+// # Concurrency
+//
+// Reads are lock-free (they dispatch to the member stores' published
+// snapshots). Writes touching one partition run concurrently under a
+// shared routing lock; multi-partition batches take it exclusively so
+// their two-phase commit (validate everywhere, then apply everywhere)
+// observes stable member state and stays atomic across stores.
+type Set struct {
+	w      *roadnet.World
+	lay    *Layout
+	stores []*core.Store
+
+	// ordering is the Set-level contract (see type comment).
+	ordering atomic.Uint32
+	// rmu is the routing lock: RLock for single-partition appends,
+	// Lock for multi-partition two-phase batches.
+	rmu sync.RWMutex
+	// wjMemo caches the merged sorted world-junction set per vector of
+	// member gateway generations.
+	wjMemo atomic.Pointer[setWJMemo]
+	// scratch pools the per-query cut/junction grouping buffers.
+	scratch sync.Pool
+}
+
+type setWJMemo struct {
+	gens []uint64
+	js   []planar.NodeID
+}
+
+// gatherScratch is the pooled working set of one scatter-gather call:
+// the per-partition cut and world-junction groups.
+type gatherScratch struct {
+	cuts [][]core.CutRoad
+	js   [][]planar.NodeID
+}
+
+// NewSet builds the partitioned store over w with the given layout.
+func NewSet(w *roadnet.World, lay *Layout) *Set {
+	s := &Set{w: w, lay: lay, stores: make([]*core.Store, lay.Cells)}
+	for i := range s.stores {
+		st := core.NewStore(w)
+		st.SetOrdering(core.OrderPerEdge)
+		s.stores[i] = st
+	}
+	s.scratch.New = func() any {
+		return &gatherScratch{
+			cuts: make([][]core.CutRoad, lay.Cells),
+			js:   make([][]planar.NodeID, lay.Cells),
+		}
+	}
+	return s
+}
+
+// World returns the world the set tracks.
+func (s *Set) World() *roadnet.World { return s.w }
+
+// Layout returns the spatial layout.
+func (s *Set) Layout() *Layout { return s.lay }
+
+// NumPartitions returns the partition count.
+func (s *Set) NumPartitions() int { return len(s.stores) }
+
+// Stores exposes the member stores (checkpointing, recovery, history
+// forwarding). Callers must not reorder the slice: index i is cell i.
+func (s *Set) Stores() []*core.Store { return s.stores }
+
+// SetOrdering selects the Set-level time-ordering contract. Member
+// stores stay on OrderPerEdge regardless — the router is the authority
+// for the global contract.
+func (s *Set) SetOrdering(o core.Ordering) { s.ordering.Store(uint32(o)) }
+
+// GetOrdering returns the Set-level ordering contract.
+func (s *Set) GetOrdering() core.Ordering { return core.Ordering(s.ordering.Load()) }
+
+// Clock returns the composite store clock: the max member clock.
+func (s *Set) Clock() float64 {
+	var max float64
+	for _, st := range s.stores {
+		if c := st.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// NumEvents returns the total ingested event count across partitions.
+func (s *Set) NumEvents() int {
+	var n int
+	for _, st := range s.stores {
+		n += st.NumEvents()
+	}
+	return n
+}
+
+// checkGlobal validates t against the composite clock when the
+// Set-level contract is OrderGlobal.
+func (s *Set) checkGlobal(t float64) error {
+	if s.GetOrdering() != core.OrderGlobal {
+		return nil
+	}
+	if clock := s.Clock(); t < clock {
+		return fmt.Errorf("core: event at %v precedes time %v (events must be time ordered)", t, clock)
+	}
+	return nil
+}
+
+// RecordMove routes one road crossing to the owning partition.
+func (s *Set) RecordMove(road planar.EdgeID, from planar.NodeID, t float64) error {
+	if road < 0 || int(road) >= len(s.lay.CellOfRoad) {
+		return fmt.Errorf("core: road %d out of range", road)
+	}
+	s.rmu.RLock()
+	defer s.rmu.RUnlock()
+	if err := s.checkGlobal(t); err != nil {
+		return err
+	}
+	return s.stores[s.lay.CellOfRoad[road]].RecordMove(road, from, t)
+}
+
+// RecordEnter routes a world entry to the gateway's owning partition.
+func (s *Set) RecordEnter(g planar.NodeID, t float64) error {
+	return s.recordWorld(g, t, core.EnterEvent(g, t))
+}
+
+// RecordLeave routes a world exit to the gateway's owning partition.
+func (s *Set) RecordLeave(g planar.NodeID, t float64) error {
+	return s.recordWorld(g, t, core.LeaveEvent(g, t))
+}
+
+func (s *Set) recordWorld(g planar.NodeID, t float64, ev core.Event) error {
+	if g < 0 || int(g) >= len(s.lay.CellOfJunction) {
+		return fmt.Errorf("core: gateway %d out of range", g)
+	}
+	s.rmu.RLock()
+	defer s.rmu.RUnlock()
+	if err := s.checkGlobal(t); err != nil {
+		return err
+	}
+	st := s.stores[s.lay.CellOfJunction[g]]
+	if ev.Kind == core.EventEnter {
+		return st.RecordEnter(g, t)
+	}
+	return st.RecordLeave(g, t)
+}
+
+// RecordBatch ingests one atomic batch, splitting it across the owning
+// partitions (mobility.BatchRecorder).
+func (s *Set) RecordBatch(events []core.Event) error {
+	_, err := s.RecordBatchSplit(events)
+	return err
+}
+
+// RecordBatchSplit ingests one atomic batch and returns its
+// per-partition sub-batches (subs[p] holds cell p's events in batch
+// order; nil when the cell received none). The durable path appends
+// each sub-batch to its partition's write-ahead log.
+//
+// The batch stays atomic across partitions: a single-partition batch is
+// atomic in its member store; a multi-partition batch takes the routing
+// lock exclusively, pre-validates every sub-batch against stable member
+// state (structure, Set-level global order, per-form monotonicity), and
+// only then applies — per partition, in parallel — so a validation
+// failure anywhere applies nothing anywhere.
+func (s *Set) RecordBatchSplit(events []core.Event) ([][]core.Event, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	// Pass 0 (lock-free): structural validation, routing counts, and the
+	// intra-batch half of the global-order check.
+	global := s.GetOrdering() == core.OrderGlobal
+	counts := make([]int, len(s.stores))
+	firstT := events[0].T
+	prev := math.Inf(-1)
+	for i, ev := range events {
+		if global {
+			if ev.T < prev {
+				return nil, fmt.Errorf("core: batch event %d at %v precedes time %v (events must be time ordered)", i, ev.T, prev)
+			}
+			prev = ev.T
+		}
+		owner, err := s.ownerOf(i, ev)
+		if err != nil {
+			return nil, err
+		}
+		counts[owner]++
+	}
+	single := -1
+	for p, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if single >= 0 {
+			single = -2
+			break
+		}
+		single = p
+	}
+	if single >= 0 {
+		// Single-partition fast path: the member store's own atomic
+		// RecordBatch suffices; concurrent single-partition batches only
+		// share the routing lock.
+		s.rmu.RLock()
+		defer s.rmu.RUnlock()
+		if global {
+			if clock := s.Clock(); firstT < clock {
+				return nil, fmt.Errorf("core: batch event 0 at %v precedes time %v (events must be time ordered)", firstT, clock)
+			}
+		}
+		if err := s.stores[single].RecordBatch(events); err != nil {
+			return nil, err
+		}
+		subs := make([][]core.Event, len(s.stores))
+		subs[single] = events
+		return subs, nil
+	}
+
+	// Multi-partition: exclusive routing lock, then two-phase commit.
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	if global {
+		if clock := s.Clock(); firstT < clock {
+			return nil, fmt.Errorf("core: batch event 0 at %v precedes time %v (events must be time ordered)", firstT, clock)
+		}
+	}
+	subs := make([][]core.Event, len(s.stores))
+	for p, c := range counts {
+		if c > 0 {
+			subs[p] = make([]core.Event, 0, c)
+		}
+	}
+	for i, ev := range events {
+		owner, _ := s.ownerOf(i, ev)
+		subs[owner] = append(subs[owner], ev)
+	}
+	// Phase 1: pre-validate per-form monotonicity of every sub-batch
+	// against its member store. Under the global contract this is
+	// implied (the batch is globally monotone and starts at or after
+	// every member clock), so only per-edge mode pays for it.
+	if !global {
+		if err := s.forEachSub(subs, func(p int, sub []core.Event) error {
+			return validateSub(s.stores[p], s.w, sub)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: apply. Validation guarantees member RecordBatch cannot
+	// fail; a failure here would leave partitions inconsistent, so it is
+	// surfaced loudly rather than swallowed.
+	if err := s.forEachSub(subs, func(p int, sub []core.Event) error {
+		if err := s.stores[p].RecordBatch(sub); err != nil {
+			return fmt.Errorf("partition %d: validated sub-batch failed to apply: %w", p, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// ownerOf validates one event's structure and returns its owning cell.
+func (s *Set) ownerOf(i int, ev core.Event) (int, error) {
+	switch ev.Kind {
+	case core.EventMove:
+		if ev.Road < 0 || int(ev.Road) >= len(s.lay.CellOfRoad) {
+			return 0, fmt.Errorf("core: batch event %d: road %d out of range", i, ev.Road)
+		}
+		e := s.w.Star.Edge(ev.Road)
+		if ev.From != e.U && ev.From != e.V {
+			return 0, fmt.Errorf("core: batch event %d: node %d is not an endpoint of road %d", i, ev.From, ev.Road)
+		}
+		return s.lay.CellOfRoad[ev.Road], nil
+	case core.EventEnter, core.EventLeave:
+		if ev.Gateway < 0 || int(ev.Gateway) >= len(s.lay.CellOfJunction) {
+			return 0, fmt.Errorf("core: batch event %d: gateway %d out of range", i, ev.Gateway)
+		}
+		return s.lay.CellOfJunction[ev.Gateway], nil
+	}
+	return 0, fmt.Errorf("core: batch event %d: unknown kind %d", i, ev.Kind)
+}
+
+// forEachSub runs f over every non-empty sub-batch, in parallel when
+// more than one worker can actually run, and returns the first error.
+func (s *Set) forEachSub(subs [][]core.Event, f func(p int, sub []core.Event) error) error {
+	if runtime.GOMAXPROCS(0) == 1 {
+		for p, sub := range subs {
+			if len(sub) == 0 {
+				continue
+			}
+			if err := f(p, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(subs))
+	for p, sub := range subs {
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int, sub []core.Event) {
+			defer wg.Done()
+			errs[p] = f(p, sub)
+		}(p, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dirKey identifies one tracking-form direction for pre-validation.
+type dirKey struct {
+	road planar.EdgeID
+	fwd  bool
+}
+
+// worldKey identifies one world-edge direction.
+type worldKey struct {
+	g        planar.NodeID
+	entering bool
+}
+
+// validateSub checks that sub is per-form monotone against st's current
+// state, without applying anything. Events are structurally valid by
+// the time this runs (ownerOf checked them).
+func validateSub(st *core.Store, w *roadnet.World, sub []core.Event) error {
+	var lastRoad map[dirKey]float64
+	var lastWorld map[worldKey]float64
+	for _, ev := range sub {
+		switch ev.Kind {
+		case core.EventMove:
+			e := w.Star.Edge(ev.Road)
+			fwd := ev.From == e.U
+			k := dirKey{ev.Road, fwd}
+			if lastRoad == nil {
+				lastRoad = make(map[dirKey]float64, len(sub))
+			}
+			last, ok := lastRoad[k]
+			if !ok {
+				toward := e.V
+				if !fwd {
+					toward = e.U
+				}
+				last, ok = st.LastRoadCrossing(ev.Road, toward)
+			}
+			if ok && ev.T < last {
+				return fmt.Errorf("core: batch event at %v precedes last crossing %v on road %d (per-edge order)", ev.T, last, ev.Road)
+			}
+			lastRoad[k] = ev.T
+		case core.EventEnter, core.EventLeave:
+			k := worldKey{ev.Gateway, ev.Kind == core.EventEnter}
+			if lastWorld == nil {
+				lastWorld = make(map[worldKey]float64, 8)
+			}
+			last, ok := lastWorld[k]
+			if !ok {
+				last, ok = st.LastWorldEvent(ev.Gateway, k.entering)
+			}
+			if ok && ev.T < last {
+				return fmt.Errorf("core: batch event at %v precedes last world event %v at gateway %d (per-edge order)", ev.T, last, ev.Gateway)
+			}
+			lastWorld[k] = ev.T
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Read side: core.Counter / EventLister / IntervalCounter dispatch to
+// the owning member store, so every term of every query is computed by
+// exactly the code a single store would run, on exactly the same data.
+
+// RoadCrossings implements core.Counter.
+func (s *Set) RoadCrossings(road planar.EdgeID, toward planar.NodeID, t float64) float64 {
+	return s.storeOfRoad(road).RoadCrossings(road, toward, t)
+}
+
+// WorldCrossings implements core.Counter.
+func (s *Set) WorldCrossings(g planar.NodeID, entering bool, t float64) float64 {
+	return s.storeOfJunction(g).WorldCrossings(g, entering, t)
+}
+
+// WorldJunctions implements core.Counter: the ascending merge of the
+// members' disjoint world-junction sets, memoized per gateway-
+// generation vector. Callers must not modify the returned slice.
+func (s *Set) WorldJunctions() []planar.NodeID {
+	gens := make([]uint64, len(s.stores))
+	for i, st := range s.stores {
+		gens[i] = st.GatewayGeneration()
+	}
+	if m := s.wjMemo.Load(); m != nil && gensEqual(m.gens, gens) {
+		return m.js
+	}
+	var js []planar.NodeID
+	for _, st := range s.stores {
+		js = append(js, st.WorldJunctions()...)
+	}
+	// Gateways are owned by exactly one partition, so the concatenation
+	// is duplicate-free; sorting restores the single-store ascending
+	// order.
+	sort.Slice(js, func(i, j int) bool { return js[i] < js[j] })
+	s.wjMemo.Store(&setWJMemo{gens: gens, js: js})
+	return js
+}
+
+func gensEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RoadEventsIn implements core.EventLister.
+func (s *Set) RoadEventsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64, dst []core.SignedEvent) []core.SignedEvent {
+	return s.storeOfRoad(road).RoadEventsIn(road, toward, t1, t2, dst)
+}
+
+// WorldEventsIn implements core.EventLister.
+func (s *Set) WorldEventsIn(g planar.NodeID, t1, t2 float64, dst []core.SignedEvent) []core.SignedEvent {
+	return s.storeOfJunction(g).WorldEventsIn(g, t1, t2, dst)
+}
+
+// RoadCrossingsIn implements core.IntervalCounter.
+func (s *Set) RoadCrossingsIn(road planar.EdgeID, toward planar.NodeID, t1, t2 float64) float64 {
+	return s.storeOfRoad(road).RoadCrossingsIn(road, toward, t1, t2)
+}
+
+// WorldCrossingsIn implements core.IntervalCounter.
+func (s *Set) WorldCrossingsIn(g planar.NodeID, entering bool, t1, t2 float64) float64 {
+	return s.storeOfJunction(g).WorldCrossingsIn(g, entering, t1, t2)
+}
+
+func (s *Set) storeOfRoad(road planar.EdgeID) *core.Store {
+	return s.stores[s.lay.CellOfRoad[road]]
+}
+
+func (s *Set) storeOfJunction(g planar.NodeID) *core.Store {
+	return s.stores[s.lay.CellOfJunction[g]]
+}
+
+// ---------------------------------------------------------------------
+// BatchCounter: scatter-gather perimeter integration. Each partition
+// integrates the cut roads and world junctions it owns; the partial
+// sums are integers held in float64, so their merge is exact in any
+// order and the total is bit-identical to single-store accumulation.
+
+// group splits the perimeter into per-partition cut and junction
+// groups inside the pooled scratch. release returns the scratch.
+func (s *Set) group(cuts []core.CutRoad, worldJs []planar.NodeID) (sc *gatherScratch, release func()) {
+	sc = s.scratch.Get().(*gatherScratch)
+	for _, cr := range cuts {
+		p := s.lay.CellOfRoad[cr.Road]
+		sc.cuts[p] = append(sc.cuts[p], cr)
+	}
+	for _, g := range worldJs {
+		p := s.lay.CellOfJunction[g]
+		sc.js[p] = append(sc.js[p], g)
+	}
+	return sc, func() {
+		for p := range sc.cuts {
+			sc.cuts[p] = sc.cuts[p][:0]
+			sc.js[p] = sc.js[p][:0]
+		}
+		s.scratch.Put(sc)
+	}
+}
+
+// gatherParallel reports whether a perimeter of this size is worth
+// fanning out across goroutines.
+const gatherParallelCuts = 2048
+
+func (s *Set) gather(sc *gatherScratch, eval func(p int) float64, total int) float64 {
+	if total < gatherParallelCuts || runtime.GOMAXPROCS(0) == 1 {
+		var sum float64
+		for p := range s.stores {
+			if len(sc.cuts[p]) == 0 && len(sc.js[p]) == 0 {
+				continue
+			}
+			sum += eval(p)
+		}
+		return sum
+	}
+	partial := make([]float64, len(s.stores))
+	var wg sync.WaitGroup
+	for p := range s.stores {
+		if len(sc.cuts[p]) == 0 && len(sc.js[p]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			partial[p] = eval(p)
+		}(p)
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range partial {
+		sum += v
+	}
+	return sum
+}
+
+// CountCuts implements core.BatchCounter by scatter-gather.
+func (s *Set) CountCuts(cuts []core.CutRoad, worldJs []planar.NodeID, t float64) float64 {
+	sc, release := s.group(cuts, worldJs)
+	defer release()
+	return s.gather(sc, func(p int) float64 {
+		return s.stores[p].CountCuts(sc.cuts[p], sc.js[p], t)
+	}, len(cuts))
+}
+
+// CutFlow implements core.BatchCounter by scatter-gather.
+func (s *Set) CutFlow(cuts []core.CutRoad, worldJs []planar.NodeID, t1, t2 float64) float64 {
+	sc, release := s.group(cuts, worldJs)
+	defer release()
+	return s.gather(sc, func(p int) float64 {
+		return s.stores[p].CutFlow(sc.cuts[p], sc.js[p], t1, t2)
+	}, len(cuts))
+}
+
+// CountCutsTimes implements core.BatchCounter: per-partition probe
+// vectors summed elementwise. Every element is an integer-valued
+// partial sum, so the merge is exact.
+func (s *Set) CountCutsTimes(cuts []core.CutRoad, worldJs []planar.NodeID, ts []float64, dst []float64) []float64 {
+	sc, release := s.group(cuts, worldJs)
+	defer release()
+	totals := make([]float64, len(ts))
+	for p := range s.stores {
+		if len(sc.cuts[p]) == 0 && len(sc.js[p]) == 0 {
+			continue
+		}
+		part := s.stores[p].CountCutsTimes(sc.cuts[p], sc.js[p], ts, make([]float64, 0, len(ts)))
+		for i, v := range part {
+			totals[i] += v
+		}
+	}
+	return append(dst, totals...)
+}
+
+// ---------------------------------------------------------------------
+// Aggregated maintenance surfaces: storage, history, memory.
+
+// Storage aggregates the members' storage stats (core.StorageStats
+// semantics: logical 8-byte timestamps over road trackers).
+func (s *Set) Storage() core.StorageStats {
+	agg := core.StorageStats{TimestampsPerRoad: make([]int, len(s.lay.CellOfRoad))}
+	for _, st := range s.stores {
+		ps := st.Storage()
+		for i, n := range ps.TimestampsPerRoad {
+			agg.TimestampsPerRoad[i] += n
+		}
+		agg.TotalTimestamps += ps.TotalTimestamps
+	}
+	agg.Bytes = agg.TotalTimestamps * 8
+	return agg
+}
+
+// SetHistoryConfig forwards the tiered-history configuration to every
+// member store.
+func (s *Set) SetHistoryConfig(cfg core.HistoryConfig) error {
+	for _, st := range s.stores {
+		if err := st.SetHistoryConfig(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetHistoryConfig returns the members' (shared) history configuration.
+func (s *Set) GetHistoryConfig() (core.HistoryConfig, bool) {
+	return s.stores[0].GetHistoryConfig()
+}
+
+// SealColdPrefixes seals every member store and sums the stats.
+func (s *Set) SealColdPrefixes() core.SealStats {
+	var agg core.SealStats
+	for _, st := range s.stores {
+		ps := st.SealColdPrefixes()
+		agg.Roads += ps.Roads
+		agg.Segments += ps.Segments
+		agg.SealedEvents += ps.SealedEvents
+		agg.LossyFallbacks += ps.LossyFallbacks
+	}
+	return agg
+}
+
+// Memory sums the members' resident-memory breakdowns.
+func (s *Set) Memory() core.MemoryStats {
+	var agg core.MemoryStats
+	for _, st := range s.stores {
+		ps := st.Memory()
+		agg.Events += ps.Events
+		agg.SealedEvents += ps.SealedEvents
+		agg.Segments += ps.Segments
+		agg.HotBytes += ps.HotBytes
+		agg.SealedBytes += ps.SealedBytes
+		agg.WorldBytes += ps.WorldBytes
+	}
+	return agg
+}

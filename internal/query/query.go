@@ -78,13 +78,19 @@ type Request struct {
 	Trace *obs.Trace
 }
 
-// Validate reports structural problems with the request.
+// ErrInvalidRequest marks request-shaped failures: the query was
+// malformed by the caller, not failed by the engine. The serving layer
+// matches it (errors.Is) to answer 400 instead of 500.
+var ErrInvalidRequest = fmt.Errorf("query: invalid request")
+
+// Validate reports structural problems with the request. Every error
+// wraps ErrInvalidRequest.
 func (r Request) Validate() error {
 	if r.Rect.Empty() {
-		return fmt.Errorf("query: empty rectangle")
+		return fmt.Errorf("%w: empty rectangle", ErrInvalidRequest)
 	}
 	if r.Kind != Snapshot && r.T2 < r.T1 {
-		return fmt.Errorf("query: T2 %v before T1 %v", r.T2, r.T1)
+		return fmt.Errorf("%w: T2 %v before T1 %v", ErrInvalidRequest, r.T2, r.T1)
 	}
 	return nil
 }

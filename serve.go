@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -192,6 +193,11 @@ type Server struct {
 	stop      chan struct{}
 	batcherWG sync.WaitGroup
 
+	// drainMu serializes ingest enqueues against Drain's transition to
+	// the draining state: handlers enqueue under RLock after re-checking
+	// draining, and Drain flips the flag under Lock, so once Drain holds
+	// the write lock no handler can slip a request past the final flush.
+	drainMu   sync.RWMutex
 	draining  atomic.Bool
 	drainOnce sync.Once
 	drainErr  error
@@ -351,13 +357,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryErrorStatus maps engine/privacy errors to HTTP statuses: an
-// exhausted ε budget is 429 (the resource is the budget), everything
-// else is a 400-class request problem.
+// exhausted ε budget is 429 (the resource is the budget), a request
+// the engine rejected as malformed (ErrInvalidQuery) is 400, and
+// anything else — engine faults, internal invariant failures — is a
+// 500. Blaming the client for server-side failures would mislead
+// operators and suppress retries.
 func queryErrorStatus(err error) int {
 	if errors.Is(err, ErrPrivacyBudgetExhausted) {
 		return http.StatusTooManyRequests
 	}
-	return http.StatusBadRequest
+	if errors.Is(err, ErrInvalidQuery) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func resultOf(resp *Response) QueryResult {
@@ -410,11 +422,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		events[i] = ev
 	}
 	done := make(chan error, 1)
+	// Enqueue under drainMu.RLock with a re-check of draining: a handler
+	// that passed the top-level drain check before Drain flipped the flag
+	// must not enqueue after Drain's final flush — nothing would ever
+	// answer its done channel. Under the read lock the flag is stable, so
+	// either we observe draining and refuse, or our request is enqueued
+	// before Drain can flip the flag and is seen by the final flush.
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	select {
 	case s.ingestCh <- ingestReq{events: events, done: done}:
+		s.drainMu.RUnlock()
 	default:
 		// Admission bounds concurrent ingest below the channel capacity,
 		// so this is only reachable if the batcher has stopped.
+		s.drainMu.RUnlock()
 		s.reject(w)
 		return
 	}
@@ -536,6 +562,8 @@ type statsBody struct {
 	PlanCache    PlanCacheStats `json:"plan_cache"`
 	Durable      bool           `json:"durable"`
 	Draining     bool           `json:"draining"`
+	// Partitions is the spatial partition count (1 for single-store).
+	Partitions int `json:"partitions"`
 	// Request-latency quantiles in milliseconds, from the
 	// serve.request_seconds histogram; zero unless observability is on.
 	P50Ms float64 `json:"p50_ms"`
@@ -550,6 +578,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCache:    s.sys.PlanCacheStats(),
 		Durable:      s.sys.Durable(),
 		Draining:     s.draining.Load(),
+		Partitions:   s.sys.NumPartitions(),
 	}
 	if h, ok := obs.Default.Snapshot().Histograms[srvLatency.Name()]; ok {
 		body.P50Ms = h.Quantile(0.50) * 1e3
@@ -587,7 +616,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the first result.
 func (s *Server) Drain() error {
 	s.drainOnce.Do(func() {
+		// Flip the flag under drainMu so no ingest handler is mid-enqueue:
+		// after Unlock, every handler either already enqueued (visible to
+		// the flush below) or will observe draining and refuse with 503.
+		s.drainMu.Lock()
 		s.draining.Store(true)
+		s.drainMu.Unlock()
 		close(s.stop)
 		s.batcherWG.Wait()
 		// Catch stragglers that enqueued between the batcher's final
@@ -633,7 +667,16 @@ func (g *flightGroup) do(k query.CoalesceKey, fn func() (int, []byte)) (status i
 		c.waiters.Add(1)
 		g.mu.Unlock()
 		<-c.done
-		return c.status, c.body, true
+		if c.status == http.StatusOK {
+			return c.status, c.body, true
+		}
+		// The leader failed. Failures are not interchangeable the way
+		// successful answers are — the leader may have lost a transient
+		// race (privacy budget, concurrent reconfiguration) the follower
+		// would win — so sharing them would amplify one failure to every
+		// coalesced client. Each follower executes on its own instead.
+		status, body = fn()
+		return status, body, false
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[k] = c
@@ -662,6 +705,13 @@ func decodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("malformed JSON body: %w", err)
+	}
+	// Require exactly one JSON value: a body like `{...}garbage` or
+	// `{...}{...}` is a malformed request, and silently dropping the
+	// trailing bytes would mask client bugs (e.g. double-encoded
+	// batches) as successful ingests.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("malformed JSON body: trailing data after JSON value")
 	}
 	return nil
 }

@@ -1,0 +1,265 @@
+package stq
+
+// Regression tests for serving-layer bugs: the drain/ingest enqueue
+// race, failure sharing in query coalescing, query-error status
+// classification, and trailing garbage after JSON bodies. Each test
+// fails against the pre-fix code. They run under -race in CI.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeDrainRejectsStragglerIngest: an ingest handler that passed
+// the top-level drain check before Drain flipped the flag must not
+// enqueue after Drain's final flush — pre-fix it enqueued into a
+// channel nothing drains and blocked on its done channel forever.
+// Calling the route handler directly models exactly that straggler.
+func TestServeDrainRejectsStragglerIngest(t *testing.T) {
+	srv, wl, _ := newTestServer(t, ServerConfig{})
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	road, from := firstMove(t, wl)
+	body, err := json.Marshal(IngestRequest{Events: []IngestEvent{
+		{Kind: "move", T: wl.Horizon * 2, Road: int(road), From: int(from)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(string(body)))
+		srv.handleIngest(rec, req)
+		done <- rec.Code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("straggler ingest got %d, want 503", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler ingest hung after Drain (pre-fix deadlock)")
+	}
+}
+
+// TestServeDrainIngestRace hammers ingest requests while Drain runs
+// concurrently: every request must terminate with a definite verdict
+// (200, 429, or 503) — none may hang — and the race detector must stay
+// quiet across the draining transition.
+func TestServeDrainIngestRace(t *testing.T) {
+	srv, wl, ts := newTestServer(t, ServerConfig{MaxInflight: 4, MaxQueued: 8})
+	gw := srv.System().Gateways()[0]
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	const clients = 8
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			body := fmt.Sprintf(`{"events":[{"kind":"enter","gateway":%d,"t":%v}]}`,
+				int(gw), wl.Horizon*2+float64(i))
+			status, _ := postRaw(t, ts.URL+"/v1/ingest", body)
+			codes[i] = status
+		}(i)
+	}
+	close(start)
+	// Drain races the in-flight ingests.
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ingest requests hung across a concurrent Drain")
+	}
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Errorf("client %d: unexpected status %d", i, code)
+		}
+	}
+}
+
+// TestServeCoalesceDoesNotShareFailures: followers coalesced behind a
+// leader whose execution fails must not inherit the failure — each
+// falls back to its own execution. Pre-fix the leader's error response
+// was shared byte-for-byte with every follower.
+func TestServeCoalesceDoesNotShareFailures(t *testing.T) {
+	srv, wl, ts := newTestServer(t, ServerConfig{MaxInflight: 16})
+	sys := srv.System()
+	rect := centered(sys, 0.5)
+	q := Query{Rect: rect, T1: wl.Horizon / 4, T2: wl.Horizon / 2, Kind: Transient}
+	key := coalesceKeyOf(q)
+
+	var execs atomic.Int64
+	release := make(chan struct{})
+	var blockOnce sync.Once
+	srv.queryFn = func(Query) (*Response, error) {
+		n := execs.Add(1)
+		if n == 1 {
+			// Leader: hold the flight open until followers queue up.
+			blockOnce.Do(func() { <-release })
+		}
+		return nil, fmt.Errorf("injected engine failure %d", n)
+	}
+
+	req := QueryRequest{
+		Rect: [4]float64{rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y},
+		T1:   wl.Horizon / 4, T2: wl.Horizon / 2, Kind: "transient",
+	}
+	const followers = 3
+	var wg sync.WaitGroup
+	statuses := make([]int, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _ = postJSON(t, ts.URL+"/v1/query", req)
+		}(i)
+		if i == 0 {
+			// Let the leader enter the flight before followers arrive.
+			waitFor(t, func() bool { return execs.Load() >= 1 }, "leader execution")
+		}
+	}
+	waitFor(t, func() bool { return srv.flight.pendingWaiters(key) >= followers }, "followers queued")
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != followers+1 {
+		t.Fatalf("%d executions; want %d (leader + one per follower, no failure sharing)", got, followers+1)
+	}
+	for i, code := range statuses {
+		if code != http.StatusInternalServerError {
+			t.Errorf("request %d: status %d, want 500", i, code)
+		}
+	}
+	if c := srv.Stats().Coalesced; c != 0 {
+		t.Errorf("%d requests counted coalesced; failures must not share", c)
+	}
+
+	// Successful answers still coalesce: one execution, N shares.
+	execs.Store(0)
+	release2 := make(chan struct{})
+	var block2 sync.Once
+	srv.queryFn = func(qq Query) (*Response, error) {
+		execs.Add(1)
+		block2.Do(func() { <-release2 })
+		return sys.Query(qq)
+	}
+	var wg2 sync.WaitGroup
+	for i := 0; i <= followers; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			status, _ := postJSON(t, ts.URL+"/v1/query", req)
+			if status != http.StatusOK {
+				t.Errorf("coalesced success: status %d", status)
+			}
+		}()
+		if i == 0 {
+			waitFor(t, func() bool { return execs.Load() >= 1 }, "leader execution")
+		}
+	}
+	waitFor(t, func() bool { return srv.flight.pendingWaiters(key) >= followers }, "followers queued")
+	close(release2)
+	wg2.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Errorf("%d executions for coalesced successes; want 1", got)
+	}
+	if c := srv.Stats().Coalesced; c != followers {
+		t.Errorf("Coalesced = %d, want %d", c, followers)
+	}
+}
+
+// TestServeQueryErrorStatus: request-shaped engine errors are 400,
+// privacy-budget exhaustion is 429, and everything else — internal
+// engine failures included — is 500, not a blamed-on-the-client 400.
+func TestServeQueryErrorStatus(t *testing.T) {
+	srv, wl, ts := newTestServer(t, ServerConfig{})
+	sys := srv.System()
+	rect := centered(sys, 0.5)
+
+	mkReq := func(mut func(*QueryRequest)) QueryRequest {
+		r := QueryRequest{
+			Rect: [4]float64{rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y},
+			T1:   wl.Horizon / 4, T2: wl.Horizon / 2, Kind: "transient",
+		}
+		if mut != nil {
+			mut(&r)
+		}
+		return r
+	}
+
+	// Request-shaped: empty rectangle and inverted time range are the
+	// client's fault.
+	for name, req := range map[string]QueryRequest{
+		"empty rect":    mkReq(func(r *QueryRequest) { r.Rect = [4]float64{10, 10, 0, 0} }),
+		"inverted time": mkReq(func(r *QueryRequest) { r.T1, r.T2 = r.T2, r.T1 }),
+	} {
+		status, body := postJSON(t, ts.URL+"/v1/query", req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, status, body)
+		}
+	}
+
+	// Internal failure: 500. Pre-fix this was a 400.
+	srv.queryFn = func(Query) (*Response, error) {
+		return nil, errors.New("store wedged")
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/query", mkReq(nil)); status != http.StatusInternalServerError {
+		t.Errorf("internal failure: status %d, want 500 (%s)", status, body)
+	}
+
+	// Privacy budget exhaustion: 429, the retryable resource error.
+	srv.queryFn = func(Query) (*Response, error) {
+		return nil, fmt.Errorf("budget: %w", ErrPrivacyBudgetExhausted)
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/query", mkReq(func(r *QueryRequest) { r.T2++ })); status != http.StatusTooManyRequests {
+		t.Errorf("budget exhaustion: status %d, want 429 (%s)", status, body)
+	}
+}
+
+// TestServeRejectsTrailingGarbage: request bodies must be exactly one
+// JSON value. Pre-fix, `{...}garbage` decoded the prefix and silently
+// dropped the rest — masking client bugs as successful requests.
+func TestServeRejectsTrailingGarbage(t *testing.T) {
+	srv, wl, ts := newTestServer(t, ServerConfig{})
+	gw := srv.System().Gateways()[0]
+	ingest := func(tail string) string {
+		return fmt.Sprintf(`{"events":[{"kind":"enter","gateway":%d,"t":%v}]}%s`,
+			int(gw), wl.Horizon*2, tail)
+	}
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"ingest clean", "/v1/ingest", ingest(""), http.StatusOK},
+		{"ingest trailing whitespace", "/v1/ingest", ingest("  \n\t "), http.StatusOK},
+		{"ingest trailing garbage", "/v1/ingest", ingest("garbage"), http.StatusBadRequest},
+		{"ingest second value", "/v1/ingest", ingest(` {"events":[]}`), http.StatusBadRequest},
+		{"ingest trailing array", "/v1/ingest", ingest("[]"), http.StatusBadRequest},
+		{"query second value", "/v1/query", `{"rect":[0,0,1,1],"t1":1} {}`, http.StatusBadRequest},
+		{"query trailing scalar", "/v1/query", `{"rect":[0,0,1,1],"t1":1} 7`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, body := postRaw(t, ts.URL+tc.path, tc.body)
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"repro/internal/learned"
 	"repro/internal/mobility"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/planar"
 	"repro/internal/privacy"
 	"repro/internal/query"
@@ -179,6 +180,12 @@ const (
 // total ε budget is spent (match with errors.Is). The serving layer
 // maps it to HTTP 429 Too Many Requests.
 var ErrPrivacyBudgetExhausted = privacy.ErrBudgetExhausted
+
+// ErrInvalidQuery marks a structurally invalid query (empty rectangle,
+// inverted interval) — a caller mistake, not an engine failure (match
+// with errors.Is). The serving layer maps it to HTTP 400; every other
+// engine error is a 500.
+var ErrInvalidQuery = query.ErrInvalidRequest
 
 // Convenience constructors for the option structs.
 var (
@@ -351,7 +358,12 @@ func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
 // issued one at a time.
 type System struct {
 	world *roadnet.World
+	// Exactly one of store and parts is non-nil: store for the classic
+	// single-store system, parts for the spatially partitioned
+	// multi-store (NewPartitionedSystem, DESIGN.md §14). The st() helper
+	// is the shared storage surface.
 	store *core.Store
+	parts *partition.Set
 
 	// serving is the atomically published query-path state: Query loads
 	// it once and never touches the mutable configuration below, which
@@ -388,11 +400,44 @@ type System struct {
 	sealerBusy  atomic.Bool
 	sealWG      sync.WaitGroup
 
-	// dlog, when non-nil, makes the system durable (OpenDurable). dmu
-	// serializes {store apply, WAL append} pairs so log order always
-	// equals apply order — the invariant crash recovery replays under.
-	dmu  sync.Mutex
-	dlog *wal.Log
+	// dlog (single-store) or dlogs (one per partition), when non-nil,
+	// make the system durable (OpenDurable). dmu serializes {store
+	// apply, WAL append} pairs so log order always equals apply order —
+	// the invariant crash recovery replays under.
+	dmu   sync.Mutex
+	dlog  *wal.Log
+	dlogs []*wal.Log
+}
+
+// eventStore is the storage surface System drives — implemented by both
+// the single core.Store and the partitioned partition.Set, so every
+// ingestion, ordering, storage-accounting, and tiered-history path is
+// written once.
+type eventStore interface {
+	core.Counter
+	core.EventLister
+	RecordBatch(events []core.Event) error
+	RecordMove(road planar.EdgeID, from planar.NodeID, t float64) error
+	RecordEnter(gateway planar.NodeID, t float64) error
+	RecordLeave(gateway planar.NodeID, t float64) error
+	SetOrdering(o core.Ordering)
+	GetOrdering() core.Ordering
+	NumEvents() int
+	Clock() float64
+	Storage() core.StorageStats
+	SetHistoryConfig(cfg core.HistoryConfig) error
+	GetHistoryConfig() (core.HistoryConfig, bool)
+	SealColdPrefixes() core.SealStats
+	Memory() core.MemoryStats
+}
+
+// st returns the active storage backend (single store or partitioned
+// set).
+func (s *System) st() eventStore {
+	if s.parts != nil {
+		return s.parts
+	}
+	return s.store
 }
 
 // servingState is the immutable snapshot of everything Query reads. A
@@ -413,6 +458,52 @@ func NewSystem(w *roadnet.World) *System {
 	}
 	s.rebuild()
 	return s
+}
+
+// NewPartitionedSystem wraps a world in a spatially partitioned
+// multi-store system (DESIGN.md §14): the sensing graph is split into
+// `partitions` spatial cells, each owning its roads’ tracking forms in
+// a private core.Store; ingestion is routed by edge to the owning
+// partition and rect queries are answered by scatter-gather, with every
+// answer bit-identical to the equivalent single-store system.
+// partitions ≤ 1 returns a plain single-store system.
+//
+// Learned temporal models (UseLearnedModels) are not supported on
+// partitioned systems — partitioned serving is the exact-form scale-out
+// path.
+func NewPartitionedSystem(w *roadnet.World, partitions int) (*System, error) {
+	if partitions <= 1 {
+		return NewSystem(w), nil
+	}
+	lay, err := partition.Build(w, partitions)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		world:        w,
+		parts:        partition.NewSet(w, lay),
+		planCacheCap: query.DefaultPlanCacheCapacity,
+	}
+	s.rebuild()
+	return s, nil
+}
+
+// NumPartitions returns the number of store partitions (1 for
+// single-store systems).
+func (s *System) NumPartitions() int {
+	if s.parts != nil {
+		return s.parts.NumPartitions()
+	}
+	return 1
+}
+
+// PartitionLayout returns the spatial layout of a partitioned system,
+// or nil for single-store systems.
+func (s *System) PartitionLayout() *partition.Layout {
+	if s.parts != nil {
+		return s.parts.Layout()
+	}
+	return nil
 }
 
 // NewGridCitySystem generates a jittered-grid city and wraps it.
@@ -484,14 +575,14 @@ func (s *System) GenerateWorkload(opts MobilityOpts, seed int64) (*Workload, err
 func (s *System) Ingest(wl *Workload) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.dlog != nil {
+	if s.Durable() {
 		// Route batches through the durable path (System implements
 		// mobility.BatchRecorder), which counts events itself.
 		if err := wl.Feed(s); err != nil {
 			return err
 		}
 	} else {
-		if err := wl.Feed(s.store); err != nil {
+		if err := wl.Feed(s.st()); err != nil {
 			return err
 		}
 		sysEvents.AddInt(len(wl.Events))
@@ -509,10 +600,10 @@ func (s *System) Ingest(wl *Workload) error {
 // RecordMove / RecordEnter / RecordLeave. The batch is atomic: it is
 // fully validated before anything is applied.
 func (s *System) RecordBatch(events []Event) error {
-	if s.dlog != nil {
+	if s.Durable() {
 		return s.recordDurable(events)
 	}
-	if err := s.store.RecordBatch(events); err != nil {
+	if err := s.st().RecordBatch(events); err != nil {
 		return err
 	}
 	sysEvents.AddInt(len(events))
@@ -523,10 +614,10 @@ func (s *System) RecordBatch(events []Event) error {
 // RecordMove ingests a single road crossing: the object traverses road
 // starting from junction `from` at time t.
 func (s *System) RecordMove(road EdgeID, from NodeID, t float64) error {
-	if s.dlog != nil {
+	if s.Durable() {
 		return s.recordDurable([]Event{MoveEvent(road, from, t)})
 	}
-	if err := s.store.RecordMove(road, from, t); err != nil {
+	if err := s.st().RecordMove(road, from, t); err != nil {
 		return err
 	}
 	s.maybeSeal(1)
@@ -535,10 +626,10 @@ func (s *System) RecordMove(road EdgeID, from NodeID, t float64) error {
 
 // RecordEnter ingests a world entry at a gateway junction.
 func (s *System) RecordEnter(gateway NodeID, t float64) error {
-	if s.dlog != nil {
+	if s.Durable() {
 		return s.recordDurable([]Event{EnterEvent(gateway, t)})
 	}
-	if err := s.store.RecordEnter(gateway, t); err != nil {
+	if err := s.st().RecordEnter(gateway, t); err != nil {
 		return err
 	}
 	s.maybeSeal(1)
@@ -547,10 +638,10 @@ func (s *System) RecordEnter(gateway NodeID, t float64) error {
 
 // RecordLeave ingests a world exit at a gateway junction.
 func (s *System) RecordLeave(gateway NodeID, t float64) error {
-	if s.dlog != nil {
+	if s.Durable() {
 		return s.recordDurable([]Event{LeaveEvent(gateway, t)})
 	}
-	if err := s.store.RecordLeave(gateway, t); err != nil {
+	if err := s.st().RecordLeave(gateway, t); err != nil {
 		return err
 	}
 	s.maybeSeal(1)
@@ -569,21 +660,23 @@ func (s *System) RecordLeave(gateway NodeID, t float64) error {
 // contract in force at the crash; the returned error reports a log
 // append failure (always nil on non-durable systems).
 func (s *System) SetIngestOrdering(o Ordering) error {
-	if s.dlog == nil {
-		s.store.SetOrdering(o)
+	if !s.Durable() {
+		s.st().SetOrdering(o)
 		return nil
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	s.store.SetOrdering(o)
-	if _, err := s.dlog.AppendOrdering(o); err != nil {
-		return fmt.Errorf("stq: ordering change applied in memory but not logged: %w", err)
+	s.st().SetOrdering(o)
+	for _, l := range s.allLogs() {
+		if _, err := l.AppendOrdering(o); err != nil {
+			return fmt.Errorf("stq: ordering change applied in memory but not logged: %w", err)
+		}
 	}
 	return nil
 }
 
 // IngestOrdering returns the current event-time ordering contract.
-func (s *System) IngestOrdering() Ordering { return s.store.GetOrdering() }
+func (s *System) IngestOrdering() Ordering { return s.st().GetOrdering() }
 
 // SetPlanCacheCapacity sets the query-plan cache capacity of the serving
 // engine (and of every engine rebuilt after configuration changes).
@@ -685,9 +778,15 @@ func (s *System) ClearPlacement() {
 // or step regressors from the learned package. Pass nil to revert to
 // exact forms. Models are (re)trained from the currently ingested events
 // and after every subsequent Ingest.
-func (s *System) UseLearnedModels(tr learned.Trainer) {
+//
+// Partitioned systems (NewPartitionedSystem) store exact forms only and
+// reject a non-nil trainer.
+func (s *System) UseLearnedModels(tr learned.Trainer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.parts != nil && tr != nil {
+		return fmt.Errorf("stq: learned models are not supported on partitioned systems")
+	}
 	s.trainer = tr
 	if tr == nil {
 		s.learnt = nil
@@ -695,6 +794,7 @@ func (s *System) UseLearnedModels(tr learned.Trainer) {
 		s.learnt = learned.FromExact(s.store, tr)
 	}
 	s.rebuild()
+	return nil
 }
 
 // rebuild constructs a fresh engine from the current configuration and
@@ -702,8 +802,8 @@ func (s *System) UseLearnedModels(tr learned.Trainer) {
 // queries loaded onto it finish undisturbed. Callers hold s.mu
 // (NewSystem calls it before the System escapes its constructor).
 func (s *System) rebuild() {
-	var counter core.Counter = s.store
-	var lister core.EventLister = s.store
+	var counter core.Counter = s.st()
+	var lister core.EventLister = s.st()
 	if s.learnt != nil {
 		counter = s.learnt
 		lister = nil
@@ -895,7 +995,7 @@ func (s *System) StorageBytes() int {
 		}
 		return s.learnt.Storage(nil)
 	}
-	return s.store.Storage().Bytes
+	return s.st().Storage().Bytes
 }
 
 // Snapshot returns a point-in-time copy of the observability registry:
