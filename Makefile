@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-partition bench-serve experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-partition bench-serve bench-wire fuzz-wire experiments examples fmt vet clean
 
 all: build test
 
@@ -23,8 +23,10 @@ check:
 	$(GO) run ./cmd/stqbench -wal -quick -wal-out ""
 	$(GO) run ./cmd/stqbench -history -quick -history-out ""
 	$(GO) run ./cmd/stqbench -partition -quick -partition-out BENCH_partition.json
+	$(GO) run ./cmd/stqbench -wire -quick -wire-out BENCH_wire.json
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s -run '^$$' ./internal/wire
 	$(GO) run ./cmd/stqload -quick -out BENCH_serve.json
-	$(GO) run ./cmd/benchjson -gates BENCH_serve.json BENCH_partition.json
+	$(GO) run ./cmd/benchjson -gates BENCH_serve.json BENCH_partition.json BENCH_wire.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -80,6 +82,18 @@ bench-partition:
 bench-serve:
 	$(GO) run ./cmd/stqload -out BENCH_serve.json
 	$(GO) run ./cmd/benchjson -gates BENCH_serve.json
+
+# Binary wire protocol gate: pooled codec micro-benchmarks (must be
+# 0 allocs/frame), an 8-client HTTP ingest smoke on both surfaces
+# (binary must ingest ≥3x the JSON events/s), and JSON/wire answer
+# bit-identity across engines and partition counts.
+bench-wire:
+	$(GO) run ./cmd/stqbench -wire -wire-out BENCH_wire.json
+	$(GO) run ./cmd/benchjson -gates BENCH_wire.json
+
+# Longer fuzz run over the wire decoder (make check runs a 10s smoke).
+fuzz-wire:
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=2m -run '^$$' ./internal/wire
 
 experiments:
 	$(GO) run ./cmd/stqbench -exp all

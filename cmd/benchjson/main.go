@@ -102,6 +102,18 @@ func runGates(paths []string) error {
 				BoundaryRoads      int     `json:"boundary_roads"`
 				BitIdentical       bool    `json:"bit_identical"`
 			} `json:"levels"`
+			// Binary wire protocol breakdown (BENCH_wire.json).
+			IngestSpeedupX      *float64 `json:"ingest_speedup_x"`
+			IngestSpeedupGate   float64  `json:"ingest_speedup_gate"`
+			IngestEPSJSON       float64  `json:"ingest_events_per_sec_json"`
+			IngestEPSWire       float64  `json:"ingest_events_per_sec_wire"`
+			EncodeNsPerOp       float64  `json:"encode_ns_per_op"`
+			DecodeNsPerOp       float64  `json:"decode_ns_per_op"`
+			EncodeAllocsPerOp   int64    `json:"encode_allocs_per_op"`
+			DecodeAllocsPerOp   int64    `json:"decode_allocs_per_op"`
+			BytesPerEventWire   float64  `json:"bytes_per_event_wire"`
+			BytesPerEventJSON   float64  `json:"bytes_per_event_json"`
+			AnswersBitIdentical bool     `json:"answers_bit_identical"`
 			// Serving gate breakdown (BENCH_serve.json, cmd/stqload).
 			Kinds []struct {
 				Kind  string  `json:"kind"`
@@ -143,6 +155,11 @@ func runGates(paths []string) error {
 			fmt.Printf("  (memory %.1fx of ≥%.0fx, warm latency %.2fx of ≤%.1fx, bit-identical %v)",
 				*gate.MemReductionX, gate.MemReductionGate, gate.LatencyRatioX, gate.LatencyRatioGate, gate.BitIdentical)
 		}
+		if gate.IngestSpeedupX != nil {
+			fmt.Printf("  (ingest %.2fx of ≥%.1fx, %d/%d allocs/frame of 0, bit-identical %v)",
+				*gate.IngestSpeedupX, gate.IngestSpeedupGate,
+				gate.EncodeAllocsPerOp, gate.DecodeAllocsPerOp, gate.AnswersBitIdentical)
+		}
 		fmt.Println()
 		for _, p := range gate.Policies {
 			fmt.Printf("  fsync=%-8s %10.0f events/s  %6d fsyncs  recovery %6.1fms  verified %v\n",
@@ -153,6 +170,12 @@ func runGates(paths []string) error {
 				fmt.Printf("  P=%d %10.0f events/s (%.2fx)  %8.0f q/s  %4d boundary roads  bit-identical %v\n",
 					l.Partitions, l.IngestEventsPerSec, l.IngestSpeedup, l.QueryQPS, l.BoundaryRoads, l.BitIdentical)
 			}
+		}
+		if gate.IngestSpeedupX != nil {
+			fmt.Printf("  ingest %10.0f events/s json  %10.0f events/s wire  codec enc %.0f/dec %.0f ns/op (%.1f vs %.1f B/event)\n",
+				gate.IngestEPSJSON, gate.IngestEPSWire,
+				gate.EncodeNsPerOp, gate.DecodeNsPerOp,
+				gate.BytesPerEventWire, gate.BytesPerEventJSON)
 		}
 		if len(gate.Kinds) > 0 {
 			fmt.Printf("  serving: %.0f req/s (gate \u2265%.0f), worst p99 %.3fms (gate \u2264%.0fms), %d errors\n",

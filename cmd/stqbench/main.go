@@ -12,6 +12,7 @@
 //	stqbench -concurrent             # mixed ingest+query scaling → BENCH_concurrent.json
 //	stqbench -wal                    # WAL fsync-policy sweep → BENCH_wal.json
 //	stqbench -partition              # partitioned multi-store gate → BENCH_partition.json
+//	stqbench -wire                   # binary wire protocol gate → BENCH_wire.json
 //	stqbench -serve :8080 -exp all   # live /metrics + /debug/pprof while running
 //
 // Experiment IDs: fig11a fig11b fig11c fig11d fig11e fig12a fig12b
@@ -48,6 +49,8 @@ func main() {
 		historyOut = flag.String("history-out", "BENCH_history.json", "output path for the history benchmark (empty = stdout only)")
 		part       = flag.Bool("partition", false, "run the spatially partitioned multi-store benchmark instead of the figures")
 		partOut    = flag.String("partition-out", "BENCH_partition.json", "output path for the partition benchmark (empty = stdout only)")
+		wireBench  = flag.Bool("wire", false, "run the binary wire protocol benchmark instead of the figures")
+		wireOut    = flag.String("wire-out", "BENCH_wire.json", "output path for the wire benchmark (empty = stdout only)")
 		serve      = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	)
 	flag.Parse()
@@ -84,6 +87,13 @@ func main() {
 	}
 	if *part {
 		if err := runPartitionBench(*seed, *quick, *partOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *wireBench {
+		if err := runWireBench(*seed, *quick, *wireOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,568 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/mobility"
+	"repro/internal/wire"
+)
+
+// This file implements `stqbench -wire`: the binary wire protocol
+// benchmark (BENCH_wire.json, DESIGN.md §15). It measures three things
+// and gates on all of them:
+//
+//   - codec cost: encode and decode ns/op and allocs/op for one
+//     wireBatchEvents-event ingest frame, pooled steady state, next to
+//     the JSON codec on the same batch. The gate requires 0 allocs/op
+//     on both wire paths (the zero-alloc discipline wire_test.go proves
+//     with AllocsPerRun).
+//   - serving throughput: an 8-client closed-loop ingest smoke over
+//     real HTTP against a self-served system, one pass per surface on a
+//     fresh store. The gate requires the binary surface to ingest at
+//     least wireSpeedupGate× the JSON events/s.
+//   - answer fidelity: the same query grid (exact, sampled, degraded ×
+//     snapshot/static/transient × lower/upper) asked on both surfaces
+//     of single-store and 4-partition servers must agree bit for bit.
+
+const (
+	wireSpeedupGate = 3.0
+	wireBatchEvents = 512
+	wireClients     = 8
+)
+
+// wireResult is the machine-readable output (BENCH_wire.json).
+type wireResult struct {
+	Seed        int64 `json:"seed"`
+	GOMAXPROCS  int   `json:"gomaxprocs"`
+	BatchEvents int   `json:"batch_events"`
+	Clients     int   `json:"clients"`
+
+	// Codec microbenchmarks (one batch_events-event ingest frame).
+	EncodeNsPerOp     float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp     float64 `json:"decode_ns_per_op"`
+	EncodeAllocsPerOp int64   `json:"encode_allocs_per_op"`
+	DecodeAllocsPerOp int64   `json:"decode_allocs_per_op"`
+	JSONEncodeNsPerOp float64 `json:"json_encode_ns_per_op"`
+	JSONDecodeNsPerOp float64 `json:"json_decode_ns_per_op"`
+	BytesPerEventWire float64 `json:"bytes_per_event_wire"`
+	BytesPerEventJSON float64 `json:"bytes_per_event_json"`
+
+	// HTTP ingest smoke (events acknowledged per second).
+	IngestEventsPerSecJSON float64  `json:"ingest_events_per_sec_json"`
+	IngestEventsPerSecWire float64  `json:"ingest_events_per_sec_wire"`
+	IngestSpeedupX         *float64 `json:"ingest_speedup_x"`
+
+	// JSON/wire answer agreement across engines and partition counts.
+	AnswersBitIdentical bool `json:"answers_bit_identical"`
+
+	IngestSpeedupGate float64 `json:"ingest_speedup_gate"`
+	Pass              bool    `json:"pass"`
+}
+
+// runWireBench measures the codec and the serving surfaces and writes
+// BENCH_wire.json. Non-zero exit when a gate fails.
+func runWireBench(seed int64, quick bool, outPath string) error {
+	objects, ingestReps := 400, 3
+	if quick {
+		objects, ingestReps = 250, 2
+	}
+	env, err := buildWireEnv(seed, objects)
+	if err != nil {
+		return err
+	}
+	res := wireResult{
+		Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BatchEvents: wireBatchEvents, Clients: wireClients,
+		IngestSpeedupGate: wireSpeedupGate,
+	}
+	fmt.Printf("wire bench: GOMAXPROCS=%d, %d events, %d clients, %d-event batches\n",
+		res.GOMAXPROCS, env.events, wireClients, wireBatchEvents)
+
+	measureWireCodec(env, &res)
+	fmt.Printf("codec  wire encode %8.0f ns/op (%d allocs)   decode %8.0f ns/op (%d allocs)\n",
+		res.EncodeNsPerOp, res.EncodeAllocsPerOp, res.DecodeNsPerOp, res.DecodeAllocsPerOp)
+	fmt.Printf("codec  json encode %8.0f ns/op              decode %8.0f ns/op\n",
+		res.JSONEncodeNsPerOp, res.JSONDecodeNsPerOp)
+	fmt.Printf("size   %.1f B/event wire vs %.1f B/event json\n",
+		res.BytesPerEventWire, res.BytesPerEventJSON)
+
+	jsonRate, err := bestWireIngestRate(env, false, ingestReps)
+	if err != nil {
+		return fmt.Errorf("json ingest pass: %w", err)
+	}
+	wireRate, err := bestWireIngestRate(env, true, ingestReps)
+	if err != nil {
+		return fmt.Errorf("wire ingest pass: %w", err)
+	}
+	res.IngestEventsPerSecJSON = jsonRate
+	res.IngestEventsPerSecWire = wireRate
+	speedup := 0.0
+	if jsonRate > 0 {
+		speedup = wireRate / jsonRate
+	}
+	res.IngestSpeedupX = &speedup
+	fmt.Printf("ingest json %9.0f events/s   wire %9.0f events/s   speedup %.2fx (gate ≥%.1fx)\n",
+		jsonRate, wireRate, speedup, wireSpeedupGate)
+
+	res.AnswersBitIdentical = true
+	for _, partitions := range []int{1, 4} {
+		same, err := wireAnswersAgree(env, seed, partitions)
+		if err != nil {
+			return fmt.Errorf("agreement at %d partition(s): %w", partitions, err)
+		}
+		fmt.Printf("answers at P=%d bit-identical across surfaces: %v\n", partitions, same)
+		if !same {
+			res.AnswersBitIdentical = false
+		}
+	}
+
+	res.Pass = res.AnswersBitIdentical &&
+		res.EncodeAllocsPerOp == 0 && res.DecodeAllocsPerOp == 0 &&
+		speedup >= wireSpeedupGate
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !res.Pass {
+		return fmt.Errorf("wire gate failed: speedup %.2fx (gate ≥%.1fx), allocs enc/dec %d/%d (gate 0), bit-identical %v",
+			speedup, wireSpeedupGate, res.EncodeAllocsPerOp, res.DecodeAllocsPerOp, res.AnswersBitIdentical)
+	}
+	return nil
+}
+
+// wireEnv is the shared input: one world seed, the full event stream
+// sharded per client by road/gateway (per-edge order holds within each
+// shard), and the same stream as JSON ingest events.
+type wireEnv struct {
+	seed    int64
+	events  int
+	shards  [][]stq.Event
+	jshards [][]stq.IngestEvent
+	horizon float64
+}
+
+func buildWireEnv(seed int64, objects int) (*wireEnv, error) {
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 12, NY: 12, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, seed)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: objects, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	env := &wireEnv{
+		seed:    seed,
+		horizon: wl.Horizon,
+		shards:  make([][]stq.Event, wireClients),
+		jshards: make([][]stq.IngestEvent, wireClients),
+	}
+	for _, mev := range wl.Events {
+		ev := convertEvent(mev)
+		var je stq.IngestEvent
+		var key int
+		switch mev.Kind {
+		case mobility.Move:
+			je = stq.IngestEvent{Kind: "move", T: mev.T, Road: int(mev.Road), From: int(mev.From)}
+			key = int(mev.Road)
+		case mobility.Enter:
+			je = stq.IngestEvent{Kind: "enter", T: mev.T, Gateway: int(mev.At)}
+			key = int(mev.At)
+		case mobility.Leave:
+			je = stq.IngestEvent{Kind: "leave", T: mev.T, Gateway: int(mev.At)}
+			key = int(mev.At)
+		}
+		w := key % wireClients
+		env.shards[w] = append(env.shards[w], ev)
+		env.jshards[w] = append(env.jshards[w], je)
+		env.events++
+	}
+	return env, nil
+}
+
+// measureWireCodec benchmarks one batch's encode and decode on both
+// surfaces with testing.Benchmark, pooled steady state for wire.
+func measureWireCodec(env *wireEnv, res *wireResult) {
+	events := make([]stq.Event, 0, wireBatchEvents)
+	jevents := make([]stq.IngestEvent, 0, wireBatchEvents)
+	for w := 0; len(events) < wireBatchEvents && w < len(env.shards); w++ {
+		for i := 0; i < len(env.shards[w]) && len(events) < wireBatchEvents; i++ {
+			events = append(events, env.shards[w][i])
+			jevents = append(jevents, env.jshards[w][i])
+		}
+	}
+
+	enc := testing.Benchmark(func(b *testing.B) {
+		var e wire.Encoder
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.EncodeIngest(events, wire.DefaultTick)
+		}
+	})
+	res.EncodeNsPerOp = float64(enc.NsPerOp())
+	res.EncodeAllocsPerOp = enc.AllocsPerOp()
+
+	var e wire.Encoder
+	frame := e.EncodeIngest(events, wire.DefaultTick)
+	_, payload, _, err := wire.ParseFrame(frame)
+	if err != nil {
+		panic(err) // self-encoded frame; structurally impossible
+	}
+	dec := testing.Benchmark(func(b *testing.B) {
+		var d wire.Decoder
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.DecodeIngest(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.DecodeNsPerOp = float64(dec.NsPerOp())
+	res.DecodeAllocsPerOp = dec.AllocsPerOp()
+	res.BytesPerEventWire = float64(len(frame)) / float64(len(events))
+
+	jreq := stq.IngestRequest{Events: jevents}
+	jbody, err := json.Marshal(jreq)
+	if err != nil {
+		panic(err)
+	}
+	jenc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(jreq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.JSONEncodeNsPerOp = float64(jenc.NsPerOp())
+	jdec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var r stq.IngestRequest
+			if err := json.Unmarshal(jbody, &r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.JSONDecodeNsPerOp = float64(jdec.NsPerOp())
+	res.BytesPerEventJSON = float64(len(jbody)) / float64(len(jevents))
+}
+
+// bestWireIngestRate runs the 8-client HTTP ingest smoke reps times on
+// fresh stores and keeps the best events/s. Each client posts its whole
+// shard once in wireBatchEvents-event batches on the chosen surface.
+func bestWireIngestRate(env *wireEnv, useWire bool, reps int) (float64, error) {
+	best := 0.0
+	for rep := 0; rep < reps; rep++ {
+		rate, err := wireIngestPass(env, useWire)
+		if err != nil {
+			return 0, err
+		}
+		if rate > best {
+			best = rate
+		}
+	}
+	return best, nil
+}
+
+func wireIngestPass(env *wireEnv, useWire bool) (float64, error) {
+	sys, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 12, NY: 12, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, env.seed)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+		return 0, err
+	}
+	srv := stq.NewServer(sys, stq.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		_ = hs.Close()
+		_ = srv.Drain()
+	}()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 4 * wireClients, MaxIdleConnsPerHost: 4 * wireClients,
+	}}
+
+	errs := make([]error, wireClients)
+	var wg sync.WaitGroup
+	runtime.GC()
+	start := time.Now()
+	for w := 0; w < wireClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if useWire {
+				errs[w] = driveWireShard(client, base, env.shards[w])
+			} else {
+				errs[w] = driveJSONShard(client, base, env.jshards[w])
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(env.events) / wall.Seconds(), nil
+}
+
+func postIngest(client *http.Client, base, contentType string, body []byte) error {
+	resp, err := client.Post(base+"/v1/ingest", contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest HTTP %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+func driveWireShard(client *http.Client, base string, shard []stq.Event) error {
+	var enc wire.Encoder
+	for lo := 0; lo < len(shard); lo += wireBatchEvents {
+		hi := lo + wireBatchEvents
+		if hi > len(shard) {
+			hi = len(shard)
+		}
+		if err := postIngest(client, base, wire.ContentType, enc.EncodeIngest(shard[lo:hi], wire.DefaultTick)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func driveJSONShard(client *http.Client, base string, shard []stq.IngestEvent) error {
+	for lo := 0; lo < len(shard); lo += wireBatchEvents {
+		hi := lo + wireBatchEvents
+		if hi > len(shard) {
+			hi = len(shard)
+		}
+		body, err := json.Marshal(stq.IngestRequest{Events: shard[lo:hi]})
+		if err != nil {
+			return err
+		}
+		if err := postIngest(client, base, "application/json", body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wireAnswersAgree serves one system (single-store or partitioned) and
+// asks the same query grid on both surfaces across the exact, sampled,
+// and degraded engines, requiring bit-identical answers everywhere.
+func wireAnswersAgree(env *wireEnv, seed int64, partitions int) (bool, error) {
+	base, err := stq.NewGridCitySystem(stq.GridOpts{
+		NX: 12, NY: 12, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}, seed)
+	if err != nil {
+		return false, err
+	}
+	wl, err := base.GenerateWorkload(stq.MobilityOpts{
+		Objects: 120, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, seed+2)
+	if err != nil {
+		return false, err
+	}
+	sys := base
+	if partitions > 1 {
+		if sys, err = stq.NewPartitionedSystem(base.World(), partitions); err != nil {
+			return false, err
+		}
+	}
+	if err := sys.Ingest(wl); err != nil {
+		return false, err
+	}
+	srv := stq.NewServer(sys, stq.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return false, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		_ = hs.Close()
+		_ = srv.Drain()
+	}()
+	url := "http://" + ln.Addr().String()
+
+	rng := rand.New(rand.NewSource(seed + 3))
+	b := sys.Bounds()
+	type ask struct {
+		rect          [4]float64
+		t1, t2        float64
+		jkind, jbound string
+		wkind, wbound byte
+	}
+	var asks []ask
+	kinds := []struct {
+		j string
+		w byte
+	}{{"snapshot", wire.QuerySnapshot}, {"static", wire.QueryStatic}, {"transient", wire.QueryTransient}}
+	bounds := []struct {
+		j string
+		w byte
+	}{{"lower", wire.BoundLower}, {"upper", wire.BoundUpper}}
+	for i := 0; i < 4; i++ {
+		frac := 0.25 + rng.Float64()*0.5
+		w, h := b.Width()*frac, b.Height()*frac
+		x := b.Min.X + rng.Float64()*(b.Width()-w)
+		y := b.Min.Y + rng.Float64()*(b.Height()-h)
+		t1 := rng.Float64() * wl.Horizon * 0.5
+		for _, k := range kinds {
+			for _, bd := range bounds {
+				asks = append(asks, ask{
+					rect: [4]float64{x, y, x + w, y + h},
+					t1:   t1, t2: t1 + 0.2*wl.Horizon,
+					jkind: k.j, wkind: k.w, jbound: bd.j, wbound: bd.w,
+				})
+			}
+		}
+	}
+
+	jsonPass := func() ([]stq.QueryResult, error) {
+		out := make([]stq.QueryResult, len(asks))
+		for i, a := range asks {
+			body, err := json.Marshal(stq.QueryRequest{Rect: a.rect, T1: a.t1, T2: a.t2, Kind: a.jkind, Bound: a.jbound})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("json ask %d: HTTP %d: %s", i, resp.StatusCode, raw)
+			}
+			if err := json.Unmarshal(raw, &out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	wirePass := func() ([]wire.ResultFrame, error) {
+		out := make([]wire.ResultFrame, len(asks))
+		for i, a := range asks {
+			frame := wire.MarshalQuery(wire.QueryFrame{Rect: a.rect, T1: a.t1, T2: a.t2, Kind: a.wkind, Bound: a.wbound})
+			resp, err := http.Post(url+"/v1/query", wire.ContentType, bytes.NewReader(frame))
+			if err != nil {
+				return nil, err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("wire ask %d: HTTP %d: %q", i, resp.StatusCode, raw)
+			}
+			_, payload, _, err := wire.ParseFrame(raw)
+			if err != nil {
+				return nil, err
+			}
+			if out[i], err = wire.DecodeResult(payload); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	agree := func(js []stq.QueryResult, ws []wire.ResultFrame) bool {
+		for i := range js {
+			j, w := js[i], ws[i]
+			if math.Float64bits(j.Count) != math.Float64bits(w.Count) ||
+				j.Missed != w.Missed || j.RegionFaces != w.RegionFaces ||
+				j.NodesAccessed != w.NodesAccessed || j.Messages != w.Messages ||
+				j.Hops != w.Hops || j.TotalHops != w.TotalHops ||
+				j.EdgesAccessed != w.EdgesAccessed ||
+				(j.Degradation != nil) != w.Degraded {
+				return false
+			}
+			if d := j.Degradation; d != nil {
+				wd := w.Degradation
+				if math.Float64bits(d.Lower) != math.Float64bits(wd.Lower) ||
+					math.Float64bits(d.Upper) != math.Float64bits(wd.Upper) ||
+					d.DeadPerimeterSensors != wd.DeadPerimeterSensors ||
+					d.UnobservedCuts != wd.UnobservedCuts ||
+					d.ReroutedLegs != wd.ReroutedLegs || d.Retries != wd.Retries ||
+					d.Drops != wd.Drops || d.FailedNodes != wd.FailedNodes {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Exact.
+	js, err := jsonPass()
+	if err != nil {
+		return false, err
+	}
+	ws, err := wirePass()
+	if err != nil {
+		return false, err
+	}
+	if !agree(js, ws) {
+		return false, nil
+	}
+
+	// Sampled.
+	if err := sys.PlaceSensors(stq.PlacementQuadTree, 48, seed+4); err != nil {
+		return false, err
+	}
+	if js, err = jsonPass(); err != nil {
+		return false, err
+	}
+	if ws, err = wirePass(); err != nil {
+		return false, err
+	}
+	if !agree(js, ws) {
+		return false, nil
+	}
+
+	// Degraded: the deterministic drop stream is stateful, so each pass
+	// runs under a freshly re-applied plan.
+	spec := stq.FaultSpec{Seed: 99, SensorCrash: 0.10, DropProb: 0.1, MaxRetries: 3}
+	if err := sys.ApplyFaults(spec); err != nil {
+		return false, err
+	}
+	if js, err = jsonPass(); err != nil {
+		return false, err
+	}
+	if err := sys.ApplyFaults(spec); err != nil {
+		return false, err
+	}
+	if ws, err = wirePass(); err != nil {
+		return false, err
+	}
+	return agree(js, ws), nil
+}

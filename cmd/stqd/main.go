@@ -1,5 +1,9 @@
-// Command stqd serves one stq.System over HTTP/JSON — the network
-// serving layer of the in-network query framework (DESIGN.md §13).
+// Command stqd serves one stq.System over HTTP — the network serving
+// layer of the in-network query framework (DESIGN.md §13). JSON is the
+// default surface; clients sending Content-Type application/x-stq-wire
+// get the compact binary wire protocol (internal/wire, DESIGN.md §15)
+// on the same endpoints: CRC-framed query/ingest requests, binary
+// result frames, and error frames on every refusal.
 //
 // It builds a synthetic grid city, optionally pre-ingests a seeded
 // workload, places communication sensors, and serves:

@@ -50,6 +50,7 @@ import (
 
 	"repro"
 	"repro/internal/mobility"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func main() {
 		dup      = flag.Float64("dup", 0.5, "fraction of queries drawn from the hot rect set")
 		seed     = flag.Int64("seed", 1, "load-generator seed")
 		quick    = flag.Bool("quick", false, "small self-serve system and short phases (CI smoke)")
+		useWire  = flag.Bool("wire", false, "send every request on the binary wire protocol")
+		wireFrac = flag.Float64("wire-frac", 0, "fraction of requests on the binary wire protocol (mixed JSON/binary load)")
 		out      = flag.String("out", "BENCH_serve.json", "gate file path (empty = stdout only)")
 		p99Gate  = flag.Float64("p99-gate", 100, "fail when any kind's p99 exceeds this (ms)")
 		minQPS   = flag.Float64("min-qps", 1000, "fail below this measured throughput (req/s)")
@@ -78,6 +81,14 @@ func main() {
 		duration: *duration, warmup: *warmup, dup: *dup, seed: *seed,
 		out: *out, p99GateMs: *p99Gate, minQPS: *minQPS, horizon: *horizon,
 		objects: *objects, gridN: *gridN, budget: *budget,
+		wireFrac: *wireFrac,
+	}
+	if *useWire {
+		cfg.wireFrac = 1
+	}
+	if cfg.wireFrac < 0 || cfg.wireFrac > 1 {
+		fmt.Fprintln(os.Stderr, "stqload: -wire-frac must be in [0,1]")
+		os.Exit(1)
 	}
 	if *quick {
 		cfg.duration, cfg.warmup = 2*time.Second, 400*time.Millisecond
@@ -113,6 +124,7 @@ type loadConfig struct {
 	objects   int
 	gridN     int
 	budget    int
+	wireFrac  float64
 }
 
 // opMix holds cumulative operation-mix thresholds in [0,1]:
@@ -231,7 +243,8 @@ type harness struct {
 
 	bounds   [4]float64 // world bounds, from a probe query... filled by prepare
 	hotRects [][4]float64
-	stripes  [][]stq.IngestEvent // per-worker ingest stripes
+	stripes  [][]stq.IngestEvent // per-worker ingest stripes (JSON surface)
+	wstripes [][]stq.Event       // the same stripes as engine events (wire surface)
 
 	shed atomic.Uint64
 }
@@ -279,22 +292,28 @@ func (h *harness) prepare() error {
 		return err
 	}
 	h.stripes = make([][]stq.IngestEvent, h.cfg.clients)
+	h.wstripes = make([][]stq.Event, h.cfg.clients)
 	for _, ev := range wl.Events {
 		var we stq.IngestEvent
+		var be stq.Event
 		var key int
 		switch ev.Kind {
 		case mobility.Move:
 			we = stq.IngestEvent{Kind: "move", T: ev.T, Road: int(ev.Road), From: int(ev.From)}
+			be = stq.MoveEvent(ev.Road, ev.From, ev.T)
 			key = int(ev.Road)
 		case mobility.Enter:
 			we = stq.IngestEvent{Kind: "enter", T: ev.T, Gateway: int(ev.At)}
+			be = stq.EnterEvent(ev.At, ev.T)
 			key = int(ev.At)
 		case mobility.Leave:
 			we = stq.IngestEvent{Kind: "leave", T: ev.T, Gateway: int(ev.At)}
+			be = stq.LeaveEvent(ev.At, ev.T)
 			key = int(ev.At)
 		}
 		w := key % len(h.stripes)
 		h.stripes[w] = append(h.stripes[w], we)
+		h.wstripes[w] = append(h.wstripes[w], be)
 	}
 	return nil
 }
@@ -317,6 +336,12 @@ type worker struct {
 	rng    *rand.Rand
 	cursor int
 	lap    int
+
+	// enc and evbuf are the wire surface's per-worker scratch: one frame
+	// encoder and one shifted-timestamp batch, reused across requests so
+	// client-side encode cost stays flat.
+	enc   wire.Encoder
+	evbuf []stq.Event
 
 	measureFrom time.Time
 	samples     map[string][]float64 // latency ms per op kind
@@ -347,16 +372,19 @@ func (w *worker) step() {
 	case r < w.h.cfg.mix.transient:
 		op = "transient"
 	}
+	// Per-request surface draw: with -wire-frac f, an f fraction of the
+	// load goes binary and the rest stays JSON (-wire pins f = 1).
+	useWire := w.h.cfg.wireFrac > 0 && w.rng.Float64() < w.h.cfg.wireFrac
 	var status int
 	var err error
 	start := time.Now()
 	if op == "ingest" {
-		status, err = w.doIngest()
+		status, err = w.doIngest(useWire)
 		if status == statusNoIngestData {
 			return
 		}
 	} else {
-		status, err = w.doQuery(op)
+		status, err = w.doQuery(op, useWire)
 	}
 	lat := time.Since(start)
 	measured := start.After(w.measureFrom)
@@ -383,7 +411,14 @@ func (w *worker) step() {
 	}
 }
 
-func (w *worker) doQuery(op string) (int, error) {
+// wireKindOf maps the mix op names onto the pinned wire query kinds.
+var wireKindOf = map[string]byte{
+	"snapshot":  wire.QuerySnapshot,
+	"static":    wire.QueryStatic,
+	"transient": wire.QueryTransient,
+}
+
+func (w *worker) doQuery(op string, useWire bool) (int, error) {
 	hz := w.h.cfg.horizon
 	var rect [4]float64
 	var t1, t2 float64
@@ -400,6 +435,10 @@ func (w *worker) doQuery(op string) (int, error) {
 		t1 = w.rng.Float64() * hz * 0.8
 		t2 = t1 + w.rng.Float64()*(hz-t1)
 	}
+	if useWire {
+		frame := w.enc.EncodeQuery(wire.QueryFrame{Rect: rect, T1: t1, T2: t2, Kind: wireKindOf[op]})
+		return w.postWire("/v1/query", frame)
+	}
 	req := stq.QueryRequest{Rect: rect, T1: t1, T2: t2, Kind: op}
 	return w.post("/v1/query", req)
 }
@@ -408,7 +447,7 @@ func (w *worker) doQuery(op string) (int, error) {
 // workloads): the step is skipped rather than counted.
 const statusNoIngestData = -1
 
-func (w *worker) doIngest() (int, error) {
+func (w *worker) doIngest(useWire bool) (int, error) {
 	stripe := w.h.stripes[w.id%len(w.h.stripes)]
 	if len(stripe) == 0 {
 		return statusNoIngestData, nil
@@ -424,12 +463,22 @@ func (w *worker) doIngest() (int, error) {
 	// Shift each lap past everything previously sent on these edges:
 	// lap 0 starts one horizon past the target's pre-ingested data.
 	offset := float64(w.lap+1) * (w.h.cfg.horizon + 1)
-	events := make([]stq.IngestEvent, hi-w.cursor)
-	for i, ev := range stripe[w.cursor:hi] {
+	lo := w.cursor
+	w.cursor = hi
+	if useWire {
+		wstripe := w.h.wstripes[w.id%len(w.h.wstripes)]
+		w.evbuf = w.evbuf[:0]
+		for _, ev := range wstripe[lo:hi] {
+			ev.T += offset
+			w.evbuf = append(w.evbuf, ev)
+		}
+		return w.postWire("/v1/ingest", w.enc.EncodeIngest(w.evbuf, wire.DefaultTick))
+	}
+	events := make([]stq.IngestEvent, hi-lo)
+	for i, ev := range stripe[lo:hi] {
 		ev.T += offset
 		events[i] = ev
 	}
-	w.cursor = hi
 	return w.post("/v1/ingest", stq.IngestRequest{Events: events})
 }
 
@@ -439,6 +488,19 @@ func (w *worker) post(path string, body any) (int, error) {
 		return 0, err
 	}
 	resp, err := w.h.client.Post(w.h.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// postWire posts one binary wire frame; frame may alias the worker's
+// encoder buffer, which is safe because the request body is consumed
+// before Post returns.
+func (w *worker) postWire(path string, frame []byte) (int, error) {
+	resp, err := w.h.client.Post(w.h.base+path, wire.ContentType, bytes.NewReader(frame))
 	if err != nil {
 		return 0, err
 	}
@@ -533,6 +595,7 @@ func (h *harness) drive() *report {
 		WarmupS:   h.cfg.warmup.Seconds(),
 		DurationS: h.cfg.duration.Seconds(),
 		Shed:      h.shed.Load(),
+		WireFrac:  h.cfg.wireFrac,
 	}
 	if h.cfg.mode == "open" {
 		rep.RateHz = h.cfg.rate
@@ -608,6 +671,7 @@ type report struct {
 	Pass             bool        `json:"pass"`
 	Mode             string      `json:"mode"`
 	Clients          int         `json:"clients"`
+	WireFrac         float64     `json:"wire_frac,omitempty"`
 	RateHz           float64     `json:"rate_hz,omitempty"`
 	WarmupS          float64     `json:"warmup_s"`
 	DurationS        float64     `json:"duration_s"`
@@ -635,8 +699,15 @@ func emit(cfg loadConfig, rep *report) error {
 		rep.ThroughputQPS >= cfg.minQPS &&
 		rep.TotalRequests > 0
 
-	fmt.Printf("\n== stqload: %s-loop, %d clients, %.1fs measured ==\n",
-		rep.Mode, rep.Clients, rep.DurationS)
+	surface := "json"
+	switch {
+	case rep.WireFrac >= 1:
+		surface = "wire"
+	case rep.WireFrac > 0:
+		surface = fmt.Sprintf("mixed %.0f%% wire", rep.WireFrac*100)
+	}
+	fmt.Printf("\n== stqload: %s-loop, %d clients, %s, %.1fs measured ==\n",
+		rep.Mode, rep.Clients, surface, rep.DurationS)
 	fmt.Printf("throughput %.0f req/s (gate ≥%.0f)  requests %d  rejected(429) %d  errors %d  shed %d\n",
 		rep.ThroughputQPS, rep.MinThroughputQPS, rep.TotalRequests, rep.Rejected, rep.Errors, rep.Shed)
 	fmt.Printf("coalesced %d of %d query execs saved\n", rep.Coalesced, rep.QueryExecs+rep.Coalesced)

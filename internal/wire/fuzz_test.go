@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the full decode surface:
+// frame parsing plus every payload decoder. The invariants:
+//
+//   - no panic, ever, on any input;
+//   - a frame ParseFrame accepts decodes under its kind's decoder
+//     without panicking, and an accepted ingest payload re-encodes to a
+//     batch that decodes back bit-identically (decode is a left inverse
+//     of encode on its accepted range).
+//
+// Seeded with valid frames of every kind so the fuzzer starts from the
+// interesting region of the input space; `make check` runs a 10s smoke
+// (go test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire).
+func FuzzWireDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(99))
+	f.Add(MarshalIngest(randEvents(rng, 40, true), DefaultTick))
+	f.Add(MarshalIngest(randEvents(rng, 7, false), DefaultTick))
+	f.Add(MarshalQuery(QueryFrame{Rect: [4]float64{0, 0, 100, 100}, T1: 10, T2: 90, Kind: QueryTransient}))
+	f.Add(MarshalResult(ResultFrame{Count: 12, Degraded: true, Degradation: DegradationFrame{Lower: 8, Upper: 16}}))
+	f.Add(MarshalIngestResult(3))
+	f.Add(MarshalError(400, "bad"))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, _, err := ParseFrame(data)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("ParseFrame error %v is not a corruption error", err)
+			}
+			return
+		}
+		var d Decoder
+		switch kind {
+		case KindIngest:
+			events, err := d.DecodeIngest(payload)
+			if err != nil {
+				return
+			}
+			// Accepted batches must survive a re-encode/decode cycle
+			// bit-identically (both timestamp modes).
+			snapshot := append([]core.Event(nil), events...)
+			for _, tick := range []float64{DefaultTick, 0} {
+				var d2 Decoder
+				_, p2, _, err := ParseFrame(MarshalIngest(snapshot, tick))
+				if err != nil {
+					t.Fatalf("re-encoded frame rejected: %v", err)
+				}
+				got, err := d2.DecodeIngest(p2)
+				if err != nil {
+					t.Fatalf("re-encoded payload rejected: %v", err)
+				}
+				for i := range snapshot {
+					if got[i] != snapshot[i] {
+						t.Fatalf("tick=%v: event %d = %+v, want %+v", tick, i, got[i], snapshot[i])
+					}
+				}
+			}
+		case KindQuery:
+			if q, err := DecodeQuery(payload); err == nil {
+				if _, _, _, err := ParseFrame(MarshalQuery(q)); err != nil {
+					t.Fatalf("re-encoded query rejected: %v", err)
+				}
+			}
+		case KindResult:
+			if r, err := DecodeResult(payload); err == nil {
+				got, err := DecodeResult(mustPayload(t, MarshalResult(r)))
+				if err != nil || !resultBitsEqual(got, r) {
+					t.Fatalf("result re-encode mismatch: %+v vs %+v (%v)", got, r, err)
+				}
+			}
+		case KindIngestResult:
+			_, _ = DecodeIngestResult(payload)
+		case KindError:
+			_, _, _ = DecodeError(payload)
+		}
+	})
+}
+
+// resultBitsEqual compares result frames with float64 bit equality, so
+// a NaN count (representable on the wire) still counts as a faithful
+// round-trip.
+func resultBitsEqual(a, b ResultFrame) bool {
+	if math.Float64bits(a.Count) != math.Float64bits(b.Count) ||
+		math.Float64bits(a.Degradation.Lower) != math.Float64bits(b.Degradation.Lower) ||
+		math.Float64bits(a.Degradation.Upper) != math.Float64bits(b.Degradation.Upper) {
+		return false
+	}
+	a.Count, b.Count = 0, 0
+	a.Degradation.Lower, b.Degradation.Lower = 0, 0
+	a.Degradation.Upper, b.Degradation.Upper = 0, 0
+	return a == b
+}
+
+func mustPayload(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	_, payload, _, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatalf("ParseFrame on self-encoded frame: %v", err)
+	}
+	return payload
+}

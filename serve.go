@@ -24,18 +24,21 @@ package stq
 //     durable systems.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/wire"
 )
 
 // Serving-layer observability metrics (internal/obs).
@@ -47,8 +50,24 @@ var (
 	srvCoalesced    = obs.Default.Counter("serve.coalesced_queries")
 	srvGroupCommits = obs.Default.Counter("serve.ingest_group_commits")
 	srvIngestEvents = obs.Default.Counter("serve.ingest_events")
+	srvWireRequests = obs.Default.Counter("serve.wire_requests")
 	srvLatency      = obs.Default.Histogram("serve.request_seconds", obs.LatencyBuckets)
 )
+
+// WireContentType is the media type selecting the compact binary wire
+// protocol (internal/wire, DESIGN.md §15) on /v1/query and /v1/ingest.
+// Requests carrying it are decoded as wire frames and answered with
+// wire frames; everything else stays on the default JSON surface,
+// whose bytes are unchanged by the negotiation.
+const WireContentType = wire.ContentType
+
+// maxBodyBytes bounds a request body on both surfaces.
+const maxBodyBytes = 8 << 20
+
+// isWireRequest reports whether r selected the binary wire protocol.
+func isWireRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+}
 
 // ServerConfig configures NewServer. Zero values select the defaults.
 type ServerConfig struct {
@@ -226,7 +245,7 @@ func NewServer(sys *System, cfg ServerConfig) *Server {
 		stop:     make(chan struct{}),
 	}
 	s.queryFn = sys.Query
-	s.flight.m = make(map[query.CoalesceKey]*flightCall)
+	s.flight.m = make(map[flightKey]*flightCall)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
@@ -269,7 +288,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/metrics", "/metrics.json", "/healthz", "/v1/stats":
 		default:
-			httpError(w, http.StatusServiceUnavailable, "server draining")
+			errorFor(w, r, http.StatusServiceUnavailable, "server draining")
 			srvLatency.Observe(time.Since(start).Seconds())
 			return
 		}
@@ -302,44 +321,66 @@ func (s *Server) admit(r *http.Request) (release func(), ok bool) {
 	}
 }
 
-func (s *Server) reject(w http.ResponseWriter) {
+func (s *Server) reject(w http.ResponseWriter, r *http.Request) {
 	s.rejected.Add(1)
 	srvRejected.Inc()
 	w.Header().Set("Retry-After", "1")
-	httpError(w, http.StatusTooManyRequests, "server at capacity")
+	errorFor(w, r, http.StatusTooManyRequests, "server at capacity")
 }
 
-func (s *Server) badRequest(w http.ResponseWriter, err error) {
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, err error) {
 	s.badRequests.Add(1)
 	srvBadRequests.Inc()
-	httpError(w, http.StatusBadRequest, err.Error())
+	errorFor(w, r, http.StatusBadRequest, err.Error())
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		errorFor(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	release, ok := s.admit(r)
 	if !ok {
-		s.reject(w)
+		s.reject(w, r)
 		return
 	}
 	defer release()
-	var req QueryRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.badRequest(w, err)
-		return
+	wireReq := isWireRequest(r)
+	var q Query
+	if wireReq {
+		srvWireRequests.Inc()
+		var err error
+		if q, err = decodeWireQuery(r); err != nil {
+			s.badRequest(w, r, err)
+			return
+		}
+	} else {
+		var req QueryRequest
+		if err := decodeJSON(r, &req); err != nil {
+			s.badRequest(w, r, err)
+			return
+		}
+		var err error
+		if q, err = req.toQuery(); err != nil {
+			s.badRequest(w, r, err)
+			return
+		}
 	}
-	q, err := req.toQuery()
-	if err != nil {
-		s.badRequest(w, err)
-		return
-	}
-	status, body, shared := s.flight.do(coalesceKeyOf(q), func() (int, []byte) {
+	// The flight key carries the response format: a wire client and a
+	// JSON client asking the same question share one engine execution at
+	// most per format, never one body — the coalescer hands out the
+	// leader's exact bytes, and those are format-specific.
+	status, body, shared := s.flight.do(flightKey{key: coalesceKeyOf(q), wire: wireReq}, func() (int, []byte) {
 		s.queryExecs.Add(1)
 		srvQueryExecs.Inc()
 		resp, err := s.queryFn(q)
+		if wireReq {
+			if err != nil {
+				st := queryErrorStatus(err)
+				return st, wire.MarshalError(st, err.Error())
+			}
+			return http.StatusOK, wire.MarshalResult(resultFrameOf(resp))
+		}
 		if err != nil {
 			return queryErrorStatus(err), errorBody(err)
 		}
@@ -353,7 +394,58 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.coalesced.Add(1)
 		srvCoalesced.Inc()
 	}
-	writeJSONBytes(w, status, body)
+	if wireReq {
+		writeWireBytes(w, status, body)
+	} else {
+		writeJSONBytes(w, status, body)
+	}
+}
+
+// decodeWireQuery reads one KindQuery frame from the request body and
+// maps it onto an engine Query.
+func decodeWireQuery(r *http.Request) (Query, error) {
+	d := wire.GetDecoder()
+	defer wire.PutDecoder(d)
+	kind, payload, err := d.ReadFrame(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return Query{}, err
+	}
+	if kind != wire.KindQuery {
+		return Query{}, fmt.Errorf("wire: expected query frame, got kind %d", kind)
+	}
+	qf, err := wire.DecodeQuery(payload)
+	if err != nil {
+		return Query{}, err
+	}
+	return queryOfFrame(qf)
+}
+
+// queryOfFrame maps the pinned wire enums onto the engine's; unknown
+// values are a client error, not a silent default.
+func queryOfFrame(f wire.QueryFrame) (Query, error) {
+	q := Query{
+		Rect: Rect{Min: Point{X: f.Rect[0], Y: f.Rect[1]}, Max: Point{X: f.Rect[2], Y: f.Rect[3]}},
+		T1:   f.T1, T2: f.T2,
+	}
+	switch f.Kind {
+	case wire.QuerySnapshot:
+		q.Kind = Snapshot
+	case wire.QueryStatic:
+		q.Kind = Static
+	case wire.QueryTransient:
+		q.Kind = Transient
+	default:
+		return Query{}, fmt.Errorf("unknown query kind %d", f.Kind)
+	}
+	switch f.Bound {
+	case wire.BoundLower:
+		q.Bound = Lower
+	case wire.BoundUpper:
+		q.Bound = Upper
+	default:
+		return Query{}, fmt.Errorf("unknown bound %d", f.Bound)
+	}
+	return q, nil
 }
 
 // queryErrorStatus maps engine/privacy errors to HTTP statuses: an
@@ -386,6 +478,34 @@ func resultOf(resp *Response) QueryResult {
 	}
 }
 
+// resultFrameOf is resultOf for the binary surface.
+func resultFrameOf(resp *Response) wire.ResultFrame {
+	f := wire.ResultFrame{
+		Count:         resp.Count,
+		Missed:        resp.Missed,
+		RegionFaces:   resp.RegionFaces,
+		NodesAccessed: resp.NodesAccessed,
+		Messages:      resp.Messages,
+		Hops:          resp.Hops,
+		TotalHops:     resp.TotalHops,
+		EdgesAccessed: resp.EdgesAccessed,
+	}
+	if d := resp.Degradation; d != nil {
+		f.Degraded = true
+		f.Degradation = wire.DegradationFrame{
+			DeadPerimeterSensors: d.DeadPerimeterSensors,
+			UnobservedCuts:       d.UnobservedCuts,
+			ReroutedLegs:         d.ReroutedLegs,
+			Lower:                d.Lower,
+			Upper:                d.Upper,
+			Retries:              d.Retries,
+			Drops:                d.Drops,
+			FailedNodes:          d.FailedNodes,
+		}
+	}
+	return f
+}
+
 // ingestReq is one client batch queued for group commit.
 type ingestReq struct {
 	events []Event
@@ -394,32 +514,49 @@ type ingestReq struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		errorFor(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	release, ok := s.admit(r)
 	if !ok {
-		s.reject(w)
+		s.reject(w, r)
 		return
 	}
 	defer release()
-	var req IngestRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.badRequest(w, err)
-		return
-	}
-	if len(req.Events) == 0 {
-		s.badRequest(w, fmt.Errorf("empty event batch"))
-		return
-	}
-	events := make([]Event, len(req.Events))
-	for i, we := range req.Events {
-		ev, err := we.toEvent()
-		if err != nil {
-			s.badRequest(w, fmt.Errorf("event %d: %w", i, err))
+	wireReq := isWireRequest(r)
+	var events []Event
+	if wireReq {
+		srvWireRequests.Inc()
+		d := wire.GetDecoder()
+		// The decoded events live in the decoder's pooled scratch; the
+		// group-commit batcher is done reading them once <-done below
+		// fires, which precedes every return after the enqueue, so the
+		// deferred release never races the batcher.
+		defer wire.PutDecoder(d)
+		var err error
+		if events, err = decodeWireIngest(d, r); err != nil {
+			s.badRequest(w, r, err)
 			return
 		}
-		events[i] = ev
+	} else {
+		var req IngestRequest
+		if err := decodeJSON(r, &req); err != nil {
+			s.badRequest(w, r, err)
+			return
+		}
+		events = make([]Event, len(req.Events))
+		for i, we := range req.Events {
+			ev, err := we.toEvent()
+			if err != nil {
+				s.badRequest(w, r, fmt.Errorf("event %d: %w", i, err))
+				return
+			}
+			events[i] = ev
+		}
+	}
+	if len(events) == 0 {
+		s.badRequest(w, r, fmt.Errorf("empty event batch"))
+		return
 	}
 	done := make(chan error, 1)
 	// Enqueue under drainMu.RLock with a re-check of draining: a handler
@@ -431,7 +568,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
-		httpError(w, http.StatusServiceUnavailable, "server draining")
+		errorFor(w, r, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	select {
@@ -441,17 +578,37 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Admission bounds concurrent ingest below the channel capacity,
 		// so this is only reachable if the batcher has stopped.
 		s.drainMu.RUnlock()
-		s.reject(w)
+		s.reject(w, r)
 		return
 	}
 	if err := <-done; err != nil {
-		s.badRequest(w, err)
+		s.badRequest(w, r, err)
 		return
 	}
 	s.ingestRequests.Add(1)
 	s.ingestEvents.Add(uint64(len(events)))
 	srvIngestEvents.AddInt(len(events))
+	if wireReq {
+		enc := wire.GetEncoder()
+		writeWireBytes(w, http.StatusOK, enc.EncodeIngestResult(len(events)))
+		wire.PutEncoder(enc)
+		return
+	}
 	writeJSON(w, http.StatusOK, IngestResult{Ingested: len(events)})
+}
+
+// decodeWireIngest reads one KindIngest frame from the request body and
+// decodes it straight into the decoder's pooled event scratch — no
+// JSON-shaped intermediate slice, one copy from socket to RecordBatch.
+func decodeWireIngest(d *wire.Decoder, r *http.Request) ([]Event, error) {
+	kind, payload, err := d.ReadFrame(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if kind != wire.KindIngest {
+		return nil, fmt.Errorf("wire: expected ingest frame, got kind %d", kind)
+	}
+	return d.DecodeIngest(payload)
 }
 
 func (e IngestEvent) toEvent() (Event, error) {
@@ -652,16 +809,25 @@ type flightCall struct {
 	waiters atomic.Int64
 }
 
+// flightKey identifies an in-flight execution: the compiled-plan
+// coalescing identity plus the response format. The format bit keeps a
+// JSON follower from receiving a wire leader's binary bytes (and vice
+// versa) — coalescing shares bodies, and bodies are format-specific.
+type flightKey struct {
+	key  query.CoalesceKey
+	wire bool
+}
+
 // flightGroup implements singleflight over coalescing keys: the first
 // caller for a key becomes the leader and executes fn; callers arriving
 // while the leader runs block and then share the leader's exact
 // response bytes — byte-identical bodies, one engine execution.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[query.CoalesceKey]*flightCall
+	m  map[flightKey]*flightCall
 }
 
-func (g *flightGroup) do(k query.CoalesceKey, fn func() (int, []byte)) (status int, body []byte, shared bool) {
+func (g *flightGroup) do(k flightKey, fn func() (int, []byte)) (status int, body []byte, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.m[k]; ok {
 		c.waiters.Add(1)
@@ -690,19 +856,19 @@ func (g *flightGroup) do(k query.CoalesceKey, fn func() (int, []byte)) (status i
 }
 
 // pendingWaiters reports how many followers are blocked on key k's
-// in-flight execution. Test-only seam for deterministic coalescing
+// in-flight JSON execution. Test-only seam for deterministic coalescing
 // tests.
 func (g *flightGroup) pendingWaiters(k query.CoalesceKey) int64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if c, ok := g.m[k]; ok {
+	if c, ok := g.m[flightKey{key: k}]; ok {
 		return c.waiters.Load()
 	}
 	return 0
 }
 
 func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("malformed JSON body: %w", err)
 	}
@@ -720,21 +886,66 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSONBytes(w, status, errorBody(errors.New(msg)))
 }
 
+// errorFor writes an error response on the surface the request
+// selected: JSON by default, a wire error frame for wire requests — a
+// binary client must never have to parse JSON to learn it was refused.
+func errorFor(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	if isWireRequest(r) {
+		writeWireBytes(w, status, wire.MarshalError(status, msg))
+		return
+	}
+	httpError(w, status, msg)
+}
+
+// jsonMarshal is a seam so tests can force the error-body encoder to
+// fail; production code always points it at json.Marshal.
+var jsonMarshal = json.Marshal
+
+// staticErrorBody is the pre-encoded fallback error payload. It exists
+// because errorBody cannot report failure by failing: if encoding the
+// real error errors out, the client must still receive well-formed
+// JSON, not an empty body with an error status.
+var staticErrorBody = []byte(`{"error":"internal error"}`)
+
 func errorBody(err error) []byte {
-	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	b, merr := jsonMarshal(map[string]string{"error": err.Error()})
+	if merr != nil {
+		return staticErrorBody
+	}
 	return b
 }
 
+// jsonBufPool recycles response marshal buffers across requests; the
+// buffer is released once writeJSONBytes has copied it to the socket.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	b, err := json.Marshal(v)
-	if err != nil {
-		status, b = http.StatusInternalServerError, errorBody(err)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		writeJSONBytes(w, http.StatusInternalServerError, errorBody(err))
+		return
+	}
+	// json.Encoder output is json.Marshal output plus one trailing
+	// newline (identical escaping); trim it so the response bytes stay
+	// exactly what the unpooled json.Marshal path produced.
+	b := buf.Bytes()
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
 	}
 	writeJSONBytes(w, status, b)
+	jsonBufPool.Put(buf)
 }
 
 func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeWireBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
 }
