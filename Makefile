@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-partition bench-serve bench-wire fuzz-wire experiments examples fmt vet clean
+.PHONY: all build test test-race check bench bench-json bench-faults bench-obs bench-concurrent bench-wal bench-history bench-partition bench-cluster bench-serve bench-wire fuzz-wire experiments examples fmt vet clean
 
 all: build test
 
@@ -23,10 +23,11 @@ check:
 	$(GO) run ./cmd/stqbench -wal -quick -wal-out ""
 	$(GO) run ./cmd/stqbench -history -quick -history-out ""
 	$(GO) run ./cmd/stqbench -partition -quick -partition-out BENCH_partition.json
+	$(GO) run ./cmd/stqbench -cluster -quick -cluster-out BENCH_cluster.json
 	$(GO) run ./cmd/stqbench -wire -quick -wire-out BENCH_wire.json
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s -run '^$$' ./internal/wire
 	$(GO) run ./cmd/stqload -quick -out BENCH_serve.json
-	$(GO) run ./cmd/benchjson -gates BENCH_serve.json BENCH_partition.json BENCH_wire.json
+	$(GO) run ./cmd/benchjson -gates BENCH_serve.json BENCH_partition.json BENCH_cluster.json BENCH_wire.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -74,6 +75,14 @@ bench-history:
 bench-partition:
 	$(GO) run ./cmd/stqbench -partition -partition-out BENCH_partition.json
 	$(GO) run ./cmd/benchjson -gates BENCH_partition.json
+
+# Multi-process scale-out gate: C in-process cells (real servers on
+# loopback sockets) behind a router at 1/2/4 cells; fails on any
+# non-bit-identical routed answer or (with enough cores) below 2x
+# ingest speedup at 4 cells (overhead floor when cores are scarce).
+bench-cluster:
+	$(GO) run ./cmd/stqbench -cluster -cluster-out BENCH_cluster.json
+	$(GO) run ./cmd/benchjson -gates BENCH_cluster.json
 
 # Serving-layer load gate: cmd/stqload drives an in-process stqd stack
 # (self-serve mode) end to end over HTTP — closed-loop client pool,

@@ -96,12 +96,15 @@ func runGates(paths []string) error {
 			QueryOverheadGate float64  `json:"query_overhead_threshold"`
 			PartitionLevels   []struct {
 				Partitions         int     `json:"partitions"`
+				Cells              int     `json:"cells"`
 				IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
 				QueryQPS           float64 `json:"query_qps"`
 				IngestSpeedup      float64 `json:"ingest_speedup"`
 				BoundaryRoads      int     `json:"boundary_roads"`
 				BitIdentical       bool    `json:"bit_identical"`
 			} `json:"levels"`
+			// Multi-process scale-out breakdown (BENCH_cluster.json).
+			ClusterSpeedupAt4 *float64 `json:"cluster_speedup_at_4"`
 			// Binary wire protocol breakdown (BENCH_wire.json).
 			IngestSpeedupX      *float64 `json:"ingest_speedup_x"`
 			IngestSpeedupGate   float64  `json:"ingest_speedup_gate"`
@@ -151,6 +154,14 @@ func runGates(paths []string) error {
 			fmt.Printf("  (ingest at 4 partitions %.2fx [%s], query overhead %.2fx of ≤%.1fx, bit-identical %v)",
 				*gate.SpeedupAt4, form, gate.QueryOverheadAt4, gate.QueryOverheadGate, gate.BitIdentical)
 		}
+		if gate.ClusterSpeedupAt4 != nil {
+			form := fmt.Sprintf("scaling ≥%.1fx", gate.ScalingThreshold)
+			if !gate.ScalingGateActive {
+				form = fmt.Sprintf("overhead floor ≥%.1fx (scaling unobservable at this GOMAXPROCS)", gate.OverheadFloor)
+			}
+			fmt.Printf("  (ingest at 4 cells %.2fx [%s], bit-identical %v)",
+				*gate.ClusterSpeedupAt4, form, gate.BitIdentical)
+		}
 		if gate.MemReductionX != nil {
 			fmt.Printf("  (memory %.1fx of ≥%.0fx, warm latency %.2fx of ≤%.1fx, bit-identical %v)",
 				*gate.MemReductionX, gate.MemReductionGate, gate.LatencyRatioX, gate.LatencyRatioGate, gate.BitIdentical)
@@ -169,6 +180,12 @@ func runGates(paths []string) error {
 			for _, l := range gate.PartitionLevels {
 				fmt.Printf("  P=%d %10.0f events/s (%.2fx)  %8.0f q/s  %4d boundary roads  bit-identical %v\n",
 					l.Partitions, l.IngestEventsPerSec, l.IngestSpeedup, l.QueryQPS, l.BoundaryRoads, l.BitIdentical)
+			}
+		}
+		if gate.ClusterSpeedupAt4 != nil {
+			for _, l := range gate.PartitionLevels {
+				fmt.Printf("  C=%d %10.0f events/s (%.2fx)  %8.0f q/s  bit-identical %v\n",
+					l.Cells, l.IngestEventsPerSec, l.IngestSpeedup, l.QueryQPS, l.BitIdentical)
 			}
 		}
 		if gate.IngestSpeedupX != nil {

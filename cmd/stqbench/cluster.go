@@ -1,0 +1,393 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// This file implements `stqbench -cluster`: the multi-process scale-out
+// benchmark (BENCH_cluster.json, DESIGN.md §16). It is the network
+// analogue of `-partition`: for each cell count C ∈ {1, 2, 4} it boots
+// C in-process cells (real stq.Servers in cell mode on loopback
+// listeners) plus a router (cluster.Dial + stq.NewClusterSystem),
+// ingests the same stream from clusterWriters concurrent writers
+// through the router, and answers the same query pool through the
+// router's scatter-gather path. The gate enforces:
+//
+//   - bit-identity: every pooled query answered through the router at
+//     every cell count must equal the single-process partitioned
+//     engine's answer bit for bit — the cluster is a deployment
+//     topology, not an approximation;
+//   - ingest scaling: with ≥4 schedulable cores, 4 cells must ingest
+//     at least clusterScalingGate× the 1-cell rate; on smaller hosts
+//     parallel speedup across processes is physically unobservable, so
+//     the gate degrades to the clusterOverheadFloor (4 cells may not
+//     fall below that fraction of 1 cell), mirroring the partition
+//     gate. scaling_gate_active records which form was live.
+const (
+	clusterScalingGate   = 2.0
+	clusterOverheadFloor = 0.7
+	clusterWriters       = 8
+)
+
+// clusterLevel is the measurement at one cell count.
+type clusterLevel struct {
+	Cells              int     `json:"cells"`
+	IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
+	QueryQPS           float64 `json:"query_qps"`
+	IngestSpeedup      float64 `json:"ingest_speedup"`
+	BitIdentical       bool    `json:"bit_identical"`
+}
+
+// clusterResult is the machine-readable output (BENCH_cluster.json).
+type clusterResult struct {
+	Seed              int64          `json:"seed"`
+	Grid              string         `json:"grid"`
+	GOMAXPROCS        int            `json:"gomaxprocs"`
+	Writers           int            `json:"writers"`
+	Events            int            `json:"events"`
+	QueryPool         int            `json:"query_pool"`
+	Levels            []clusterLevel `json:"levels"`
+	SpeedupAt4        float64        `json:"cluster_speedup_at_4"`
+	BitIdentical      bool           `json:"bit_identical"`
+	ScalingGateActive bool           `json:"scaling_gate_active"`
+	ScalingThreshold  float64        `json:"scaling_threshold"`
+	OverheadFloor     float64        `json:"overhead_floor"`
+	Pass              bool           `json:"pass"`
+}
+
+// clusterEnv is the shared input of every level: the manifest-pinned
+// world, the stream pre-sharded per writer by the finest (8-cell)
+// recursive layout — every shard is single-cell at C ∈ {1,2,4} because
+// the recursive splits refine — the query pool, and the single-process
+// reference answers.
+type clusterEnv struct {
+	spec    cluster.WorldSpec
+	world   *roadnet.World
+	events  int
+	shards  [][]stq.Event
+	queries []stq.Query
+	refAns  []float64
+}
+
+func runClusterBench(seed int64, quick bool, outPath string) error {
+	objects, poolSize, queryReps, ingestReps := 300, 48, 4, 5
+	if quick {
+		objects, poolSize, queryReps, ingestReps = 150, 24, 2, 3
+	}
+	env, err := buildClusterEnv(seed, objects, poolSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench: 16x16 grid, GOMAXPROCS=%d, %d writers, %d events, %d pooled queries x%d\n",
+		runtime.GOMAXPROCS(0), clusterWriters, env.events, len(env.queries), queryReps)
+
+	res := clusterResult{
+		Seed:             seed,
+		Grid:             "16x16",
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Writers:          clusterWriters,
+		Events:           env.events,
+		QueryPool:        len(env.queries),
+		ScalingThreshold: clusterScalingGate,
+		OverheadFloor:    clusterOverheadFloor,
+		BitIdentical:     true,
+	}
+	var baseIngest float64
+	for _, c := range []int{1, 2, 4} {
+		lvl, answers, err := runClusterLevel(env, c, queryReps, ingestReps)
+		if err != nil {
+			return fmt.Errorf("cells=%d: %w", c, err)
+		}
+		lvl.BitIdentical = sameAnswers(env.refAns, answers)
+		if !lvl.BitIdentical {
+			res.BitIdentical = false
+		}
+		if c == 1 {
+			baseIngest = lvl.IngestEventsPerSec
+			lvl.IngestSpeedup = 1
+		} else if baseIngest > 0 {
+			lvl.IngestSpeedup = lvl.IngestEventsPerSec / baseIngest
+		}
+		if c == 4 {
+			res.SpeedupAt4 = lvl.IngestSpeedup
+		}
+		res.Levels = append(res.Levels, lvl)
+		fmt.Printf("C=%d  ingest %9.0f events/s (%.2fx)   query %8.0f q/s   bit-identical %v\n",
+			c, lvl.IngestEventsPerSec, lvl.IngestSpeedup, lvl.QueryQPS, lvl.BitIdentical)
+	}
+
+	res.ScalingGateActive = res.GOMAXPROCS >= 4
+	scalingOK := res.SpeedupAt4 >= clusterOverheadFloor
+	if res.ScalingGateActive {
+		scalingOK = res.SpeedupAt4 >= clusterScalingGate
+	}
+	res.Pass = res.BitIdentical && scalingOK
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if !res.Pass {
+		gate := fmt.Sprintf("≥%.1fx", clusterScalingGate)
+		if !res.ScalingGateActive {
+			gate = fmt.Sprintf("≥%.1fx overhead floor, scaling unobservable at this GOMAXPROCS", clusterOverheadFloor)
+		}
+		return fmt.Errorf("cluster gate failed: bit-identical %v, ingest speedup at 4 cells %.2fx (gate %s)",
+			res.BitIdentical, res.SpeedupAt4, gate)
+	}
+	return nil
+}
+
+// buildClusterEnv generates the pinned world spec, the per-writer event
+// shards, the query pool, and the single-process partitioned reference
+// answers every cluster level must reproduce bit for bit.
+func buildClusterEnv(seed int64, objects, poolSize int) (*clusterEnv, error) {
+	opts := stq.GridOpts{NX: 16, NY: 16, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.1}
+	spec := cluster.GridSpec(opts, seed)
+	sys, err := stq.NewGridCitySystem(opts, seed)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := sys.GenerateWorkload(stq.MobilityOpts{
+		Objects: objects, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, seed)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := partition.Build(sys.World(), clusterWriters)
+	if err != nil {
+		return nil, err
+	}
+	env := &clusterEnv{spec: spec, world: sys.World(), shards: make([][]stq.Event, clusterWriters)}
+	for _, mev := range wl.Events {
+		ev := convertEvent(mev)
+		var owner int
+		if ev.Kind == stq.EventMove {
+			owner = lay.OwnerOfRoad(ev.Road)
+		} else {
+			owner = lay.OwnerOfJunction(ev.Gateway)
+		}
+		env.shards[owner] = append(env.shards[owner], ev)
+		env.events++
+	}
+	env.queries = buildClusterQueries(sys, wl.Horizon, seed, poolSize)
+
+	// Single-process partitioned reference: same world, same stream,
+	// same pool. Its answers are the bit-identity target.
+	ref, err := stq.NewPartitionedSystem(env.world, 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := ref.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+		return nil, err
+	}
+	for _, shard := range env.shards {
+		if len(shard) > 0 {
+			if err := ref.RecordBatch(shard); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, q := range env.queries {
+		resp, err := ref.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		env.refAns = append(env.refAns, resp.Count)
+	}
+	return env, nil
+}
+
+func buildClusterQueries(sys *stq.System, horizon float64, seed int64, poolSize int) []stq.Query {
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := sys.Bounds()
+	queries := make([]stq.Query, 0, poolSize)
+	for i := 0; i < poolSize; i++ {
+		frac := 0.2 + rng.Float64()*0.6
+		w, h := b.Width()*frac, b.Height()*frac
+		x := b.Min.X + rng.Float64()*(b.Width()-w)
+		y := b.Min.Y + rng.Float64()*(b.Height()-h)
+		t1 := rng.Float64() * horizon * 0.6
+		queries = append(queries, stq.Query{
+			Rect: stq.Rect{Min: stq.Point{X: x, Y: y}, Max: stq.Point{X: x + w, Y: y + h}},
+			T1:   t1, T2: t1 + 0.15*horizon, Kind: stq.Kind(i % 3),
+		})
+	}
+	return queries
+}
+
+// liveCluster is one booted topology: C cell servers on loopback
+// listeners plus the router system fronting them.
+type liveCluster struct {
+	sys     *stq.System // router-resident engine (owns the RemoteSet)
+	servers []*http.Server
+	cells   []*stq.Server
+}
+
+func (lc *liveCluster) shutdown() error {
+	var firstErr error
+	for _, hs := range lc.servers {
+		if err := hs.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := lc.sys.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, srv := range lc.cells {
+		if err := srv.Drain(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// bootCluster materializes the manifest at the requested cell count and
+// boots the full topology in-process: real servers, real sockets, real
+// wire frames — only the process boundary is elided.
+func bootCluster(env *clusterEnv, cells int) (*liveCluster, error) {
+	man, world, lay, err := cluster.NewManifest(env.spec, cells)
+	if err != nil {
+		return nil, err
+	}
+	lc := &liveCluster{}
+	addrs := make([]string, cells)
+	for p := 0; p < cells; p++ {
+		csys := stq.NewSystem(world)
+		if err := csys.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+			lc.shutdown()
+			return nil, err
+		}
+		cc := &stq.CellConfig{Index: p, Cells: cells, ManifestHash: man.LayoutHash, Layout: lay}
+		srv := stq.NewServer(csys, stq.ServerConfig{Cell: cc})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.shutdown()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		addrs[p] = ln.Addr().String()
+		lc.servers = append(lc.servers, hs)
+		lc.cells = append(lc.cells, srv)
+	}
+	rset, err := cluster.Dial(man, addrs, cluster.Options{HealthInterval: -1})
+	if err != nil {
+		lc.shutdown()
+		return nil, err
+	}
+	lc.sys = stq.NewClusterSystem(rset)
+	if err := lc.sys.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+		lc.shutdown()
+		return nil, err
+	}
+	return lc, nil
+}
+
+// runClusterLevel measures one cell count: concurrent batch ingest
+// through the router from clusterWriters cell-aligned writers (repeated
+// on fresh topologies, best rate kept), then the sequential query pool
+// through the router's scatter-gather path.
+func runClusterLevel(env *clusterEnv, cells, queryReps, ingestReps int) (clusterLevel, []float64, error) {
+	lvl := clusterLevel{Cells: cells}
+	var lc *liveCluster
+	for rep := 0; rep < ingestReps; rep++ {
+		fresh, err := bootCluster(env, cells)
+		if err != nil {
+			return clusterLevel{}, nil, err
+		}
+		runtime.GC()
+		rate, err := ingestClusterShards(fresh.sys, env)
+		if err != nil {
+			fresh.shutdown()
+			return clusterLevel{}, nil, err
+		}
+		if rate > lvl.IngestEventsPerSec {
+			lvl.IngestEventsPerSec = rate
+		}
+		if lc != nil {
+			if err := lc.shutdown(); err != nil {
+				fresh.shutdown()
+				return clusterLevel{}, nil, err
+			}
+		}
+		lc = fresh
+	}
+	defer lc.shutdown()
+
+	answers := make([]float64, 0, len(env.queries))
+	for rep := 0; rep < queryReps; rep++ {
+		runtime.GC()
+		start := time.Now()
+		for _, q := range env.queries {
+			resp, err := lc.sys.Query(q)
+			if err != nil {
+				return clusterLevel{}, nil, err
+			}
+			if resp.Degradation != nil {
+				return clusterLevel{}, nil, fmt.Errorf("query degraded on a healthy cluster: %+v", *resp.Degradation)
+			}
+			if rep == 0 {
+				answers = append(answers, resp.Count)
+			}
+		}
+		if qps := float64(len(env.queries)) / time.Since(start).Seconds(); qps > lvl.QueryQPS {
+			lvl.QueryQPS = qps
+		}
+	}
+	return lvl, answers, nil
+}
+
+// ingestClusterShards feeds every writer shard concurrently in batches
+// through the router and returns the events/s rate of this pass.
+func ingestClusterShards(sys *stq.System, env *clusterEnv) (float64, error) {
+	const batchLen = 256
+	errs := make([]error, clusterWriters)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clusterWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := env.shards[w]
+			for len(part) > 0 {
+				n := batchLen
+				if n > len(part) {
+					n = len(part)
+				}
+				if err := sys.RecordBatch(part[:n]); err != nil {
+					errs[w] = err
+					return
+				}
+				part = part[n:]
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(env.events) / wall.Seconds(), nil
+}

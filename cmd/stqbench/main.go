@@ -12,6 +12,7 @@
 //	stqbench -concurrent             # mixed ingest+query scaling → BENCH_concurrent.json
 //	stqbench -wal                    # WAL fsync-policy sweep → BENCH_wal.json
 //	stqbench -partition              # partitioned multi-store gate → BENCH_partition.json
+//	stqbench -cluster                # multi-process scale-out gate → BENCH_cluster.json
 //	stqbench -wire                   # binary wire protocol gate → BENCH_wire.json
 //	stqbench -serve :8080 -exp all   # live /metrics + /debug/pprof while running
 //
@@ -49,6 +50,8 @@ func main() {
 		historyOut = flag.String("history-out", "BENCH_history.json", "output path for the history benchmark (empty = stdout only)")
 		part       = flag.Bool("partition", false, "run the spatially partitioned multi-store benchmark instead of the figures")
 		partOut    = flag.String("partition-out", "BENCH_partition.json", "output path for the partition benchmark (empty = stdout only)")
+		clus       = flag.Bool("cluster", false, "run the multi-process scale-out benchmark instead of the figures")
+		clusOut    = flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster benchmark (empty = stdout only)")
 		wireBench  = flag.Bool("wire", false, "run the binary wire protocol benchmark instead of the figures")
 		wireOut    = flag.String("wire-out", "BENCH_wire.json", "output path for the wire benchmark (empty = stdout only)")
 		serve      = flag.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
@@ -87,6 +90,13 @@ func main() {
 	}
 	if *part {
 		if err := runPartitionBench(*seed, *quick, *partOut); err != nil {
+			fmt.Fprintln(os.Stderr, "stqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clus {
+		if err := runClusterBench(*seed, *quick, *clusOut); err != nil {
 			fmt.Fprintln(os.Stderr, "stqbench:", err)
 			os.Exit(1)
 		}

@@ -26,6 +26,19 @@
 // finishes in-flight requests, flushes queued ingest group commits,
 // waits for background history seals, and writes a final checkpoint
 // when running durably (-durable).
+//
+// # Cluster cell mode
+//
+// With -cell N -manifest cluster.json the daemon serves one spatial
+// partition of a multi-process cluster behind a stqrouter (DESIGN.md
+// §16): the world and partition layout are rebuilt from the pinned
+// manifest (refusing to serve on a hash mismatch), the wire-native
+// /v1/cell endpoint answers the router's handshakes and scatter ops,
+// and /v1/ingest only accepts events the cell's partition owns. The
+// listener comes up before recovery so /readyz reports 503 until the
+// cell is actually serving; -objects, -budget, -partitions, and the
+// privacy flags are ignored in cell mode (cells are dumb stores — the
+// router owns placement and privacy).
 package main
 
 import (
@@ -35,13 +48,16 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/roadnet"
 )
 
@@ -63,6 +79,8 @@ func main() {
 		maxQueued   = flag.Int("max-queued", 0, "admission: waiting room before 429 (0 = 4×max-inflight)")
 		slow        = flag.Duration("slow", 0, "slow-query log threshold (0 = off)")
 		noObs       = flag.Bool("no-obs", false, "leave observability instrumentation off")
+		cell        = flag.Int("cell", -1, "cluster cell mode: serve this partition of -manifest (-1 = standalone)")
+		manifest    = flag.String("manifest", "", "cluster manifest path (required with -cell)")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -72,6 +90,7 @@ func main() {
 		order:      *order, privTotal: *privTotal, privPer: *privPer,
 		maxInflight: *maxInflight, maxQueued: *maxQueued,
 		slow: *slow, obs: !*noObs,
+		cell: *cell, manifest: *manifest,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "stqd:", err)
 		os.Exit(1)
@@ -93,9 +112,14 @@ type config struct {
 	maxQueued          int
 	slow               time.Duration
 	obs                bool
+	cell               int
+	manifest           string
 }
 
 func run(cfg config) error {
+	if cfg.cell >= 0 {
+		return runCell(cfg)
+	}
 	sys, err := buildSystem(cfg)
 	if err != nil {
 		return err
@@ -139,6 +163,122 @@ func run(cfg config) error {
 	}
 	log.Printf("stqd: drained cleanly")
 	return nil
+}
+
+// runCell serves one cluster cell. The listener comes up before the
+// (possibly long) durable recovery, answering /healthz 200 and
+// everything else 503, so the router can probe the cell from its first
+// moment; the real server handler is swapped in once the system is
+// ready.
+func runCell(cfg config) error {
+	if cfg.manifest == "" {
+		return fmt.Errorf("-cell requires -manifest")
+	}
+	man, err := cluster.LoadManifest(cfg.manifest)
+	if err != nil {
+		return err
+	}
+	w, lay, err := man.Materialize()
+	if err != nil {
+		return err
+	}
+	if cfg.cell >= man.Cells {
+		return fmt.Errorf("-cell %d out of range for a %d-cell manifest", cfg.cell, man.Cells)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	var handler atomic.Pointer[http.Handler]
+	boot := http.Handler(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			rw.WriteHeader(http.StatusOK)
+			fmt.Fprintln(rw, `{"ok":true}`)
+			return
+		}
+		http.Error(rw, "cell recovering", http.StatusServiceUnavailable)
+	}))
+	handler.Store(&boot)
+	hs := &http.Server{Handler: http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(rw, r)
+	})}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sys, err := buildCellSystem(cfg, w)
+	if err != nil {
+		hs.Close()
+		return err
+	}
+	if cfg.obs {
+		stq.EnableObservability()
+	}
+	if cfg.slow > 0 {
+		stq.SetSlowQueryThreshold(cfg.slow)
+	}
+	cc := &stq.CellConfig{
+		Index: cfg.cell, Cells: man.Cells,
+		ManifestHash: man.LayoutHash, Layout: lay,
+	}
+	if err := cc.Validate(); err != nil {
+		hs.Close()
+		return err
+	}
+	srv := stq.NewServer(sys, stq.ServerConfig{
+		MaxInflight: cfg.maxInflight,
+		MaxQueued:   cfg.maxQueued,
+		Cell:        cc,
+	})
+	ready := http.Handler(srv)
+	handler.Store(&ready)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("stqd: signal received, draining cell %d", cfg.cell)
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("stqd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("stqd: cell %d/%d serving on %s (%d junctions, %d roads, %d events, durable=%v)",
+		cfg.cell, man.Cells, ln.Addr(), w.NumJunctions(), w.NumRoads(), sys.NumEvents(), sys.Durable())
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := sys.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	log.Printf("stqd: cell %d drained cleanly", cfg.cell)
+	return nil
+}
+
+// buildCellSystem constructs a cell's system: a single full-world
+// store (durable when -durable is set), forced to OrderPerEdge — the
+// router is the cluster-level ordering authority, exactly as
+// partition.Set is for its member stores.
+func buildCellSystem(cfg config, w *roadnet.World) (*stq.System, error) {
+	var sys *stq.System
+	if cfg.durableDir != "" {
+		var err error
+		sys, err = stq.OpenDurable(w, stq.Durability{Dir: cfg.durableDir})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sys = stq.NewSystem(w)
+	}
+	if err := sys.SetIngestOrdering(stq.OrderPerEdge); err != nil {
+		return nil, err
+	}
+	return sys, nil
 }
 
 // buildSystem constructs the served system: durable when a WAL

@@ -16,6 +16,11 @@
 // Target selection:
 //
 //	-addr http://host:8080   drive an external stqd
+//	-addr a:8080,b:8080      drive several equivalent targets (stqrouter
+//	                         replicas, or cells under test): workers are
+//	                         assigned round-robin, worker i driving
+//	                         target i mod N for the whole run; stats are
+//	                         read from the first target.
 //	-addr ""                 (default) self-serve: build a seeded
 //	                         system in-process, serve it on a loopback
 //	                         listener, and drive that — the hermetic
@@ -55,7 +60,7 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "target base URL (empty = self-serve in-process)")
+		addr     = flag.String("addr", "", "target base URL(s), comma-separated for round-robin worker assignment (empty = self-serve in-process)")
 		mode     = flag.String("mode", "closed", "load mode: closed | open")
 		clients  = flag.Int("clients", 16, "worker pool size (closed-loop concurrency)")
 		rate     = flag.Float64("rate", 2000, "open-loop arrival rate (requests/sec)")
@@ -165,19 +170,27 @@ func parseMix(s string) (opMix, error) {
 }
 
 func run(cfg loadConfig) error {
-	base := cfg.addr
+	var bases []string
+	for _, a := range strings.Split(cfg.addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			bases = append(bases, strings.TrimRight(a, "/"))
+		}
+	}
 	var shutdown func() error
-	if base == "" {
-		var err error
-		base, shutdown, err = selfServe(cfg)
+	if len(bases) == 0 {
+		base, sd, err := selfServe(cfg)
 		if err != nil {
 			return err
 		}
+		bases, shutdown = []string{base}, sd
 		fmt.Printf("stqload: self-serving on %s (grid %dx%d, %d objects, budget %d)\n",
 			base, cfg.gridN, cfg.gridN, cfg.objects, cfg.budget)
 	}
+	if len(bases) > 1 {
+		fmt.Printf("stqload: %d targets, workers assigned round-robin\n", len(bases))
+	}
 
-	h := newHarness(cfg, base)
+	h := newHarness(cfg, bases)
 	if err := h.prepare(); err != nil {
 		return err
 	}
@@ -235,10 +248,12 @@ func selfServe(cfg loadConfig) (base string, shutdown func() error, err error) {
 	return "http://" + ln.Addr().String(), shutdown, nil
 }
 
-// harness owns the client pool and the shared request streams.
+// harness owns the client pool and the shared request streams. bases
+// holds one or more equivalent targets; worker i drives bases[i mod N]
+// for its whole run, and stats are read from bases[0].
 type harness struct {
 	cfg    loadConfig
-	base   string
+	bases  []string
 	client *http.Client
 
 	bounds   [4]float64 // world bounds, from a probe query... filled by prepare
@@ -249,11 +264,11 @@ type harness struct {
 	shed atomic.Uint64
 }
 
-func newHarness(cfg loadConfig, base string) *harness {
+func newHarness(cfg loadConfig, bases []string) *harness {
 	tr := &http.Transport{MaxIdleConns: 4 * cfg.clients, MaxIdleConnsPerHost: 4 * cfg.clients}
 	return &harness{
 		cfg:    cfg,
-		base:   base,
+		bases:  bases,
 		client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
 	}
 }
@@ -333,6 +348,7 @@ func (h *harness) randRect(rng *rand.Rand) [4]float64 {
 type worker struct {
 	h      *harness
 	id     int
+	base   string // this worker's round-robin target
 	rng    *rand.Rand
 	cursor int
 	lap    int
@@ -355,7 +371,8 @@ const ingestChunk = 200
 
 func (h *harness) newWorker(id int, measureFrom time.Time) *worker {
 	return &worker{
-		h: h, id: id, rng: rand.New(rand.NewSource(h.cfg.seed + int64(id)*7919)),
+		h: h, id: id, base: h.bases[id%len(h.bases)],
+		rng:         rand.New(rand.NewSource(h.cfg.seed + int64(id)*7919)),
 		measureFrom: measureFrom,
 		samples:     map[string][]float64{},
 	}
@@ -487,7 +504,7 @@ func (w *worker) post(path string, body any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := w.h.client.Post(w.h.base+path, "application/json", bytes.NewReader(b))
+	resp, err := w.h.client.Post(w.base+path, "application/json", bytes.NewReader(b))
 	if err != nil {
 		return 0, err
 	}
@@ -500,7 +517,7 @@ func (w *worker) post(path string, body any) (int, error) {
 // encoder buffer, which is safe because the request body is consumed
 // before Post returns.
 func (w *worker) postWire(path string, frame []byte) (int, error) {
-	resp, err := w.h.client.Post(w.h.base+path, wire.ContentType, bytes.NewReader(frame))
+	resp, err := w.h.client.Post(w.base+path, wire.ContentType, bytes.NewReader(frame))
 	if err != nil {
 		return 0, err
 	}
@@ -517,7 +534,7 @@ type serveStats struct {
 }
 
 func (h *harness) fetchStats() (serveStats, error) {
-	resp, err := h.client.Get(h.base + "/v1/stats")
+	resp, err := h.client.Get(h.bases[0] + "/v1/stats")
 	if err != nil {
 		return serveStats{}, err
 	}

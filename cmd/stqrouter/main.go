@@ -1,0 +1,178 @@
+// Command stqrouter is the stateless cluster router (DESIGN.md §16):
+// it fronts N stqd cells, each serving one spatial partition of the
+// manifest-pinned layout, and exposes the exact same HTTP/JSON (and
+// binary wire) serving surface as a single stqd. The unmodified query
+// engine runs in this process with every storage read scattered to the
+// owning cell over the wire protocol, so answers are bit-identical to
+// a single-process partitioned system; a dead or timed-out cell
+// degrades the answer into a sound widened [Lower, Upper] interval
+// instead of failing the query.
+//
+// Generate the pinned manifest once, then boot cells and router on it:
+//
+//	stqrouter -init -manifest cluster.json -n 2 -nx 14 -ny 14 -seed 42
+//	stqd -cell 0 -manifest cluster.json -addr :8181 &
+//	stqd -cell 1 -manifest cluster.json -addr :8182 &
+//	stqrouter -manifest cluster.json -cells localhost:8181,localhost:8182 -addr :8080
+//
+// Exactly one router may write to a cluster (the two-phase cross-cell
+// ingest relies on the router's routing lock); any number may read.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/roadnet"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		manifest    = flag.String("manifest", "cluster.json", "cluster manifest path")
+		cells       = flag.String("cells", "", "comma-separated cell base addresses, one per manifest cell, in cell order")
+		budget      = flag.Int("budget", 64, "communication-sensor budget (0 = unsampled full graph)")
+		seed        = flag.Int64("seed", 42, "placement / privacy seed")
+		order       = flag.String("order", "peredge", "ingest ordering contract: peredge | global")
+		privTotal   = flag.Float64("privacy-total", 0, "total privacy budget ε (0 = privacy off)")
+		privPer     = flag.Float64("privacy-eps", 0.1, "per-query ε when privacy is on")
+		maxInflight = flag.Int("max-inflight", 0, "admission: concurrent requests (0 = 4×GOMAXPROCS)")
+		maxQueued   = flag.Int("max-queued", 0, "admission: waiting room before 429 (0 = 4×max-inflight)")
+		timeout     = flag.Duration("cell-timeout", 2*time.Second, "per-attempt cell RPC timeout")
+		health      = flag.Duration("health-interval", 2*time.Second, "cell health probe period")
+		slow        = flag.Duration("slow", 0, "slow-query log threshold (0 = off)")
+		noObs       = flag.Bool("no-obs", false, "leave observability instrumentation off")
+
+		initMan = flag.Bool("init", false, "write a fresh manifest to -manifest and exit")
+		n       = flag.Int("n", 2, "-init: cell count")
+		nx      = flag.Int("nx", 14, "-init: city grid columns")
+		ny      = flag.Int("ny", 14, "-init: city grid rows")
+	)
+	flag.Parse()
+	var err error
+	if *initMan {
+		err = writeManifest(*manifest, *n, *nx, *ny, *seed)
+	} else {
+		err = run(*addr, *manifest, *cells, *budget, *seed, *order,
+			*privTotal, *privPer, *maxInflight, *maxQueued,
+			*timeout, *health, *slow, !*noObs)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stqrouter:", err)
+		os.Exit(1)
+	}
+}
+
+// writeManifest pins a fresh cluster topology: world spec, cell count,
+// and the layout hash every member verifies on boot.
+func writeManifest(path string, n, nx, ny int, seed int64) error {
+	opts := roadnet.DefaultGridOpts()
+	opts.NX, opts.NY = nx, ny
+	man, _, lay, err := cluster.NewManifest(cluster.GridSpec(opts, seed), n)
+	if err != nil {
+		return err
+	}
+	if err := man.Save(path); err != nil {
+		return err
+	}
+	log.Printf("stqrouter: wrote %s (%d cells, %d junctions, layout %#016x)",
+		path, man.Cells, len(lay.CellOfJunction), man.LayoutHash)
+	return nil
+}
+
+func run(addr, manifest, cells string, budget int, seed int64, order string,
+	privTotal, privPer float64, maxInflight, maxQueued int,
+	timeout, health, slow time.Duration, obs bool) error {
+	if cells == "" {
+		return fmt.Errorf("-cells is required (comma-separated cell addresses)")
+	}
+	man, err := cluster.LoadManifest(manifest)
+	if err != nil {
+		return err
+	}
+	addrs := strings.Split(cells, ",")
+	rset, err := cluster.Dial(man, addrs, cluster.Options{
+		Timeout:        timeout,
+		HealthInterval: health,
+	})
+	if err != nil {
+		return err
+	}
+	sys := stq.NewClusterSystem(rset)
+	switch order {
+	case "peredge":
+		err = sys.SetIngestOrdering(stq.OrderPerEdge)
+	case "global":
+		err = sys.SetIngestOrdering(stq.OrderGlobal)
+	default:
+		err = fmt.Errorf("unknown -order %q (peredge | global)", order)
+	}
+	if err != nil {
+		return err
+	}
+	if budget > 0 {
+		if err := sys.PlaceSensors(stq.PlacementQuadTree, budget, seed+2); err != nil {
+			return err
+		}
+	}
+	if privTotal > 0 {
+		if err := sys.EnablePrivacy(privTotal, privPer, seed+3); err != nil {
+			return err
+		}
+	}
+	if obs {
+		stq.EnableObservability()
+	}
+	if slow > 0 {
+		stq.SetSlowQueryThreshold(slow)
+	}
+
+	srv := stq.NewServer(sys, stq.ServerConfig{
+		MaxInflight: maxInflight,
+		MaxQueued:   maxQueued,
+	})
+	hs := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("stqrouter: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("stqrouter: shutdown: %v", err)
+		}
+	}()
+
+	live := 0
+	for p := 0; p < rset.NumCells(); p++ {
+		if rset.CellAlive(p) {
+			live++
+		}
+	}
+	log.Printf("stqrouter: serving on %s (%d cells, %d live, layout %#016x, %d sensors)",
+		addr, rset.NumCells(), live, man.LayoutHash, sys.NumCommunicationSensors())
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := sys.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	log.Printf("stqrouter: drained cleanly")
+	return nil
+}

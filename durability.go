@@ -386,16 +386,20 @@ func (s *System) SyncWAL() error {
 	return nil
 }
 
-// Close flushes and closes the write-ahead log(s). The system keeps
-// serving queries, but further ingestion fails. No-op on non-durable
-// systems.
+// Close flushes and closes the write-ahead log(s) and, on cluster
+// systems, releases the router store (health loop, connections). The
+// system keeps serving queries, but further ingestion fails. No-op on
+// non-durable single-process systems.
 func (s *System) Close() error {
+	var firstErr error
+	if s.cstore != nil {
+		firstErr = s.cstore.Close()
+	}
 	if !s.Durable() {
-		return nil
+		return firstErr
 	}
 	s.dmu.Lock()
 	defer s.dmu.Unlock()
-	var firstErr error
 	for _, l := range s.allLogs() {
 		if err := l.Close(); err != nil && firstErr == nil {
 			firstErr = err

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// ErrUnavailable marks a cell that could not be reached, timed out, or
+// kept refusing past the retry budget. Queries absorb it by widening
+// the answer interval; ingest surfaces it so the serving layer can
+// answer 503 instead of 400.
+var ErrUnavailable = errors.New("cluster: cell unavailable")
+
+// Options tunes the router's per-cell RPC behavior. The zero value
+// gets sensible defaults.
+type Options struct {
+	// Timeout bounds one RPC attempt (default 2s).
+	Timeout time.Duration
+	// Attempts is the total try count for idempotent RPCs — queries,
+	// handshakes, phase-1 validation (default 3). Apply-phase ingest is
+	// never retried: duplicate timestamps are legal, so a retry of a
+	// lost acknowledgement could double-apply.
+	Attempts int
+	// Backoff is the initial retry delay, doubling per attempt
+	// (default 25ms).
+	Backoff time.Duration
+	// HealthInterval is the background probe period (default 2s);
+	// negative disables the health loop (tests drive Probe directly).
+	HealthInterval time.Duration
+	// Client overrides the shared HTTP client.
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	return o
+}
+
+var (
+	cRPCs       = obs.Default.Counter("cluster.rpcs")
+	cRetries    = obs.Default.Counter("cluster.rpc_retries")
+	cFailures   = obs.Default.Counter("cluster.rpc_failures")
+	cDeaths     = obs.Default.Counter("cluster.cell_deaths")
+	cRecoveries = obs.Default.Counter("cluster.cell_recoveries")
+)
+
+// remoteError is a definitive refusal the cell answered with (a 4xx
+// error frame): retrying cannot help and the cell is not presumed
+// dead.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
+// Status returns the HTTP status of a cell's definitive refusal, or 0.
+func Status(err error) int {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.status
+	}
+	return 0
+}
+
+// cellClient is the router's HTTP client for one cell: wire frames
+// POSTed to the cell's endpoints, with per-attempt timeouts and
+// exponential backoff on idempotent calls.
+type cellClient struct {
+	cell int
+	base string
+	opt  Options
+}
+
+func newCellClient(cell int, addr string, opt Options) *cellClient {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &cellClient{cell: cell, base: strings.TrimSuffix(base, "/"), opt: opt}
+}
+
+// do performs one RPC attempt: POST the frame, parse the response
+// frame, demand wantKind. retryable distinguishes transient failures
+// (transport, timeout, 5xx, 429, corrupt response) from definitive
+// refusals.
+func (c *cellClient) do(path string, frame []byte, wantKind byte) (payload []byte, retryable bool, err error) {
+	cRPCs.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), c.opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, wire.HeaderSize+wire.MaxPayload+1))
+	if err != nil {
+		return nil, true, err
+	}
+	kind, pl, _, err := wire.ParseFrame(body)
+	if err != nil {
+		// A non-wire response (proxy error page, truncated stream) is a
+		// transport-level problem, not a cell decision.
+		return nil, true, fmt.Errorf("cell %d: bad response frame: %v", c.cell, err)
+	}
+	if kind == wire.KindError {
+		status, msg, derr := wire.DecodeError(pl)
+		if derr != nil {
+			return nil, true, derr
+		}
+		if status >= 500 || status == http.StatusTooManyRequests {
+			return nil, true, fmt.Errorf("cell %d: status %d: %s", c.cell, status, msg)
+		}
+		return nil, false, &remoteError{status: status, msg: fmt.Sprintf("cell %d: %s", c.cell, msg)}
+	}
+	if kind != wantKind {
+		return nil, true, fmt.Errorf("cell %d: unexpected frame kind %d (want %d)", c.cell, kind, wantKind)
+	}
+	return pl, false, nil
+}
+
+// call retries do with exponential backoff; only for idempotent RPCs.
+func (c *cellClient) call(path string, frame []byte, wantKind byte) ([]byte, error) {
+	backoff := c.opt.Backoff
+	var lastErr error
+	for a := 0; a < c.opt.Attempts; a++ {
+		if a > 0 {
+			cRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		payload, retryable, err := c.do(path, frame, wantKind)
+		if err == nil {
+			return payload, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	cFailures.Inc()
+	return nil, fmt.Errorf("%w: cell %d after %d attempts: %v", ErrUnavailable, c.cell, c.opt.Attempts, lastErr)
+}
+
+// hello performs the manifest handshake.
+func (c *cellClient) hello(manifestHash uint64) (wire.HelloAckFrame, error) {
+	enc := wire.GetEncoder()
+	frame := enc.EncodeHello(wire.HelloFrame{ManifestHash: manifestHash, Cell: c.cell})
+	payload, err := c.call("/v1/cell", frame, wire.KindHelloAck)
+	wire.PutEncoder(enc)
+	if err != nil {
+		return wire.HelloAckFrame{}, err
+	}
+	ack, derr := wire.DecodeHelloAck(payload)
+	if derr != nil {
+		return wire.HelloAckFrame{}, fmt.Errorf("%w: cell %d: %v", ErrUnavailable, c.cell, derr)
+	}
+	return ack, nil
+}
+
+// scatter executes one scatter op with retries.
+func (c *cellClient) scatter(f wire.ScatterFrame) (wire.PartialFrame, error) {
+	enc := wire.GetEncoder()
+	frame := enc.EncodeScatter(f)
+	payload, err := c.call("/v1/cell", frame, wire.KindPartial)
+	wire.PutEncoder(enc)
+	if err != nil {
+		return wire.PartialFrame{}, err
+	}
+	pf, derr := wire.DecodePartial(payload)
+	if derr != nil {
+		return wire.PartialFrame{}, fmt.Errorf("%w: cell %d: %v", ErrUnavailable, c.cell, derr)
+	}
+	if pf.Op != f.Op {
+		return wire.PartialFrame{}, fmt.Errorf("%w: cell %d: partial op %d for scatter op %d", ErrUnavailable, c.cell, pf.Op, f.Op)
+	}
+	return pf, nil
+}
+
+// ingest applies one sub-batch — exactly one attempt. A retry after a
+// lost acknowledgement could double-apply (equal timestamps are legal),
+// so transient failures surface as ErrUnavailable instead.
+func (c *cellClient) ingest(events []core.Event) error {
+	enc := wire.GetEncoder()
+	frame := enc.EncodeIngest(events, wire.DefaultTick)
+	_, retryable, err := c.do("/v1/ingest", frame, wire.KindIngestResult)
+	wire.PutEncoder(enc)
+	if err == nil {
+		return nil
+	}
+	if retryable {
+		cFailures.Inc()
+		return fmt.Errorf("%w: cell %d: %v", ErrUnavailable, c.cell, err)
+	}
+	return err
+}
+
+// readyz is the health probe of a live cell.
+func (c *cellClient) readyz() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opt.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cell %d: readyz status %d", c.cell, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func testSpec() WorldSpec {
+	opts := roadnet.DefaultGridOpts()
+	opts.NX, opts.NY = 6, 6
+	return GridSpec(opts, 42)
+}
+
+func TestManifestPinsDeterministicLayout(t *testing.T) {
+	a, _, layA, err := NewManifest(testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, layB, err := NewManifest(testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LayoutHash != b.LayoutHash {
+		t.Fatalf("layout hash not deterministic: %#x vs %#x", a.LayoutHash, b.LayoutHash)
+	}
+	if len(layA.CellOfJunction) != len(layB.CellOfJunction) {
+		t.Fatalf("layouts differ in size: %d vs %d", len(layA.CellOfJunction), len(layB.CellOfJunction))
+	}
+	// A different cell count or world seed must produce a different pin.
+	c, _, _, err := NewManifest(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LayoutHash == a.LayoutHash {
+		t.Fatal("2-cell layout hashed identically to 4-cell layout")
+	}
+	spec := testSpec()
+	spec.Seed++
+	d, _, _, err := NewManifest(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LayoutHash == a.LayoutHash {
+		t.Fatal("different world seed hashed identically")
+	}
+}
+
+func TestManifestSaveLoadMaterialize(t *testing.T) {
+	man, world, lay, err := NewManifest(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := man.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *loaded != *man {
+		t.Fatalf("loaded manifest %+v, want %+v", loaded, man)
+	}
+	w2, lay2, err := loaded.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.NumJunctions() != world.NumJunctions() || w2.NumRoads() != world.NumRoads() {
+		t.Fatalf("materialized world %d/%d junctions/roads, want %d/%d",
+			w2.NumJunctions(), w2.NumRoads(), world.NumJunctions(), world.NumRoads())
+	}
+	for i, own := range lay.CellOfJunction {
+		if lay2.CellOfJunction[i] != own {
+			t.Fatalf("junction %d owned by %d after reload, want %d", i, lay2.CellOfJunction[i], own)
+		}
+	}
+}
+
+func TestManifestRejectsDriftedPin(t *testing.T) {
+	man, _, _, err := NewManifest(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *man
+	tampered.LayoutHash ^= 1
+	if _, _, err := tampered.Materialize(); err == nil {
+		t.Fatal("materialize accepted a drifted layout hash")
+	} else if !strings.Contains(err.Error(), "layout hash") {
+		t.Fatalf("err %q does not mention the layout hash", err)
+	}
+}
+
+func TestManifestRejectsStructurallyInvalid(t *testing.T) {
+	base, _, _, err := NewManifest(testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(m *Manifest)
+	}{
+		{"bad-version", func(m *Manifest) { m.Version = 99 }},
+		{"zero-cells", func(m *Manifest) { m.Cells = 0 }},
+		{"negative-cells", func(m *Manifest) { m.Cells = -1 }},
+		{"unknown-world-kind", func(m *Manifest) { m.World.Kind = "hexes" }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := *base
+			tc.mutate(&m)
+			if _, _, err := m.Materialize(); err == nil {
+				t.Fatal("materialize accepted invalid manifest")
+			}
+		})
+	}
+	if _, _, _, err := NewManifest(testSpec(), 0); err == nil {
+		t.Fatal("NewManifest accepted zero cells")
+	}
+}

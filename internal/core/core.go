@@ -216,6 +216,34 @@ type SignedEvent struct {
 	Delta int
 }
 
+// EventReq identifies one perimeter event list: either a road's signed
+// crossings toward an endpoint or a gateway's world events.
+type EventReq struct {
+	// World selects the gateway form; otherwise Road/Toward apply.
+	World   bool
+	Road    planar.EdgeID
+	Toward  planar.NodeID
+	Gateway planar.NodeID
+}
+
+// BatchEventLister is an optional EventLister extension for stores that
+// can fetch many perimeter event lists in one call — the network-backed
+// cluster store answers a whole region perimeter with one scatter RPC
+// per involved cell instead of one round-trip per cut road.
+//
+// Contract: the result must be exactly the concatenation, in request
+// order, of what per-request RoadEventsIn/WorldEventsIn calls would
+// append. perimeterEvents sorts the sequence with sort.Slice, whose
+// (deterministic) tie handling depends on input order — so an
+// implementation that reorders requests would break bit-identity with
+// the single-process engine even though the multiset of events is the
+// same.
+type BatchEventLister interface {
+	// PerimeterEventsIn appends the signed events of every request over
+	// (t1, t2] to dst, in request order.
+	PerimeterEventsIn(reqs []EventReq, t1, t2 float64, dst []SignedEvent) []SignedEvent
+}
+
 // IntervalCounter is an optional Counter extension: the count of
 // crossings inside a half-open interval (t1, t2], answered in one call
 // instead of two prefix counts. The exact store answers it with the two
@@ -391,14 +419,30 @@ func probeTimes(t1, t2 float64, samples int) []float64 {
 }
 
 // perimeterEvents gathers the signed boundary events of r in (t1,t2],
-// sorted by time.
+// sorted by time. BatchEventLister stores collect the whole perimeter
+// in one batched call; the request order below matches the per-element
+// loop exactly, which the batch contract turns into an identical
+// pre-sort sequence — and therefore identical sort.Slice output.
 func perimeterEvents(c Counter, el EventLister, r *Region, t1, t2 float64) []SignedEvent {
+	cuts := r.CutRoads()
+	worldJs := r.worldJunctionsInside(c)
 	var events []SignedEvent
-	for _, cr := range r.CutRoads() {
-		events = el.RoadEventsIn(cr.Road, cr.Inside, t1, t2, events)
-	}
-	for _, g := range r.worldJunctionsInside(c) {
-		events = el.WorldEventsIn(g, t1, t2, events)
+	if bl, ok := el.(BatchEventLister); ok {
+		reqs := make([]EventReq, 0, len(cuts)+len(worldJs))
+		for _, cr := range cuts {
+			reqs = append(reqs, EventReq{Road: cr.Road, Toward: cr.Inside})
+		}
+		for _, g := range worldJs {
+			reqs = append(reqs, EventReq{World: true, Gateway: g})
+		}
+		events = bl.PerimeterEventsIn(reqs, t1, t2, nil)
+	} else {
+		for _, cr := range cuts {
+			events = el.RoadEventsIn(cr.Road, cr.Inside, t1, t2, events)
+		}
+		for _, g := range worldJs {
+			events = el.WorldEventsIn(g, t1, t2, events)
+		}
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].T < events[j].T })
 	return events

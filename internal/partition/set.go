@@ -356,6 +356,15 @@ type worldKey struct {
 	entering bool
 }
 
+// ValidateSub checks that sub is per-form monotone against st's
+// current state, without applying anything — phase 1 of the two-phase
+// cross-partition ingest. Exported for the cluster cell endpoint,
+// which runs the same validation against its single store when the
+// router scatters a cross-cell batch (DESIGN.md §16).
+func ValidateSub(st *core.Store, w *roadnet.World, sub []core.Event) error {
+	return validateSub(st, w, sub)
+}
+
 // validateSub checks that sub is per-form monotone against st's current
 // state, without applying anything. Events are structurally valid by
 // the time this runs (ownerOf checked them).

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+)
+
+// These tests cover the client side of the cluster transport: the
+// router's cellClient parses every response with ParseFrame, so a cell
+// (or a middlebox) returning a truncated, oversized, wrong-version, or
+// otherwise mangled response must surface as a structured corruption
+// error the client can classify as retryable — never as a panic or a
+// silently wrong value.
+
+// helloAckResponse builds a valid KindHelloAck response frame, the
+// frame a router reads most often.
+func helloAckResponse() []byte {
+	enc := GetEncoder()
+	defer PutEncoder(enc)
+	frame := enc.EncodeHelloAck(HelloAckFrame{
+		Cell: 3, Clock: 1234.5, NumEvents: 99,
+		WorldJunctions: []planar.NodeID{1, 4, 7},
+	})
+	return append([]byte(nil), frame...)
+}
+
+func TestClientDecodeRejectsMangledResponses(t *testing.T) {
+	valid := helloAckResponse()
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want string
+	}{
+		{"empty-response", nil, "truncated header"},
+		{"header-only-prefix", valid[:HeaderSize/2], "truncated header"},
+		{"truncated-mid-payload", valid[:len(valid)-2], "truncated payload"},
+		{"truncated-after-header", valid[:HeaderSize], "truncated payload"},
+		{"wrong-version", mutate(func(b []byte) []byte { b[2] = Version + 1; return b }), "unknown version"},
+		{"version-zero", mutate(func(b []byte) []byte { b[2] = 0; return b }), "unknown version"},
+		{"oversized-declared-length", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], MaxPayload+1)
+			return b
+		}), "exceeds limit"},
+		{"length-beyond-body", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], uint32(len(b)))
+			return b
+		}), "truncated payload"},
+		{"bad-magic", mutate(func(b []byte) []byte { b[0], b[1] = 'X', 'X'; return b }), "bad magic"},
+		{"unknown-kind", mutate(func(b []byte) []byte { b[3] = KindPartial + 1; return b }), "unknown frame kind"},
+		{"corrupt-payload", mutate(func(b []byte) []byte { b[HeaderSize] ^= 0x40; return b }), "CRC mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := ParseFrame(tc.b)
+			if err == nil {
+				t.Fatal("mangled response accepted")
+			}
+			if !IsCorrupt(err) {
+				t.Fatalf("err %v is not a corruption error (client could not classify it as retryable)", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestClientDecodePayloadRejections covers structurally corrupt cluster
+// payloads behind a valid frame wrapper — what the client's typed
+// decoders (DecodeHelloAck, DecodePartial) must refuse.
+func TestClientDecodePayloadRejections(t *testing.T) {
+	reframe := func(kind byte, payload []byte) []byte {
+		var e Encoder
+		e.begin(kind)
+		e.buf = append(e.buf, payload...)
+		return append([]byte(nil), e.finish()...)
+	}
+	t.Run("helloack", func(t *testing.T) {
+		for _, tc := range []struct {
+			name    string
+			payload []byte
+		}{
+			{"empty", nil},
+			{"truncated-counters", []byte{3, 0, 0}},
+			{"junction-list-cut-short", func() []byte {
+				_, p, _, _ := ParseFrame(helloAckResponse())
+				return p[:len(p)-3]
+			}()},
+		} {
+			t.Run(tc.name, func(t *testing.T) {
+				_, payload, _, err := ParseFrame(reframe(KindHelloAck, tc.payload))
+				if err != nil {
+					t.Fatalf("frame wrapper rejected: %v", err)
+				}
+				if _, err := DecodeHelloAck(payload); err == nil {
+					t.Fatal("malformed hello-ack payload accepted")
+				} else if !IsCorrupt(err) {
+					t.Fatalf("err %v is not a corruption error", err)
+				}
+			})
+		}
+	})
+	t.Run("partial", func(t *testing.T) {
+		for _, tc := range []struct {
+			name    string
+			payload []byte
+		}{
+			{"empty", nil},
+			{"unknown-op", []byte{OpValidate + 1}},
+			{"op-zero", []byte{0}},
+			{"scalar-cut-short", []byte{OpCountCuts, 1, 2, 3}},
+		} {
+			t.Run(tc.name, func(t *testing.T) {
+				_, payload, _, err := ParseFrame(reframe(KindPartial, tc.payload))
+				if err != nil {
+					t.Fatalf("frame wrapper rejected: %v", err)
+				}
+				if _, err := DecodePartial(payload); err == nil {
+					t.Fatal("malformed partial payload accepted")
+				} else if !IsCorrupt(err) {
+					t.Fatalf("err %v is not a corruption error", err)
+				}
+			})
+		}
+	})
+}
+
+// TestClusterFrameRoundTrips pins bit-identity of every cluster frame
+// kind through encode → ParseFrame → decode.
+func TestClusterFrameRoundTrips(t *testing.T) {
+	enc := GetEncoder()
+	defer PutEncoder(enc)
+	dec := GetDecoder()
+	defer PutDecoder(dec)
+
+	roundTrip := func(t *testing.T, frame []byte, wantKind byte) []byte {
+		t.Helper()
+		kind, payload, rest, err := ParseFrame(frame)
+		if err != nil {
+			t.Fatalf("ParseFrame: %v", err)
+		}
+		if kind != wantKind || len(rest) != 0 {
+			t.Fatalf("kind=%d rest=%d, want kind=%d rest=0", kind, len(rest), wantKind)
+		}
+		return payload
+	}
+
+	t.Run("hello", func(t *testing.T) {
+		h := HelloFrame{ManifestHash: 0xDEADBEEFCAFE, Cell: 5}
+		got, err := DecodeHello(roundTrip(t, enc.EncodeHello(h), KindHello))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("got %+v, want %+v", got, h)
+		}
+	})
+	t.Run("helloack", func(t *testing.T) {
+		a := HelloAckFrame{Cell: 2, Clock: math.Pi * 1e4, NumEvents: 12345,
+			WorldJunctions: []planar.NodeID{0, 3, 9, 101}}
+		got, err := DecodeHelloAck(roundTrip(t, enc.EncodeHelloAck(a), KindHelloAck))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("got %+v, want %+v", got, a)
+		}
+	})
+	// Decoders may materialize an absent list as empty rather than nil
+	// (and vice versa); both mean "no elements" to every consumer.
+	nilEmpty := func(v any) {
+		rv := reflect.ValueOf(v).Elem()
+		for i := 0; i < rv.NumField(); i++ {
+			f := rv.Field(i)
+			if f.Kind() == reflect.Slice && f.Len() == 0 && !f.IsNil() {
+				f.Set(reflect.Zero(f.Type()))
+			}
+		}
+	}
+	t.Run("scatter-ops", func(t *testing.T) {
+		frames := []ScatterFrame{
+			{Op: OpCountCuts, Cuts: []core.CutRoad{{Road: 7, Inside: 3}}, WorldJs: []planar.NodeID{1}, T1: 10},
+			{Op: OpCountCutsTimes, Cuts: []core.CutRoad{{Road: 2, Inside: 0}}, Times: []float64{1, 2.5, 3}},
+			{Op: OpCutFlow, Cuts: []core.CutRoad{{Road: 4, Inside: 9}}, WorldJs: []planar.NodeID{2, 6}, T1: 5, T2: 17.25},
+			{Op: OpEvents, T1: 1, T2: 2, Reqs: []core.EventReq{
+				{World: false, Road: 11, Toward: 4},
+				{World: true, Gateway: 8},
+			}},
+			{Op: OpRoadCrossings, Road: 3, Toward: 1, T1: 99},
+			{Op: OpWorldCrossings, Gateway: 12, Entering: true, T1: 7},
+			{Op: OpRoadCrossingsIn, Road: 6, Toward: 2, T1: 1, T2: 2},
+			{Op: OpWorldCrossingsIn, Gateway: 13, Entering: false, T1: 3, T2: 4},
+			{Op: OpWorldJunctions},
+			{Op: OpValidate, Events: []core.Event{
+				core.MoveEvent(5, 2, 100),
+				core.EnterEvent(9, 101),
+				core.LeaveEvent(9, 102.5),
+			}, Tick: DefaultTick},
+		}
+		for _, f := range frames {
+			got, err := dec.DecodeScatter(roundTrip(t, enc.EncodeScatter(f), KindScatter))
+			if err != nil {
+				t.Fatalf("op %d: %v", f.Op, err)
+			}
+			// OpValidate events alias the decoder buffer; copy before the
+			// next decode reuses it.
+			got.Events = append([]core.Event(nil), got.Events...)
+			// Tick is an encoding hint, not payload: off-grid batches fall
+			// back to raw timestamps and drop it.
+			got.Tick, f.Tick = 0, 0
+			nilEmpty(&got)
+			nilEmpty(&f)
+			if !reflect.DeepEqual(got, f) {
+				t.Fatalf("op %d: got %+v, want %+v", f.Op, got, f)
+			}
+		}
+	})
+	t.Run("partial-ops", func(t *testing.T) {
+		frames := []PartialFrame{
+			{Op: OpCountCuts, Value: 42.5},
+			{Op: OpCountCutsTimes, Values: []float64{1, -2, 3.5}},
+			{Op: OpCutFlow, Value: -7},
+			{Op: OpEvents, Counts: []int{2, 0, 1}, Events: []core.SignedEvent{
+				{T: 1, Delta: 1}, {T: 2, Delta: -1}, {T: 9.75, Delta: 1},
+			}},
+			{Op: OpRoadCrossings, Value: 3},
+			{Op: OpWorldJunctions, WorldJs: []planar.NodeID{4, 5, 6}},
+		}
+		for _, p := range frames {
+			got, err := DecodePartial(roundTrip(t, enc.EncodePartial(p), KindPartial))
+			if err != nil {
+				t.Fatalf("op %d: %v", p.Op, err)
+			}
+			nilEmpty(&got)
+			nilEmpty(&p)
+			if !reflect.DeepEqual(got, p) {
+				t.Fatalf("op %d: got %+v, want %+v", p.Op, got, p)
+			}
+		}
+	})
+}

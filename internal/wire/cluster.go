@@ -1,0 +1,567 @@
+package wire
+
+// Cluster frames: the router ↔ cell transport of the multi-process
+// scale-out (internal/cluster, DESIGN.md §16). Four kinds extend the
+// protocol:
+//
+//   - KindHello / KindHelloAck: the handshake. The router pins the
+//     manifest hash and the cell index it believes it is talking to;
+//     the cell acknowledges with its clock, event count, and
+//     world-junction set (the inputs of the router's merged views).
+//   - KindScatter / KindPartial: one sub-operation of a routed query
+//     (a perimeter integral term, an event-list fetch, ...) or the
+//     phase-1 validation of a cross-cell ingest batch, and its result.
+//
+// Unlike the client-facing ingest/query codec these paths are not
+// required to be zero-alloc: one routed query performs a handful of
+// scatter round-trips whose network cost dwarfs a few slice
+// allocations.
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/planar"
+)
+
+// Scatter operations. Values are pinned wire bytes, independent of any
+// in-memory enum.
+const (
+	// OpCountCuts evaluates the boundary integral Σ over the given cuts
+	// and world junctions at time T1 (core.BatchCounter.CountCuts).
+	OpCountCuts byte = 1
+	// OpCountCutsTimes evaluates the integral at every probe time
+	// (core.BatchCounter.CountCutsTimes).
+	OpCountCutsTimes byte = 2
+	// OpCutFlow is the fused net flow over (T1, T2]
+	// (core.BatchCounter.CutFlow).
+	OpCutFlow byte = 3
+	// OpEvents fetches the signed perimeter event lists of the given
+	// requests over (T1, T2] (core.EventLister).
+	OpEvents byte = 4
+	// OpRoadCrossings / OpWorldCrossings are the prefix counts of the
+	// plain core.Counter interface at time T1.
+	OpRoadCrossings  byte = 5
+	OpWorldCrossings byte = 6
+	// OpRoadCrossingsIn / OpWorldCrossingsIn are the fused interval
+	// counts over (T1, T2] (core.IntervalCounter).
+	OpRoadCrossingsIn  byte = 7
+	OpWorldCrossingsIn byte = 8
+	// OpWorldJunctions fetches the cell's current world-junction set.
+	OpWorldJunctions byte = 9
+	// OpValidate is phase 1 of a cross-cell ingest batch: the cell
+	// checks its sub-batch against its stores' per-edge clocks without
+	// applying anything. The payload embeds the KindIngest body
+	// encoding verbatim.
+	OpValidate byte = 10
+)
+
+// HelloFrame is a KindHello payload: the router's handshake request.
+type HelloFrame struct {
+	// ManifestHash pins the cluster layout (cluster.Manifest.LayoutHash);
+	// a cell serving a different manifest must refuse the handshake.
+	ManifestHash uint64
+	// Cell is the partition index the router believes this cell owns.
+	Cell int
+}
+
+// HelloAckFrame is a KindHelloAck payload: the cell's handshake
+// response, carrying the state the router's merged views start from.
+type HelloAckFrame struct {
+	Cell int
+	// Clock is the cell store's high-water timestamp (covers
+	// WAL-recovered events after a cell restart).
+	Clock float64
+	// NumEvents is the cell store's current event count — the router's
+	// sound per-cell contribution bound when the cell later dies.
+	NumEvents int
+	// WorldJunctions is the cell's current world-junction set.
+	WorldJunctions []planar.NodeID
+}
+
+// ScatterFrame is a KindScatter payload. Only the fields of the given
+// Op are encoded.
+type ScatterFrame struct {
+	Op byte
+	// Cuts and WorldJs are the perimeter terms owned by the addressed
+	// cell (OpCountCuts, OpCountCutsTimes, OpCutFlow).
+	Cuts    []core.CutRoad
+	WorldJs []planar.NodeID
+	// Times are the probe times of OpCountCutsTimes.
+	Times []float64
+	// T1 is the probe time of prefix ops; (T1, T2] the interval of
+	// interval ops and OpEvents.
+	T1, T2 float64
+	// Road/Toward address OpRoadCrossings(In); Gateway/Entering address
+	// OpWorldCrossings(In).
+	Road     planar.EdgeID
+	Toward   planar.NodeID
+	Gateway  planar.NodeID
+	Entering bool
+	// Reqs are the event lists of OpEvents, answered in request order.
+	Reqs []core.EventReq
+	// Events and Tick carry the OpValidate sub-batch (ingest body
+	// encoding).
+	Events []core.Event
+	Tick   float64
+}
+
+// PartialFrame is a KindPartial payload: the cell's result for one
+// scatter op. Only the fields of the op are encoded.
+type PartialFrame struct {
+	Op byte
+	// Value is the scalar result of OpCountCuts, OpCutFlow, and the
+	// crossing-count ops.
+	Value float64
+	// Values are the per-probe-time totals of OpCountCutsTimes.
+	Values []float64
+	// Counts[i] is the event count of request i of OpEvents; Events is
+	// the flat concatenation in request order.
+	Counts []int
+	Events []core.SignedEvent
+	// WorldJs is the OpWorldJunctions result.
+	WorldJs []planar.NodeID
+}
+
+// EncodeHello encodes h as one KindHello frame.
+func (e *Encoder) EncodeHello(h HelloFrame) []byte {
+	e.begin(KindHello)
+	e.u64(h.ManifestHash)
+	e.uvarint(uint64(h.Cell))
+	return e.finish()
+}
+
+// DecodeHello decodes a KindHello payload.
+func DecodeHello(payload []byte) (HelloFrame, error) {
+	r := reader{b: payload}
+	var h HelloFrame
+	var ok bool
+	if h.ManifestHash, ok = r.u64(); !ok {
+		return HelloFrame{}, corruptf("hello: truncated manifest hash")
+	}
+	cell, ok := r.uvarint()
+	if !ok || cell > math.MaxInt32 {
+		return HelloFrame{}, corruptf("hello: bad cell index")
+	}
+	h.Cell = int(cell)
+	if !r.done() {
+		return HelloFrame{}, corruptf("hello: %d trailing payload bytes", len(payload)-r.pos)
+	}
+	return h, nil
+}
+
+// EncodeHelloAck encodes a as one KindHelloAck frame.
+func (e *Encoder) EncodeHelloAck(a HelloAckFrame) []byte {
+	e.begin(KindHelloAck)
+	e.uvarint(uint64(a.Cell))
+	e.f64(a.Clock)
+	e.uvarint(uint64(a.NumEvents))
+	e.encodeJunctions(a.WorldJunctions)
+	return e.finish()
+}
+
+// DecodeHelloAck decodes a KindHelloAck payload.
+func DecodeHelloAck(payload []byte) (HelloAckFrame, error) {
+	r := reader{b: payload}
+	var a HelloAckFrame
+	cell, ok := r.uvarint()
+	if !ok || cell > math.MaxInt32 {
+		return HelloAckFrame{}, corruptf("hello ack: bad cell index")
+	}
+	a.Cell = int(cell)
+	if a.Clock, ok = r.f64(); !ok || math.IsNaN(a.Clock) {
+		return HelloAckFrame{}, corruptf("hello ack: bad clock")
+	}
+	n, ok := r.uvarint()
+	if !ok || n > math.MaxInt32 {
+		return HelloAckFrame{}, corruptf("hello ack: bad event count")
+	}
+	a.NumEvents = int(n)
+	if a.WorldJunctions, ok = decodeJunctions(&r); !ok {
+		return HelloAckFrame{}, corruptf("hello ack: bad world junctions")
+	}
+	if !r.done() {
+		return HelloAckFrame{}, corruptf("hello ack: %d trailing payload bytes", len(payload)-r.pos)
+	}
+	return a, nil
+}
+
+// encodeJunctions appends a junction list: varint count then zigzag
+// deltas (sorted lists shrink to ~1 byte each; unsorted stay correct).
+func (e *Encoder) encodeJunctions(js []planar.NodeID) {
+	e.uvarint(uint64(len(js)))
+	prev := int64(0)
+	for _, j := range js {
+		e.svarint(int64(j) - prev)
+		prev = int64(j)
+	}
+}
+
+func decodeJunctions(r *reader) ([]planar.NodeID, bool) {
+	n, ok := r.uvarint()
+	if !ok || n > uint64(len(r.b)-r.pos) {
+		return nil, false
+	}
+	js := make([]planar.NodeID, 0, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		d, ok := r.svarint()
+		if !ok {
+			return nil, false
+		}
+		prev += d
+		if prev < 0 || prev > math.MaxInt32 {
+			return nil, false
+		}
+		js = append(js, planar.NodeID(prev))
+	}
+	return js, true
+}
+
+// encodeCuts appends a cut-road list: varint count, then per cut a
+// zigzag road delta and the inside endpoint.
+func (e *Encoder) encodeCuts(cuts []core.CutRoad) {
+	e.uvarint(uint64(len(cuts)))
+	prev := int64(0)
+	for _, cr := range cuts {
+		e.svarint(int64(cr.Road) - prev)
+		prev = int64(cr.Road)
+		e.uvarint(uint64(cr.Inside))
+	}
+}
+
+func decodeCuts(r *reader) ([]core.CutRoad, bool) {
+	n, ok := r.uvarint()
+	if !ok || n > uint64(len(r.b)-r.pos)/2 {
+		return nil, false
+	}
+	cuts := make([]core.CutRoad, 0, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		d, ok := r.svarint()
+		if !ok {
+			return nil, false
+		}
+		prev += d
+		if prev < 0 || prev > math.MaxInt32 {
+			return nil, false
+		}
+		inside, ok := r.uvarint()
+		if !ok || inside > math.MaxInt32 {
+			return nil, false
+		}
+		cuts = append(cuts, core.CutRoad{Road: planar.EdgeID(prev), Inside: planar.NodeID(inside)})
+	}
+	return cuts, true
+}
+
+// EncodeScatter encodes f as one KindScatter frame.
+func (e *Encoder) EncodeScatter(f ScatterFrame) []byte {
+	e.begin(KindScatter)
+	e.buf = append(e.buf, f.Op)
+	switch f.Op {
+	case OpCountCuts:
+		e.encodeCuts(f.Cuts)
+		e.encodeJunctions(f.WorldJs)
+		e.f64(f.T1)
+	case OpCountCutsTimes:
+		e.encodeCuts(f.Cuts)
+		e.encodeJunctions(f.WorldJs)
+		e.uvarint(uint64(len(f.Times)))
+		for _, t := range f.Times {
+			e.f64(t)
+		}
+	case OpCutFlow:
+		e.encodeCuts(f.Cuts)
+		e.encodeJunctions(f.WorldJs)
+		e.f64(f.T1)
+		e.f64(f.T2)
+	case OpEvents:
+		e.f64(f.T1)
+		e.f64(f.T2)
+		e.uvarint(uint64(len(f.Reqs)))
+		prevRoad := int64(0)
+		for _, req := range f.Reqs {
+			if req.World {
+				e.buf = append(e.buf, 1)
+				e.uvarint(uint64(req.Gateway))
+			} else {
+				e.buf = append(e.buf, 0)
+				e.svarint(int64(req.Road) - prevRoad)
+				prevRoad = int64(req.Road)
+				e.uvarint(uint64(req.Toward))
+			}
+		}
+	case OpRoadCrossings:
+		e.uvarint(uint64(f.Road))
+		e.uvarint(uint64(f.Toward))
+		e.f64(f.T1)
+	case OpWorldCrossings:
+		e.uvarint(uint64(f.Gateway))
+		e.boolByte(f.Entering)
+		e.f64(f.T1)
+	case OpRoadCrossingsIn:
+		e.uvarint(uint64(f.Road))
+		e.uvarint(uint64(f.Toward))
+		e.f64(f.T1)
+		e.f64(f.T2)
+	case OpWorldCrossingsIn:
+		e.uvarint(uint64(f.Gateway))
+		e.boolByte(f.Entering)
+		e.f64(f.T1)
+		e.f64(f.T2)
+	case OpWorldJunctions:
+		// No operands.
+	case OpValidate:
+		e.ingestBody(f.Events, f.Tick)
+	}
+	return e.finish()
+}
+
+func (e *Encoder) boolByte(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// DecodeScatter decodes a KindScatter payload. OpValidate events alias
+// the decoder's reusable buffer (the DecodeIngest contract).
+func (d *Decoder) DecodeScatter(payload []byte) (ScatterFrame, error) {
+	r := reader{b: payload}
+	var f ScatterFrame
+	var ok bool
+	if f.Op, ok = r.byte(); !ok || f.Op < OpCountCuts || f.Op > OpValidate {
+		return ScatterFrame{}, corruptf("scatter: bad op")
+	}
+	switch f.Op {
+	case OpCountCuts, OpCountCutsTimes, OpCutFlow:
+		if f.Cuts, ok = decodeCuts(&r); !ok {
+			return ScatterFrame{}, corruptf("scatter op %d: bad cuts", f.Op)
+		}
+		if f.WorldJs, ok = decodeJunctions(&r); !ok {
+			return ScatterFrame{}, corruptf("scatter op %d: bad world junctions", f.Op)
+		}
+		switch f.Op {
+		case OpCountCuts:
+			if f.T1, ok = r.f64(); !ok {
+				return ScatterFrame{}, corruptf("scatter: truncated probe time")
+			}
+		case OpCountCutsTimes:
+			n, ok := r.uvarint()
+			if !ok || n > uint64(len(r.b)-r.pos)/8 {
+				return ScatterFrame{}, corruptf("scatter: bad probe-time count")
+			}
+			f.Times = make([]float64, 0, n)
+			for i := uint64(0); i < n; i++ {
+				t, ok := r.f64()
+				if !ok {
+					return ScatterFrame{}, corruptf("scatter: truncated probe times")
+				}
+				f.Times = append(f.Times, t)
+			}
+		case OpCutFlow:
+			if f.T1, ok = r.f64(); !ok {
+				return ScatterFrame{}, corruptf("scatter: truncated t1")
+			}
+			if f.T2, ok = r.f64(); !ok {
+				return ScatterFrame{}, corruptf("scatter: truncated t2")
+			}
+		}
+	case OpEvents:
+		if f.T1, ok = r.f64(); !ok {
+			return ScatterFrame{}, corruptf("scatter: truncated t1")
+		}
+		if f.T2, ok = r.f64(); !ok {
+			return ScatterFrame{}, corruptf("scatter: truncated t2")
+		}
+		n, ok := r.uvarint()
+		if !ok || n > uint64(len(r.b)-r.pos)/2 {
+			return ScatterFrame{}, corruptf("scatter: bad event-request count")
+		}
+		f.Reqs = make([]core.EventReq, 0, n)
+		prevRoad := int64(0)
+		for i := uint64(0); i < n; i++ {
+			tag, ok := r.byte()
+			if !ok || tag > 1 {
+				return ScatterFrame{}, corruptf("scatter: bad event-request tag")
+			}
+			var req core.EventReq
+			if tag == 1 {
+				req.World = true
+				gw, ok := r.uvarint()
+				if !ok || gw > math.MaxInt32 {
+					return ScatterFrame{}, corruptf("scatter: bad event-request gateway")
+				}
+				req.Gateway = planar.NodeID(gw)
+			} else {
+				dr, ok := r.svarint()
+				if !ok {
+					return ScatterFrame{}, corruptf("scatter: bad event-request road")
+				}
+				prevRoad += dr
+				if prevRoad < 0 || prevRoad > math.MaxInt32 {
+					return ScatterFrame{}, corruptf("scatter: event-request road out of range")
+				}
+				req.Road = planar.EdgeID(prevRoad)
+				toward, ok := r.uvarint()
+				if !ok || toward > math.MaxInt32 {
+					return ScatterFrame{}, corruptf("scatter: bad event-request toward")
+				}
+				req.Toward = planar.NodeID(toward)
+			}
+			f.Reqs = append(f.Reqs, req)
+		}
+	case OpRoadCrossings, OpRoadCrossingsIn:
+		road, ok := r.uvarint()
+		if !ok || road > math.MaxInt32 {
+			return ScatterFrame{}, corruptf("scatter: bad road")
+		}
+		f.Road = planar.EdgeID(road)
+		toward, ok := r.uvarint()
+		if !ok || toward > math.MaxInt32 {
+			return ScatterFrame{}, corruptf("scatter: bad toward")
+		}
+		f.Toward = planar.NodeID(toward)
+		if f.T1, ok = r.f64(); !ok {
+			return ScatterFrame{}, corruptf("scatter: truncated t1")
+		}
+		if f.Op == OpRoadCrossingsIn {
+			if f.T2, ok = r.f64(); !ok {
+				return ScatterFrame{}, corruptf("scatter: truncated t2")
+			}
+		}
+	case OpWorldCrossings, OpWorldCrossingsIn:
+		gw, ok := r.uvarint()
+		if !ok || gw > math.MaxInt32 {
+			return ScatterFrame{}, corruptf("scatter: bad gateway")
+		}
+		f.Gateway = planar.NodeID(gw)
+		b, ok := r.byte()
+		if !ok || b > 1 {
+			return ScatterFrame{}, corruptf("scatter: bad entering flag")
+		}
+		f.Entering = b == 1
+		if f.T1, ok = r.f64(); !ok {
+			return ScatterFrame{}, corruptf("scatter: truncated t1")
+		}
+		if f.Op == OpWorldCrossingsIn {
+			if f.T2, ok = r.f64(); !ok {
+				return ScatterFrame{}, corruptf("scatter: truncated t2")
+			}
+		}
+	case OpWorldJunctions:
+		// No operands.
+	case OpValidate:
+		var err error
+		if f.Events, err = d.ingestBody(&r); err != nil {
+			return ScatterFrame{}, err
+		}
+	}
+	if !r.done() {
+		return ScatterFrame{}, corruptf("scatter: %d trailing payload bytes", len(payload)-r.pos)
+	}
+	return f, nil
+}
+
+// EncodePartial encodes p as one KindPartial frame.
+func (e *Encoder) EncodePartial(p PartialFrame) []byte {
+	e.begin(KindPartial)
+	e.buf = append(e.buf, p.Op)
+	switch p.Op {
+	case OpCountCuts, OpCutFlow, OpRoadCrossings, OpWorldCrossings,
+		OpRoadCrossingsIn, OpWorldCrossingsIn:
+		e.f64(p.Value)
+	case OpCountCutsTimes:
+		e.uvarint(uint64(len(p.Values)))
+		for _, v := range p.Values {
+			e.f64(v)
+		}
+	case OpEvents:
+		e.uvarint(uint64(len(p.Counts)))
+		for _, c := range p.Counts {
+			e.uvarint(uint64(c))
+		}
+		for _, ev := range p.Events {
+			e.f64(ev.T)
+			e.svarint(int64(ev.Delta))
+		}
+	case OpWorldJunctions:
+		e.encodeJunctions(p.WorldJs)
+	case OpValidate:
+		// Success carries no body; failures travel as error frames.
+	}
+	return e.finish()
+}
+
+// DecodePartial decodes a KindPartial payload.
+func DecodePartial(payload []byte) (PartialFrame, error) {
+	r := reader{b: payload}
+	var p PartialFrame
+	var ok bool
+	if p.Op, ok = r.byte(); !ok || p.Op < OpCountCuts || p.Op > OpValidate {
+		return PartialFrame{}, corruptf("partial: bad op")
+	}
+	switch p.Op {
+	case OpCountCuts, OpCutFlow, OpRoadCrossings, OpWorldCrossings,
+		OpRoadCrossingsIn, OpWorldCrossingsIn:
+		if p.Value, ok = r.f64(); !ok {
+			return PartialFrame{}, corruptf("partial: truncated value")
+		}
+	case OpCountCutsTimes:
+		n, ok := r.uvarint()
+		if !ok || n > uint64(len(r.b)-r.pos)/8 {
+			return PartialFrame{}, corruptf("partial: bad value count")
+		}
+		p.Values = make([]float64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, ok := r.f64()
+			if !ok {
+				return PartialFrame{}, corruptf("partial: truncated values")
+			}
+			p.Values = append(p.Values, v)
+		}
+	case OpEvents:
+		n, ok := r.uvarint()
+		if !ok || n > uint64(len(r.b)-r.pos) {
+			return PartialFrame{}, corruptf("partial: bad request count")
+		}
+		p.Counts = make([]int, 0, n)
+		total := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			c, ok := r.uvarint()
+			if !ok || c > math.MaxInt32 {
+				return PartialFrame{}, corruptf("partial: bad event count")
+			}
+			total += c
+			p.Counts = append(p.Counts, int(c))
+		}
+		// Each event costs at least 9 bytes (8-byte T + 1-byte delta).
+		if total > uint64(len(r.b)-r.pos)/9 {
+			return PartialFrame{}, corruptf("partial: declared %d events in %d payload bytes", total, len(r.b)-r.pos)
+		}
+		p.Events = make([]core.SignedEvent, 0, total)
+		for i := uint64(0); i < total; i++ {
+			t, ok := r.f64()
+			if !ok {
+				return PartialFrame{}, corruptf("partial: truncated event time")
+			}
+			delta, ok := r.svarint()
+			if !ok || delta < math.MinInt32 || delta > math.MaxInt32 {
+				return PartialFrame{}, corruptf("partial: bad event delta")
+			}
+			p.Events = append(p.Events, core.SignedEvent{T: t, Delta: int(delta)})
+		}
+	case OpWorldJunctions:
+		if p.WorldJs, ok = decodeJunctions(&r); !ok {
+			return PartialFrame{}, corruptf("partial: bad world junctions")
+		}
+	case OpValidate:
+		// Empty body.
+	}
+	if !r.done() {
+		return PartialFrame{}, corruptf("partial: %d trailing payload bytes", len(payload)-r.pos)
+	}
+	return p, nil
+}

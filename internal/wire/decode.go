@@ -41,7 +41,7 @@ func checkHeader(hdr []byte) (kind byte, n int, crc uint32, err error) {
 		return 0, 0, 0, corruptf("unknown version %d (want %d)", hdr[2], Version)
 	}
 	kind = hdr[3]
-	if kind < KindIngest || kind > KindError {
+	if kind < KindIngest || kind > KindPartial {
 		return 0, 0, 0, corruptf("unknown frame kind %d", kind)
 	}
 	ln := binary.LittleEndian.Uint32(hdr[4:8])
@@ -162,15 +162,30 @@ func (r *reader) done() bool { return r.pos == len(r.b) }
 // commit acknowledged.
 func (d *Decoder) DecodeIngest(payload []byte) ([]core.Event, error) {
 	r := reader{b: payload}
+	events, err := d.ingestBody(&r)
+	if err != nil {
+		return nil, err
+	}
+	if !r.done() {
+		return nil, corruptf("ingest: %d trailing payload bytes", len(payload)-r.pos)
+	}
+	return events, nil
+}
+
+// ingestBody decodes the ingest payload encoding (count, timestamp
+// mode, events) from the cursor into the decoder's reusable event
+// buffer. Shared between KindIngest frames and the cluster's phase-1
+// validate scatter op, which embeds the same encoding.
+func (d *Decoder) ingestBody(r *reader) ([]core.Event, error) {
 	n64, ok := r.uvarint()
 	if !ok {
 		return nil, corruptf("ingest: bad event count")
 	}
 	// Every event costs at least 3 payload bytes (kind + 1-byte delta +
-	// 1-byte operand), so a count beyond len/3 is structurally impossible
-	// — reject before sizing the event buffer to it.
-	if n64 > uint64(len(payload))/3 {
-		return nil, corruptf("ingest: declared %d events in %d payload bytes", n64, len(payload))
+	// 1-byte operand), so a count beyond remaining/3 is structurally
+	// impossible — reject before sizing the event buffer to it.
+	if n64 > uint64(len(r.b)-r.pos)/3 {
+		return nil, corruptf("ingest: declared %d events in %d payload bytes", n64, len(r.b)-r.pos)
 	}
 	n := int(n64)
 	mode, ok := r.byte()
@@ -249,9 +264,6 @@ func (d *Decoder) DecodeIngest(payload []byte) ([]core.Event, error) {
 			ev.Gateway = planar.NodeID(gw)
 			ev.Road, ev.From = 0, 0
 		}
-	}
-	if !r.done() {
-		return nil, corruptf("ingest: %d trailing payload bytes", len(payload)-r.pos)
 	}
 	return d.events, nil
 }

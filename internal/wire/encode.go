@@ -77,6 +77,15 @@ func (e *Encoder) svarint(v int64) {
 // the previous move's road. tick ≤ 0 forces the raw path.
 func (e *Encoder) EncodeIngest(events []core.Event, tick float64) []byte {
 	e.begin(KindIngest)
+	e.ingestBody(events, tick)
+	return e.finish()
+}
+
+// ingestBody appends the ingest payload encoding (count, timestamp
+// mode, events) to the current frame. Shared between KindIngest frames
+// and the cluster's phase-1 validate scatter op, which embeds the exact
+// same encoding so cells decode both with one routine.
+func (e *Encoder) ingestBody(events []core.Event, tick float64) {
 	e.uvarint(uint64(len(events)))
 	mode := tsRaw
 	if tick > 0 && e.quantize(events, tick) {
@@ -116,7 +125,6 @@ func (e *Encoder) EncodeIngest(events []core.Event, tick float64) []byte {
 			e.uvarint(uint64(ev.Gateway))
 		}
 	}
-	return e.finish()
 }
 
 // quantize fills e.ticks with the tick values of every event timestamp

@@ -64,6 +64,17 @@ const (
 	KindIngestResult byte = 4
 	// KindError is an error response (any endpoint).
 	KindError byte = 5
+	// KindHello is a cluster handshake request (router → cell): the
+	// router pins the manifest hash and cell index it expects.
+	KindHello byte = 6
+	// KindHelloAck is the cell's handshake response: clock, event count,
+	// and the cell's world-junction set for the router's merged view.
+	KindHelloAck byte = 7
+	// KindScatter is one scatter sub-operation of a routed query or a
+	// phase-1 ingest validation (router → cell).
+	KindScatter byte = 8
+	// KindPartial is the cell's partial result for one scatter op.
+	KindPartial byte = 9
 )
 
 // Query kinds and bounds are pinned independently of the in-memory
@@ -105,13 +116,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // frames_total is split per frame kind in place of Prometheus labels,
 // which the obs registry does not model.
 var (
-	framesIngest = obs.Default.Counter("wire.frames_total.ingest")
-	framesQuery  = obs.Default.Counter("wire.frames_total.query")
-	framesResult = obs.Default.Counter("wire.frames_total.result")
-	framesError  = obs.Default.Counter("wire.frames_total.error")
-	decodeErrors = obs.Default.Counter("wire.decode_errors")
-	bytesIn      = obs.Default.Counter("wire.bytes_in")
-	bytesOut     = obs.Default.Counter("wire.bytes_out")
+	framesIngest  = obs.Default.Counter("wire.frames_total.ingest")
+	framesQuery   = obs.Default.Counter("wire.frames_total.query")
+	framesResult  = obs.Default.Counter("wire.frames_total.result")
+	framesError   = obs.Default.Counter("wire.frames_total.error")
+	framesCluster = obs.Default.Counter("wire.frames_total.cluster")
+	decodeErrors  = obs.Default.Counter("wire.decode_errors")
+	bytesIn       = obs.Default.Counter("wire.bytes_in")
+	bytesOut      = obs.Default.Counter("wire.bytes_out")
 )
 
 // countFrame attributes one frame of the given kind to the per-kind
@@ -126,6 +138,8 @@ func countFrame(kind byte, n int, in bool) {
 		framesResult.Inc()
 	case KindError:
 		framesError.Inc()
+	case KindHello, KindHelloAck, KindScatter, KindPartial:
+		framesCluster.Inc()
 	}
 	if in {
 		bytesIn.AddInt(n)

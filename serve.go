@@ -81,6 +81,11 @@ type ServerConfig struct {
 	// MaxBatchEvents caps how many events one ingest group commit
 	// combines (default 8192).
 	MaxBatchEvents int
+	// Cell, when non-nil, puts the server in cluster cell mode
+	// (DESIGN.md §16): it serves one spatial partition behind a router,
+	// exposes the wire-native /v1/cell endpoint (handshake + scatter
+	// ops), and refuses ingest of events its partition does not own.
+	Cell *CellConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -193,7 +198,8 @@ type ServerStats struct {
 //
 // Endpoints: POST /v1/query, POST /v1/ingest, POST /v1/checkpoint,
 // GET /v1/stats, GET /metrics (Prometheus), GET /metrics.json,
-// GET /healthz.
+// GET /healthz, GET /readyz, and — in cluster cell mode
+// (ServerConfig.Cell) — POST /v1/cell.
 type Server struct {
 	sys *System
 	cfg ServerConfig
@@ -220,6 +226,10 @@ type Server struct {
 	draining  atomic.Bool
 	drainOnce sync.Once
 	drainErr  error
+
+	// notReady inverts the /readyz readiness signal (zero value =
+	// ready), so servers are born ready without an initializer.
+	notReady atomic.Bool
 
 	// queryFn is the engine entry point; tests substitute it to control
 	// timing. Defaults to sys.Query.
@@ -254,6 +264,10 @@ func NewServer(sys *System, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if cfg.Cell != nil {
+		s.mux.HandleFunc("/v1/cell", s.handleCell)
+	}
 	s.batcherWG.Add(1)
 	go s.runBatcher()
 	return s
@@ -286,7 +300,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// Health and introspection stay readable through a drain so
 		// operators can watch it finish.
 		switch r.URL.Path {
-		case "/metrics", "/metrics.json", "/healthz", "/v1/stats":
+		case "/metrics", "/metrics.json", "/healthz", "/readyz", "/v1/stats":
 		default:
 			errorFor(w, r, http.StatusServiceUnavailable, "server draining")
 			srvLatency.Observe(time.Since(start).Seconds())
@@ -558,6 +572,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, r, fmt.Errorf("empty event batch"))
 		return
 	}
+	// A cell owns exactly one spatial partition: events the layout
+	// assigns elsewhere are a routing bug (or a client bypassing the
+	// router) and are refused before they can corrupt the cell's forms.
+	if cc := s.cfg.Cell; cc != nil {
+		if err := cc.checkOwnership(events); err != nil {
+			s.badRequest(w, r, err)
+			return
+		}
+	}
 	done := make(chan error, 1)
 	// Enqueue under drainMu.RLock with a re-check of draining: a handler
 	// that passed the top-level drain check before Drain flipped the flag
@@ -582,6 +605,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := <-done; err != nil {
+		// A dead cluster cell is the server's problem, not the client's:
+		// the batch was not applied anywhere and a later retry can
+		// succeed, so answer 503, never 400.
+		if errors.Is(err, ErrClusterUnavailable) {
+			errorFor(w, r, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		s.badRequest(w, r, err)
 		return
 	}
@@ -761,6 +791,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// SetReady flips the /readyz readiness signal. Servers start ready;
+// boot shims hold readiness down until recovery completes, and
+// operators can pull a server out of rotation without draining it.
+// Draining always reports not ready regardless of this flag.
+func (s *Server) SetReady(ok bool) { s.notReady.Store(!ok) }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.notReady.Load() {
+		httpError(w, http.StatusServiceUnavailable, "not ready")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 }
 
 // Drain shuts the serving layer down in dependency order: refuse new

@@ -1,0 +1,278 @@
+package stq
+
+// Cluster cell mode (DESIGN.md §16): a Server fronting one spatial
+// partition behind a stqrouter. The cell serves the wire-native
+// /v1/cell endpoint — the manifest handshake and the scatter ops the
+// router's RemoteSet dispatches — and enforces partition ownership on
+// /v1/ingest, so a misrouted batch (or a client bypassing the router)
+// is refused before it can corrupt the cell's tracking forms.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/planar"
+	"repro/internal/wire"
+)
+
+// CellConfig puts a Server in cluster cell mode (ServerConfig.Cell):
+// it identifies which partition of the pinned layout this process
+// owns. Build the layout by materializing the shared manifest
+// (cluster.LoadManifest + Materialize) so every member agrees on the
+// ownership function.
+type CellConfig struct {
+	// Index is this cell's partition index in [0, Cells).
+	Index int
+	// Cells is the manifest's cell count.
+	Cells int
+	// ManifestHash is the manifest's layout hash; Hello handshakes must
+	// present it, so a router and cell built from divergent manifests
+	// fail fast instead of disagreeing about ownership.
+	ManifestHash uint64
+	// Layout is the materialized partition layout.
+	Layout *partition.Layout
+}
+
+// Validate rejects a structurally broken cell configuration; call it
+// before handing the config to NewServer.
+func (cc *CellConfig) Validate() error {
+	if cc.Layout == nil {
+		return fmt.Errorf("stq: cell config without a layout")
+	}
+	if cc.Cells != cc.Layout.Cells {
+		return fmt.Errorf("stq: cell config cell count %d does not match layout %d", cc.Cells, cc.Layout.Cells)
+	}
+	if cc.Index < 0 || cc.Index >= cc.Cells {
+		return fmt.Errorf("stq: cell index %d out of [0, %d)", cc.Index, cc.Cells)
+	}
+	return nil
+}
+
+// checkRoad bounds-checks a road ID against the layout before any
+// slice indexing — scatter frames come off the network.
+func (cc *CellConfig) checkRoad(road planar.EdgeID) error {
+	if road < 0 || int(road) >= len(cc.Layout.CellOfRoad) {
+		return fmt.Errorf("road %d out of range", road)
+	}
+	return nil
+}
+
+// checkJunction bounds-checks a junction ID against the layout.
+func (cc *CellConfig) checkJunction(g planar.NodeID) error {
+	if g < 0 || int(g) >= len(cc.Layout.CellOfJunction) {
+		return fmt.Errorf("junction %d out of range", g)
+	}
+	return nil
+}
+
+// checkOwnership verifies that every event of an ingest batch belongs
+// to this cell's partition. IDs are range-checked before the layout is
+// indexed: the batch came off the network and a wild ID must yield a
+// 400, not a panic.
+func (cc *CellConfig) checkOwnership(events []Event) error {
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventMove:
+			if err := cc.checkRoad(ev.Road); err != nil {
+				return fmt.Errorf("event %d: %w", i, err)
+			}
+			if own := cc.Layout.CellOfRoad[ev.Road]; own != cc.Index {
+				return fmt.Errorf("event %d: road %d belongs to cell %d, not cell %d", i, ev.Road, own, cc.Index)
+			}
+		case EventEnter, EventLeave:
+			if err := cc.checkJunction(ev.Gateway); err != nil {
+				return fmt.Errorf("event %d: %w", i, err)
+			}
+			if own := cc.Layout.CellOfJunction[ev.Gateway]; own != cc.Index {
+				return fmt.Errorf("event %d: gateway %d belongs to cell %d, not cell %d", i, ev.Gateway, own, cc.Index)
+			}
+		default:
+			return fmt.Errorf("event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// checkScatter bounds-checks every ID a scatter frame carries.
+func (cc *CellConfig) checkScatter(f wire.ScatterFrame) error {
+	for _, cr := range f.Cuts {
+		if err := cc.checkRoad(cr.Road); err != nil {
+			return err
+		}
+	}
+	for _, g := range f.WorldJs {
+		if err := cc.checkJunction(g); err != nil {
+			return err
+		}
+	}
+	for i, req := range f.Reqs {
+		if req.World {
+			if err := cc.checkJunction(req.Gateway); err != nil {
+				return fmt.Errorf("req %d: %w", i, err)
+			}
+		} else if err := cc.checkRoad(req.Road); err != nil {
+			return fmt.Errorf("req %d: %w", i, err)
+		}
+	}
+	switch f.Op {
+	case wire.OpRoadCrossings, wire.OpRoadCrossingsIn:
+		return cc.checkRoad(f.Road)
+	case wire.OpWorldCrossings, wire.OpWorldCrossingsIn:
+		return cc.checkJunction(f.Gateway)
+	}
+	return nil
+}
+
+// handleCell is the wire-native cluster endpoint: a Hello handshake or
+// one scatter op per request. Registered only in cell mode. It shares
+// the admission gate with queries and ingest — a router scattering into
+// an overloaded cell gets 429 and backs off like any other client —
+// and is deliberately NOT on the drain allowlist: a draining cell
+// answers 503, the router marks it dead, and queries degrade instead
+// of hanging on a disappearing process.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	cc := s.cfg.Cell
+	if r.Method != http.MethodPost {
+		writeWireBytes(w, http.StatusMethodNotAllowed, wire.MarshalError(http.StatusMethodNotAllowed, "POST required"))
+		return
+	}
+	release, ok := s.admit(r)
+	if !ok {
+		s.rejected.Add(1)
+		srvRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeWireBytes(w, http.StatusTooManyRequests, wire.MarshalError(http.StatusTooManyRequests, "server at capacity"))
+		return
+	}
+	defer release()
+	srvWireRequests.Inc()
+	d := wire.GetDecoder()
+	defer wire.PutDecoder(d)
+	kind, payload, err := d.ReadFrame(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		s.cellError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch kind {
+	case wire.KindHello:
+		hf, err := wire.DecodeHello(payload)
+		if err != nil {
+			s.cellError(w, http.StatusBadRequest, err)
+			return
+		}
+		if hf.ManifestHash != cc.ManifestHash {
+			s.cellError(w, http.StatusConflict, fmt.Errorf("manifest hash %#016x does not match this cell's %#016x", hf.ManifestHash, cc.ManifestHash))
+			return
+		}
+		if hf.Cell != cc.Index {
+			s.cellError(w, http.StatusConflict, fmt.Errorf("handshake for cell %d reached cell %d", hf.Cell, cc.Index))
+			return
+		}
+		st := s.sys.st()
+		enc := wire.GetEncoder()
+		writeWireBytes(w, http.StatusOK, enc.EncodeHelloAck(wire.HelloAckFrame{
+			Cell:           cc.Index,
+			Clock:          st.Clock(),
+			NumEvents:      st.NumEvents(),
+			WorldJunctions: st.WorldJunctions(),
+		}))
+		wire.PutEncoder(enc)
+	case wire.KindScatter:
+		sf, err := d.DecodeScatter(payload)
+		if err != nil {
+			s.cellError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := cc.checkScatter(sf); err != nil {
+			s.cellError(w, http.StatusBadRequest, err)
+			return
+		}
+		pf, err := s.execScatter(sf)
+		if err != nil {
+			s.cellError(w, http.StatusBadRequest, err)
+			return
+		}
+		enc := wire.GetEncoder()
+		writeWireBytes(w, http.StatusOK, enc.EncodePartial(pf))
+		wire.PutEncoder(enc)
+	default:
+		s.cellError(w, http.StatusBadRequest, fmt.Errorf("wire: expected hello or scatter frame, got kind %d", kind))
+	}
+}
+
+func (s *Server) cellError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusBadRequest {
+		s.badRequests.Add(1)
+		srvBadRequests.Inc()
+	}
+	writeWireBytes(w, status, wire.MarshalError(status, err.Error()))
+}
+
+// execScatter runs one scatter op against the cell's store. The cell is
+// a plain single-store System over the full world, so every term is
+// computed by exactly the code a single-process engine would run — the
+// foundation of the router's bit-identity guarantee.
+func (s *Server) execScatter(f wire.ScatterFrame) (wire.PartialFrame, error) {
+	st := s.sys.st()
+	pf := wire.PartialFrame{Op: f.Op}
+	switch f.Op {
+	case wire.OpCountCuts, wire.OpCountCutsTimes, wire.OpCutFlow:
+		bc, ok := st.(core.BatchCounter)
+		if !ok {
+			return pf, fmt.Errorf("cell store does not implement batch counting")
+		}
+		switch f.Op {
+		case wire.OpCountCuts:
+			pf.Value = bc.CountCuts(f.Cuts, f.WorldJs, f.T1)
+		case wire.OpCountCutsTimes:
+			pf.Values = bc.CountCutsTimes(f.Cuts, f.WorldJs, f.Times, nil)
+		case wire.OpCutFlow:
+			pf.Value = bc.CutFlow(f.Cuts, f.WorldJs, f.T1, f.T2)
+		}
+	case wire.OpEvents:
+		pf.Counts = make([]int, len(f.Reqs))
+		for i, req := range f.Reqs {
+			before := len(pf.Events)
+			if req.World {
+				pf.Events = st.WorldEventsIn(req.Gateway, f.T1, f.T2, pf.Events)
+			} else {
+				pf.Events = st.RoadEventsIn(req.Road, req.Toward, f.T1, f.T2, pf.Events)
+			}
+			pf.Counts[i] = len(pf.Events) - before
+		}
+	case wire.OpRoadCrossings:
+		pf.Value = st.RoadCrossings(f.Road, f.Toward, f.T1)
+	case wire.OpWorldCrossings:
+		pf.Value = st.WorldCrossings(f.Gateway, f.Entering, f.T1)
+	case wire.OpRoadCrossingsIn, wire.OpWorldCrossingsIn:
+		ic, ok := st.(core.IntervalCounter)
+		if !ok {
+			return pf, fmt.Errorf("cell store does not implement interval counting")
+		}
+		if f.Op == wire.OpRoadCrossingsIn {
+			pf.Value = ic.RoadCrossingsIn(f.Road, f.Toward, f.T1, f.T2)
+		} else {
+			pf.Value = ic.WorldCrossingsIn(f.Gateway, f.Entering, f.T1, f.T2)
+		}
+	case wire.OpWorldJunctions:
+		pf.WorldJs = st.WorldJunctions()
+	case wire.OpValidate:
+		// Phase 1 of the router's two-phase cross-cell ingest: check the
+		// sub-batch against this cell's current per-form state without
+		// applying anything. Idempotent, so the router may retry it.
+		if s.sys.store == nil {
+			return pf, fmt.Errorf("validate requires a single-store cell")
+		}
+		if err := s.cfg.Cell.checkOwnership(f.Events); err != nil {
+			return pf, err
+		}
+		if err := partition.ValidateSub(s.sys.store, s.sys.world, f.Events); err != nil {
+			return pf, err
+		}
+	default:
+		return pf, fmt.Errorf("wire: unknown scatter op %d", f.Op)
+	}
+	return pf, nil
+}

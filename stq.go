@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/geom"
@@ -186,6 +187,12 @@ var ErrPrivacyBudgetExhausted = privacy.ErrBudgetExhausted
 // with errors.Is). The serving layer maps it to HTTP 400; every other
 // engine error is a 500.
 var ErrInvalidQuery = query.ErrInvalidRequest
+
+// ErrClusterUnavailable reports an ingest refused because an involved
+// cluster cell is down or unreachable (match with errors.Is). The
+// serving layer maps it to HTTP 503 Service Unavailable — the batch was
+// not applied anywhere and the caller should retry later.
+var ErrClusterUnavailable = cluster.ErrUnavailable
 
 // Convenience constructors for the option structs.
 var (
@@ -358,12 +365,14 @@ func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
 // issued one at a time.
 type System struct {
 	world *roadnet.World
-	// Exactly one of store and parts is non-nil: store for the classic
-	// single-store system, parts for the spatially partitioned
-	// multi-store (NewPartitionedSystem, DESIGN.md §14). The st() helper
-	// is the shared storage surface.
-	store *core.Store
-	parts *partition.Set
+	// Exactly one of store, parts, and cstore is non-nil: store for the
+	// classic single-store system, parts for the spatially partitioned
+	// multi-store (NewPartitionedSystem, DESIGN.md §14), cstore for the
+	// multi-process cluster router (NewClusterSystem, DESIGN.md §16).
+	// The st() helper is the shared storage surface.
+	store  *core.Store
+	parts  *partition.Set
+	cstore ClusterStore
 
 	// serving is the atomically published query-path state: Query loads
 	// it once and never touches the mutable configuration below, which
@@ -431,9 +440,38 @@ type eventStore interface {
 	Memory() core.MemoryStats
 }
 
-// st returns the active storage backend (single store or partitioned
-// set).
+// ClusterStore is the storage surface of a multi-process cluster
+// router (implemented by cluster.RemoteSet): the full eventStore
+// contract, executed by network scatter-gather over the cells, plus the
+// outage accounting the query path uses to widen answers when cells are
+// down. See NewClusterSystem and DESIGN.md §16.
+type ClusterStore interface {
+	eventStore
+	// OutageEpoch returns the current outage epoch; captured before a
+	// query evaluates and passed to WidenFor afterwards.
+	OutageEpoch() uint64
+	// WidenFor returns the sound widening for a query over the given
+	// perimeter cut roads and region junctions that started at outage
+	// epoch since: the interval [Count-width, Count+width] contains the
+	// fault-free answer. unobservedCuts counts perimeter roads owned by
+	// affected cells; affectedCells the affected owners.
+	WidenFor(cuts []core.CutRoad, junctions []planar.NodeID, since uint64) (width float64, unobservedCuts, affectedCells int)
+	// NumCells returns the cluster's cell count.
+	NumCells() int
+	// World returns the manifest-pinned world.
+	World() *roadnet.World
+	// Layout returns the pinned spatial layout.
+	Layout() *partition.Layout
+	// Close releases router-side resources (health loop, connections).
+	Close() error
+}
+
+// st returns the active storage backend (single store, partitioned set,
+// or cluster router).
 func (s *System) st() eventStore {
+	if s.cstore != nil {
+		return s.cstore
+	}
 	if s.parts != nil {
 		return s.parts
 	}
@@ -488,18 +526,46 @@ func NewPartitionedSystem(w *roadnet.World, partitions int) (*System, error) {
 	return s, nil
 }
 
-// NumPartitions returns the number of store partitions (1 for
-// single-store systems).
+// NewClusterSystem wraps a cluster router store (cluster.Dial) in a
+// System: the unmodified query engine runs in the router process with
+// every storage read dispatched to the owning cell over the wire
+// protocol, which is what makes cluster answers bit-identical to the
+// single-process partitioned engine. Ingestion routes batches to the
+// owning cells with the same two-phase all-or-nothing protocol as
+// partition.Set; a query touching a dead or timed-out cell degrades
+// into a sound widened [Lower, Upper] interval (Response.Degradation)
+// instead of failing. DESIGN.md §16.
+//
+// Learned models, tiered history, and durability are per-cell concerns
+// and are not available on the router System.
+func NewClusterSystem(cs ClusterStore) *System {
+	s := &System{
+		world:        cs.World(),
+		cstore:       cs,
+		planCacheCap: query.DefaultPlanCacheCapacity,
+	}
+	s.rebuild()
+	return s
+}
+
+// NumPartitions returns the number of store partitions (cells for
+// cluster systems, 1 for single-store systems).
 func (s *System) NumPartitions() int {
+	if s.cstore != nil {
+		return s.cstore.NumCells()
+	}
 	if s.parts != nil {
 		return s.parts.NumPartitions()
 	}
 	return 1
 }
 
-// PartitionLayout returns the spatial layout of a partitioned system,
-// or nil for single-store systems.
+// PartitionLayout returns the spatial layout of a partitioned or
+// cluster system, or nil for single-store systems.
 func (s *System) PartitionLayout() *partition.Layout {
+	if s.cstore != nil {
+		return s.cstore.Layout()
+	}
 	if s.parts != nil {
 		return s.parts.Layout()
 	}
@@ -787,6 +853,9 @@ func (s *System) UseLearnedModels(tr learned.Trainer) error {
 	if s.parts != nil && tr != nil {
 		return fmt.Errorf("stq: learned models are not supported on partitioned systems")
 	}
+	if s.cstore != nil && tr != nil {
+		return fmt.Errorf("stq: learned models are not supported on cluster systems")
+	}
 	s.trainer = tr
 	if tr == nil {
 		s.learnt = nil
@@ -933,11 +1002,22 @@ func (s *System) Query(q Query) (*Response, error) {
 	tr := obs.Default.StartTrace(q.Kind.String())
 	defer tr.Finish()
 	sysQueries.Inc()
+	// On cluster systems, pin the outage epoch before evaluating: any
+	// cell death or recovery at or after this point may have cost the
+	// query some boundary terms, and widenForOutages accounts for it
+	// afterwards.
+	var outageSince uint64
+	if s.cstore != nil {
+		outageSince = s.cstore.OutageEpoch()
+	}
 	resp, err := sv.engine.Query(query.Request{
 		Rect: q.Rect, T1: q.T1, T2: q.T2, Kind: q.Kind, Bound: q.Bound, Trace: tr,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.cstore != nil && !resp.Missed {
+		s.widenForOutages(resp, outageSince)
 	}
 	if resp.Missed {
 		sysMisses.Inc()
@@ -980,6 +1060,40 @@ func (s *System) Query(q Query) (*Response, error) {
 		EdgesAccessed: resp.EdgesAccessed,
 		Degradation:   resp.Degradation,
 	}, nil
+}
+
+// widenForOutages folds cluster cell outages into the response's
+// degradation report: every affected cell owning part of the region's
+// perimeter (or any of its junctions — a dead cell's world-junction
+// view may be stale, so any junction it owns could hide a gateway)
+// widens the [Lower, Upper] interval by its last-known event count,
+// which bounds how far any boundary term can be off. A cell that never
+// handshaked widens to the full float range (kept finite so the
+// response serializes). Runs before the privacy recentering, which
+// preserves only the interval's width.
+func (s *System) widenForOutages(resp *query.Response, since uint64) {
+	if resp.Region == nil {
+		return
+	}
+	width, cuts, cells := s.cstore.WidenFor(resp.Region.CutRoads(), resp.Region.Junctions(), since)
+	if cells == 0 {
+		return
+	}
+	deg := Degradation{Lower: resp.Count, Upper: resp.Count}
+	if resp.Degradation != nil {
+		deg = *resp.Degradation
+	}
+	deg.Lower -= width
+	deg.Upper += width
+	if deg.Lower < -math.MaxFloat64 {
+		deg.Lower = -math.MaxFloat64
+	}
+	if deg.Upper > math.MaxFloat64 {
+		deg.Upper = math.MaxFloat64
+	}
+	deg.UnobservedCuts += cuts
+	deg.FailedNodes += cells
+	resp.Degradation = &deg
 }
 
 // StorageBytes reports the tracking-form storage of the current

@@ -1,0 +1,520 @@
+package stq
+
+// Seeded end-to-end tests of the multi-process scale-out topology
+// (DESIGN.md §16): N cells — real Servers in cell mode on loopback
+// listeners — behind a router running the unmodified engine over the
+// network-backed cluster store. The router must answer every query
+// kind bit-identically to a single-process system over the same world
+// and stream (exact, sampled, degraded, and after per-cell crash
+// recovery), and a dead cell must degrade answers into sound widened
+// intervals instead of failing them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/learned"
+	"repro/internal/partition"
+	"repro/internal/roadnet"
+)
+
+// testCluster is one booted topology plus direct handles to every cell
+// so tests can crash and restart them.
+type testCluster struct {
+	t     *testing.T
+	man   *cluster.Manifest
+	world *roadnet.World
+	lay   *partition.Layout
+	dirs  []string // durable cell directories ("" = in-memory cell)
+	addrs []string
+	cells []*System
+	srvs  []*Server
+	https []*http.Server
+	rset  *cluster.RemoteSet
+	sys   *System // the router-resident engine
+}
+
+// bootTestCluster materializes a pinned manifest over the standard test
+// grid and boots the full topology. durable cells recover from their
+// own WAL directories across restartCell.
+func bootTestCluster(t *testing.T, cells int, durable bool) *testCluster {
+	t.Helper()
+	opts := GridOpts{NX: 10, NY: 10, Spacing: 50, Jitter: 0.2, RemoveFrac: 0.15}
+	man, world, lay, err := cluster.NewManifest(cluster.GridSpec(opts, 7), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		t: t, man: man, world: world, lay: lay,
+		dirs:  make([]string, cells),
+		addrs: make([]string, cells),
+		cells: make([]*System, cells),
+		srvs:  make([]*Server, cells),
+		https: make([]*http.Server, cells),
+	}
+	for p := 0; p < cells; p++ {
+		if durable {
+			tc.dirs[p] = t.TempDir()
+		}
+		tc.startCell(p, "127.0.0.1:0")
+	}
+	tc.rset, err = cluster.Dial(man, tc.addrs, cluster.Options{
+		Timeout: 5 * time.Second, Attempts: 2, Backoff: time.Millisecond,
+		HealthInterval: -1, // tests drive Probe explicitly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.sys = NewClusterSystem(tc.rset)
+	if err := tc.sys.SetIngestOrdering(OrderPerEdge); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, hs := range tc.https {
+			if hs != nil {
+				hs.Close()
+			}
+		}
+		tc.sys.Close()
+		for p, srv := range tc.srvs {
+			if srv != nil {
+				srv.Drain()
+				tc.cells[p].Close()
+			}
+		}
+	})
+	return tc
+}
+
+// startCell boots (or re-boots) cell p on addr. With a durable
+// directory the system recovers its WAL first — the crash-recovery
+// path a restarted stqd -cell takes.
+func (tc *testCluster) startCell(p int, addr string) {
+	tc.t.Helper()
+	var csys *System
+	var err error
+	if tc.dirs[p] != "" {
+		csys, err = OpenDurable(tc.world, Durability{Dir: tc.dirs[p]})
+		if err != nil {
+			tc.t.Fatalf("cell %d: OpenDurable: %v", p, err)
+		}
+	} else {
+		csys = NewSystem(tc.world)
+	}
+	if err := csys.SetIngestOrdering(OrderPerEdge); err != nil {
+		tc.t.Fatal(err)
+	}
+	cc := &CellConfig{Index: p, Cells: tc.man.Cells, ManifestHash: tc.man.LayoutHash, Layout: tc.lay}
+	if err := cc.Validate(); err != nil {
+		tc.t.Fatal(err)
+	}
+	srv := NewServer(csys, ServerConfig{Cell: cc})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		tc.t.Fatalf("cell %d: listen %s: %v", p, addr, err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	tc.addrs[p] = ln.Addr().String()
+	tc.cells[p], tc.srvs[p], tc.https[p] = csys, srv, hs
+}
+
+// killCell crashes cell p: the listener closes, in-flight connections
+// die, nothing drains and nothing checkpoints.
+func (tc *testCluster) killCell(p int) {
+	tc.t.Helper()
+	if err := tc.https[p].Close(); err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.https[p], tc.srvs[p] = nil, nil
+}
+
+// restartCell reboots a crashed durable cell on its old address and
+// re-handshakes the router.
+func (tc *testCluster) restartCell(p int) {
+	tc.t.Helper()
+	tc.startCell(p, tc.addrs[p])
+	tc.rset.Probe()
+	if !tc.rset.CellAlive(p) {
+		tc.t.Fatalf("cell %d still dead after restart + probe", p)
+	}
+}
+
+// newClusterPair boots a cluster and a single-process reference over
+// the same world, both ingesting the same seeded workload through
+// their normal paths.
+func newClusterPair(t *testing.T, cells int) (ref *System, tc *testCluster, wl *Workload) {
+	t.Helper()
+	tc = bootTestCluster(t, cells, false)
+	ref = NewSystem(tc.world)
+	if err := ref.SetIngestOrdering(OrderPerEdge); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := ref.GenerateWorkload(MobilityOpts{
+		Objects: 80, Horizon: 20000, TripsPerObject: 4,
+		MeanSpeed: 10, MeanPause: 300, LeaveProb: 0.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Ingest(wl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.sys.Ingest(wl); err != nil {
+		t.Fatal(err)
+	}
+	return ref, tc, wl
+}
+
+// TestClusterBitIdenticalExact: the router's scatter-gathered answers
+// equal single-process answers bit for bit at 2 and 4 cells, for rects
+// straddling one, several, and all cells.
+func TestClusterBitIdenticalExact(t *testing.T) {
+	for _, cells := range []int{2, 4} {
+		ref, tc, wl := newClusterPair(t, cells)
+		if got, want := tc.sys.NumEvents(), ref.NumEvents(); got != want {
+			t.Fatalf("cells=%d: router sees %d events, reference %d", cells, got, want)
+		}
+		if got := tc.sys.NumPartitions(); got != cells {
+			t.Fatalf("NumPartitions = %d, want %d", got, cells)
+		}
+		rects := straddleRects(t, tc.sys, cells)
+		assertIdenticalResponses(t, ref, tc.sys, rects, wl.Horizon)
+	}
+}
+
+// TestClusterBitIdenticalSampled: with identical sensor placement the
+// sampled lower/upper bounds survive the network unchanged.
+func TestClusterBitIdenticalSampled(t *testing.T) {
+	ref, tc, wl := newClusterPair(t, 4)
+	if err := ref.PlaceSensors(PlacementQuadTree, 25, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.sys.PlaceSensors(PlacementQuadTree, 25, 9); err != nil {
+		t.Fatal(err)
+	}
+	rects := straddleRects(t, tc.sys, 4)
+	assertIdenticalResponses(t, ref, tc.sys, rects, wl.Horizon)
+}
+
+// TestClusterBitIdenticalDegraded: an identical seeded fault plan
+// (sensor crashes, drops, retries) produces identical degraded answers
+// through the router — the approximation machinery composes with the
+// network transport.
+func TestClusterBitIdenticalDegraded(t *testing.T) {
+	ref, tc, wl := newClusterPair(t, 4)
+	for _, sys := range []*System{ref, tc.sys} {
+		if err := sys.PlaceSensors(PlacementQuadTree, 30, 11); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ApplyFaults(FaultSpec{Seed: 17, SensorCrash: 0.1, DropProb: 0.1, MaxRetries: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rects := straddleRects(t, tc.sys, 4)
+	assertIdenticalResponses(t, ref, tc.sys, rects, wl.Horizon)
+	degraded := false
+	for _, rect := range rects {
+		resp, err := tc.sys.Query(Query{Rect: rect, T1: wl.Horizon * 0.3, T2: wl.Horizon * 0.7, Kind: Transient, Bound: Upper})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Degradation != nil {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Error("fault plan degraded no query; scenario vacuous")
+	}
+}
+
+// TestClusterCellCrashRecovery: a durable cell crashes (no drain, no
+// final checkpoint) and reboots from its own WAL on the old address;
+// after one probe the router answers bit-identically again, and keeps
+// ingesting across the whole cluster.
+func TestClusterCellCrashRecovery(t *testing.T) {
+	tc := bootTestCluster(t, 2, true)
+	ref := NewSystem(tc.world)
+	if err := ref.SetIngestOrdering(OrderPerEdge); err != nil {
+		t.Fatal(err)
+	}
+	batches := durableBatches(tc.world, 30, 6, 0, 33)
+	for _, b := range batches {
+		if err := tc.sys.RecordBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.RecordBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	horizon := 30 * 6 * 3.0
+	// The crash must not be allowed to eat the WAL tail: sync like an
+	// operator would before pulling the plug.
+	if err := tc.cells[1].SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: stop serving without draining or closing the system — the
+	// WAL directory is all the restart gets.
+	tc.killCell(1)
+
+	tc.restartCell(1)
+	if got, want := tc.sys.NumEvents(), ref.NumEvents(); got != want {
+		t.Fatalf("router sees %d events after recovery, want %d", got, want)
+	}
+	assertSameAnswers(t, ref, tc.sys, horizon)
+
+	// The recovered topology keeps ingesting and stays bit-identical.
+	more := durableBatches(tc.world, 3, 6, horizon+1, 44)
+	for _, b := range more {
+		if err := tc.sys.RecordBatch(b); err != nil {
+			t.Fatalf("post-recovery RecordBatch: %v", err)
+		}
+		if err := ref.RecordBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameAnswers(t, ref, tc.sys, horizon+60)
+}
+
+// liveOnlyRect finds a rect whose region — junctions and both
+// endpoints of every possible cut road — is owned entirely by cells
+// other than dead. Queries over it must stay exact after the kill.
+func liveOnlyRect(tc *testCluster, dead int) (Rect, bool) {
+	b := tc.sys.Bounds()
+	for _, frac := range []float64{0.35, 0.25, 0.18} {
+		for _, corner := range []Rect{
+			{Min: b.Min, Max: Point{X: b.Min.X + b.Width()*frac, Y: b.Min.Y + b.Height()*frac}},
+			{Min: Point{X: b.Max.X - b.Width()*frac, Y: b.Min.Y}, Max: Point{X: b.Max.X, Y: b.Min.Y + b.Height()*frac}},
+			{Min: Point{X: b.Min.X, Y: b.Max.Y - b.Height()*frac}, Max: Point{X: b.Min.X + b.Width()*frac, Y: b.Max.Y}},
+			{Min: Point{X: b.Max.X - b.Width()*frac, Y: b.Max.Y - b.Height()*frac}, Max: b.Max},
+		} {
+			// Expand by two grid spacings so the check covers the outside
+			// endpoints of perimeter roads too.
+			pad := 100.0
+			grown := Rect{
+				Min: Point{X: corner.Min.X - pad, Y: corner.Min.Y - pad},
+				Max: Point{X: corner.Max.X + pad, Y: corner.Max.Y + pad},
+			}
+			js := tc.world.JunctionsIn(grown)
+			if len(js) == 0 {
+				continue
+			}
+			ok := true
+			for _, j := range js {
+				if tc.lay.OwnerOfJunction(j) == dead {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return corner, true
+			}
+		}
+	}
+	return Rect{}, false
+}
+
+// TestClusterDegradesOnCellDeath: killing one cell mid-run never turns
+// a query into an error — affected answers carry a sound widened
+// [Lower, Upper] interval around the true count, regions owned
+// entirely by live cells stay exact, and ingest routed at the dead
+// cell refuses with ErrClusterUnavailable (503 through the serving
+// layer). Run under -race: queries race the death and the health
+// accounting.
+func TestClusterDegradesOnCellDeath(t *testing.T) {
+	ref, tc, wl := newClusterPair(t, 4)
+	const dead = 3
+	rects := straddleRects(t, tc.sys, 4)
+	queries := make([]Query, len(rects))
+	truth := make([]float64, len(rects))
+	for i, rect := range rects {
+		queries[i] = Query{Rect: rect, T1: wl.Horizon * 0.3, T2: wl.Horizon * 0.7, Kind: Kind(i % 3)}
+		resp, err := ref.Query(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[i] = resp.Count
+	}
+
+	// Concurrent queries race the kill; every answer must be exact or a
+	// sound interval — never an error, never silently narrow.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				i := (g + it) % len(queries)
+				resp, err := tc.sys.Query(queries[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.Degradation == nil {
+					if resp.Count != truth[i] {
+						errCh <- errors.New("undegraded answer differs from reference")
+						return
+					}
+					continue
+				}
+				d := resp.Degradation
+				if d.Lower > truth[i] || d.Upper < truth[i] {
+					errCh <- errors.New("degraded interval does not contain the true count")
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	tc.killCell(dead)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("query during cell death: %v", err)
+	}
+
+	// Steady state after the death: a whole-world query must degrade —
+	// and soundly so.
+	resp, err := tc.sys.Query(queries[0])
+	if err != nil {
+		t.Fatalf("query with dead cell: %v", err)
+	}
+	if resp.Degradation == nil {
+		t.Fatal("whole-world query not degraded with a dead cell")
+	}
+	if d := resp.Degradation; d.Lower > truth[0] || d.Upper < truth[0] {
+		t.Fatalf("degraded interval [%v,%v] excludes true count %v", d.Lower, d.Upper, truth[0])
+	}
+	if resp.Degradation.FailedNodes == 0 {
+		t.Error("degradation reports no failed cells")
+	}
+
+	// A region owned entirely by live cells stays exact.
+	if rect, ok := liveOnlyRect(tc, dead); ok {
+		q := Query{Rect: rect, T1: wl.Horizon * 0.3, T2: wl.Horizon * 0.7, Kind: Snapshot}
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.sys.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Degradation != nil {
+			t.Errorf("live-cell-only region degraded: %+v", *got.Degradation)
+		}
+		if got.Count != want.Count {
+			t.Errorf("live-cell-only region count %v != reference %v", got.Count, want.Count)
+		}
+	} else {
+		t.Log("no corner rect avoids the dead cell; exactness subtest skipped")
+	}
+
+	// Ingest routed at the dead cell refuses with the sentinel...
+	deadEvent := deadCellEvent(t, tc, dead, wl.Horizon)
+	err = tc.sys.RecordBatch([]Event{deadEvent})
+	if !errors.Is(err, ErrClusterUnavailable) {
+		t.Fatalf("ingest to dead cell: err %v, want ErrClusterUnavailable", err)
+	}
+	// ...and the serving layer maps that to 503, not 400.
+	srv := NewServer(tc.sys, ServerConfig{})
+	body, _ := json.Marshal(IngestRequest{Events: []IngestEvent{{
+		Kind: "move", T: deadEvent.T + 1, Road: int(deadEvent.Road), From: int(deadEvent.From),
+	}}})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest to dead cell over HTTP: %d, want 503", rec.Code)
+	}
+	srv.Drain()
+}
+
+// deadCellEvent builds a valid move event on a road owned by the dead
+// cell, timestamped past everything ingested so far.
+func deadCellEvent(t *testing.T, tc *testCluster, dead int, after float64) Event {
+	t.Helper()
+	for road := 0; road < tc.world.NumRoads(); road++ {
+		if tc.lay.OwnerOfRoad(EdgeID(road)) == dead {
+			e := tc.world.Star.Edge(EdgeID(road))
+			return MoveEvent(EdgeID(road), e.U, after+10)
+		}
+	}
+	t.Fatalf("no road owned by cell %d", dead)
+	return Event{}
+}
+
+// TestClusterServerReadyz: /readyz reflects SetReady and draining —
+// the signal a router's health loop and an orchestrator's readiness
+// probe both consume.
+func TestClusterServerReadyz(t *testing.T) {
+	sys, _ := newTestSystem(t)
+	srv := NewServer(sys, ServerConfig{})
+	get := func(path string) int {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("fresh server readyz: %d, want 200", c)
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("fresh server healthz: %d, want 200", c)
+	}
+	srv.SetReady(false)
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready readyz: %d, want 503", c)
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("not-ready healthz: %d, want 200 (liveness is not readiness)", c)
+	}
+	srv.SetReady(true)
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("re-readied readyz: %d, want 200", c)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %d, want 503", c)
+	}
+}
+
+// TestClusterRejectsMisroutedIngest: a cell must refuse a batch owned
+// by another cell before anything is applied — the guard against a
+// divergent router or a client bypassing it.
+func TestClusterRejectsMisroutedIngest(t *testing.T) {
+	tc := bootTestCluster(t, 2, false)
+	foreign := deadCellEvent(t, tc, 1, 100)
+	body, _ := json.Marshal(IngestRequest{Events: []IngestEvent{{
+		Kind: "move", T: foreign.T, Road: int(foreign.Road), From: int(foreign.From),
+	}}})
+	resp, err := http.Post("http://"+tc.addrs[0]+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misrouted ingest: %d, want 400", resp.StatusCode)
+	}
+	if n := tc.cells[0].NumEvents(); n != 0 {
+		t.Fatalf("misrouted ingest applied %d events", n)
+	}
+}
+
+// TestClusterLearnedModelsRefused: constant-size learned forms replace
+// the store wholesale; a network-backed store cannot be swapped out,
+// so the combination must be refused loudly.
+func TestClusterLearnedModelsRefused(t *testing.T) {
+	tc := bootTestCluster(t, 2, false)
+	if err := tc.sys.UseLearnedModels(learned.PiecewiseTrainer{Segments: 8}); err == nil {
+		t.Fatal("learned models accepted on a cluster system")
+	}
+}
